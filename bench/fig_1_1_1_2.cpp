@@ -1,0 +1,82 @@
+// Reproduces Figures 1.1 and 1.2: the structure of the binary De Bruijn
+// graphs B(2,3), B(2,4) and of the undirected UB(2,3) - emitted as
+// adjacency lists plus the degree census of [PR82] quoted in Section 1.2
+// (d nodes of degree 2d-2, d(d-1) of degree 2d-1, d^n - d^2 of degree 2d).
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "debruijn/debruijn.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dbr;
+using namespace dbr::bench;
+
+void dump_directed(Digit d, unsigned n) {
+  const DeBruijnDigraph g(d, n);
+  const WordSpace& ws = g.words();
+  std::cout << "B(" << unsigned(d) << "," << n << "): " << g.num_nodes()
+            << " nodes, " << g.num_edges() << " directed edges ("
+            << unsigned(d) << " loops)\n";
+  for (Word v = 0; v < g.num_nodes(); ++v) {
+    std::cout << "  " << ws.to_string(v) << " ->";
+    for (Word w : g.successors(v)) std::cout << " " << ws.to_string(w);
+    if (g.is_loop_node(v)) std::cout << "   (loop)";
+    std::cout << "\n";
+  }
+}
+
+void print_tables() {
+  heading("Figure 1.1(a) - B(2,3)");
+  dump_directed(2, 3);
+  heading("Figure 1.1(b) - B(2,4)");
+  dump_directed(2, 4);
+
+  heading("Figure 1.2 - UB(2,3) (loops deleted, parallel edges merged)");
+  {
+    const UndirectedDeBruijn g(2, 3);
+    const WordSpace& ws = g.words();
+    std::cout << "UB(2,3): " << g.num_nodes() << " nodes, " << g.num_edges()
+              << " undirected edges\n";
+    for (Word v = 0; v < g.num_nodes(); ++v) {
+      std::cout << "  " << ws.to_string(v) << " --";
+      for (Word w : g.neighbors(v)) std::cout << " " << ws.to_string(w);
+      std::cout << "\n";
+    }
+  }
+
+  heading("Degree census of UB(d,n) vs the [PR82] formula");
+  {
+    TextTable t({"d", "n", "deg 2d-2 (want d)", "deg 2d-1 (want d(d-1))",
+                 "deg 2d (want d^n - d^2)"});
+    for (auto [d, n] : {std::pair<Digit, unsigned>{2, 3}, {2, 4}, {3, 4}, {4, 4}, {4, 6}}) {
+      const UndirectedDeBruijn g(d, n);
+      std::map<unsigned, std::uint64_t> census;
+      for (Word v = 0; v < g.num_nodes(); ++v) ++census[g.degree(v)];
+      t.new_row()
+          .add(static_cast<std::uint64_t>(d))
+          .add(n)
+          .add(census[2 * d - 2])
+          .add(census[2 * d - 1])
+          .add(census[2 * d]);
+    }
+    emit(t);
+  }
+}
+
+void BM_NeighborEnumeration(benchmark::State& state) {
+  const UndirectedDeBruijn g(4, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (Word v = 0; v < g.num_nodes(); ++v) acc += g.degree(v);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_NeighborEnumeration)->Arg(4)->Arg(6);
+
+}  // namespace
+
+int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }

@@ -1,0 +1,92 @@
+// Reproduces Figure 3.2: the conflict structure of the Hamiltonian cycles
+// {H_x} in B(13,n) under Strategy 2 with f(x) = 7x. Lemma 3.4 predicts H_x
+// conflicts exactly with {7x, 7^9 x, 7^-1 x, 7^-9 x} (a degree-4 circulant
+// on Z_13^*), H_0 only with {7, -7}. The bench prints the predicted graph
+// and then verifies it empirically by building every H_x for B(13,2) and
+// intersecting edge sets pairwise.
+
+#include <iostream>
+#include <set>
+
+#include "bench_common.hpp"
+#include "core/disjoint_hc.hpp"
+#include "debruijn/cycle.hpp"
+#include "nt/numtheory.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dbr;
+using namespace dbr::bench;
+
+void print_tables() {
+  heading("Figure 3.2 - predicted conflicts of {H_x} in B(13,n), f(x) = 7x");
+  // 2 = 7 + 7^9 (mod 13): A = 1, B = 9, both odd (Example 3.3).
+  const std::uint64_t p = 13;
+  const std::uint64_t A = 7;                       // 7^1
+  const std::uint64_t B = nt::pow_mod(7, 9, p);    // 7^9 = 2 - 7 mod 13 = 8
+  std::cout << "2 = 7^1 + 7^9 (mod 13): 7 + " << B << " = " << (7 + B) % 13
+            << "\n";
+  TextTable t({"x", "f(x)", "2x-f(x)", "7^-1 x", "7^-9 x"});
+  const std::uint64_t inv7 = nt::pow_mod(7, 11, p);
+  const std::uint64_t inv79 = nt::pow_mod(B, 11, p);
+  for (std::uint64_t x = 1; x < p; ++x) {
+    t.new_row()
+        .add(x)
+        .add(7 * x % p)
+        .add((2 * x + (p - 7) * x) % p)
+        .add(inv7 * x % p)
+        .add(inv79 * x % p);
+  }
+  emit(t);
+
+  heading("Empirical conflict graph for B(13,2) (edge-set intersections)");
+  const gf::Field field(13);
+  const core::MaximalCycleFamily family(field, 2);
+  const WordSpace ws(13, 2);
+  // Build every H_x with f(x) = 7x (f(0) = 7).
+  std::vector<std::set<Word>> edges(p);
+  for (std::uint64_t x = 0; x < p; ++x) {
+    const auto f_x = static_cast<gf::Field::Elem>(x == 0 ? 7 : 7 * x % p);
+    const auto hc = family.hamiltonian_cycle(static_cast<gf::Field::Elem>(x), f_x);
+    const auto ew = edge_words(ws, hc);
+    edges[x] = std::set<Word>(ew.begin(), ew.end());
+  }
+  // Lemma 3.4: H_x ~ H_y iff y in {f(x), 2x - f(x)} or x in {f(y), 2y - f(y)}.
+  const auto f_of = [&](std::uint64_t x) { return x == 0 ? 7 : 7 * x % p; };
+  const auto lemma34 = [&](std::uint64_t x, std::uint64_t y) {
+    const std::uint64_t fx = f_of(x), fy = f_of(y);
+    const std::uint64_t mx = (2 * x + p * p - fx) % p;  // 2x - f(x)
+    const std::uint64_t my = (2 * y + p * p - fy) % p;
+    return y == fx || y == mx || x == fy || x == my;
+  };
+  unsigned mismatches = 0;
+  std::cout << "conflicts found (x < y): ";
+  for (std::uint64_t x = 0; x < p; ++x) {
+    for (std::uint64_t y = x + 1; y < p; ++y) {
+      std::vector<Word> common;
+      std::set_intersection(edges[x].begin(), edges[x].end(), edges[y].begin(),
+                            edges[y].end(), std::back_inserter(common));
+      const bool observed = !common.empty();
+      if (observed) std::cout << "(" << x << "," << y << ") ";
+      if (observed != lemma34(x, y)) ++mismatches;
+    }
+  }
+  std::cout << "\nLemma 3.4 prediction mismatches: " << mismatches << "\n";
+  std::cout << "Selected disjoint set (Example 3.3): {H_0, H_1, H_{7^2}, H_{7^4},"
+               " H_{7^6}, H_{7^8}, H_{7^10}} -> 7 = (13+1)/2 cycles\n";
+}
+
+void BM_H13Construction(benchmark::State& state) {
+  const gf::Field field(13);
+  const core::MaximalCycleFamily family(field, 2);
+  for (auto _ : state) {
+    auto hc = family.hamiltonian_cycle(3, 7 * 3 % 13);
+    benchmark::DoNotOptimize(hc.length());
+  }
+}
+BENCHMARK(BM_H13Construction);
+
+}  // namespace
+
+int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }

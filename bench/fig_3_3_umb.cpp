@@ -1,0 +1,77 @@
+// Reproduces Figure 3.3 / Example 3.6: the Hamiltonian decomposition of the
+// modified De Bruijn graph UMB(2,3) - two disjoint Hamiltonian cycles
+// covering all 16 edges - plus decomposition summaries for odd prime powers
+// (Section 3.2.3).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/mod_debruijn.hpp"
+#include "debruijn/debruijn.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dbr;
+using namespace dbr::bench;
+
+void print_decomposition(Digit d, unsigned n, bool full_cycles) {
+  const auto mb = core::modified_debruijn_decomposition(d, n);
+  const WordSpace ws(d, n);
+  std::cout << "MB(" << unsigned(d) << "," << n << "): " << mb.cycles.size()
+            << " disjoint Hamiltonian cycles of length " << ws.size() << "\n";
+  if (full_cycles) {
+    for (std::size_t i = 0; i < mb.cycles.size(); ++i) {
+      std::cout << "  H_" << i << " = " << to_string(ws, mb.cycles[i]) << "\n";
+    }
+  }
+  std::cout << "  rerouted (removed from B): ";
+  for (const auto& [u, v] : mb.removed_edges) {
+    std::cout << "(" << ws.to_string(u) << "->" << ws.to_string(v) << ") ";
+  }
+  std::cout << "\n  new edges: ";
+  for (const auto& [u, v] : mb.added_edges) {
+    std::cout << "(" << ws.to_string(u) << "->" << ws.to_string(v) << ") ";
+  }
+  std::cout << "\n";
+}
+
+void print_tables() {
+  heading("Figure 3.3 / Example 3.6 - Hamiltonian decomposition of UMB(2,3)");
+  print_decomposition(2, 3, /*full_cycles=*/true);
+
+  heading("Odd prime power decompositions (d disjoint HCs each)");
+  print_decomposition(3, 3, /*full_cycles=*/true);
+  print_decomposition(5, 2, /*full_cycles=*/false);
+  print_decomposition(7, 2, /*full_cycles=*/false);
+  print_decomposition(9, 2, /*full_cycles=*/false);
+
+  heading("Summary");
+  TextTable t({"graph", "cycles", "nodes/cycle", "added", "removed"});
+  for (auto [d, n] : {std::pair<Digit, unsigned>{2, 3}, {2, 5}, {3, 3}, {5, 2},
+                      {7, 2}, {9, 2}, {3, 4}}) {
+    const auto mb = core::modified_debruijn_decomposition(d, n);
+    const WordSpace ws(d, n);
+    t.new_row()
+        .add("MB(" + std::to_string(d) + "," + std::to_string(n) + ")")
+        .add(mb.cycles.size())
+        .add(ws.size())
+        .add(mb.added_edges.size())
+        .add(mb.removed_edges.size());
+  }
+  emit(t);
+}
+
+void BM_Decomposition(benchmark::State& state) {
+  const Digit d = static_cast<Digit>(state.range(0));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    auto mb = core::modified_debruijn_decomposition(d, n);
+    benchmark::DoNotOptimize(mb.cycles.size());
+  }
+}
+BENCHMARK(BM_Decomposition)->Args({2, 8})->Args({3, 5})->Args({9, 3});
+
+}  // namespace
+
+int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }

@@ -1,0 +1,79 @@
+// Reproduces Figures 3.4 and 3.5: the butterfly digraph F(2,3) and its
+// partition into De Bruijn super-nodes S_x ([ABR90]); plus the Lemma 3.9
+// illustration - the 4-cycle (110, 100, 001, 011) of B(2,3) lifting to a
+// 12-cycle of F(2,3).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "butterfly/butterfly.hpp"
+#include "butterfly/lift.hpp"
+#include "debruijn/debruijn.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dbr;
+using namespace dbr::bench;
+
+std::string bf_node(const ButterflyDigraph& bf, NodeId v) {
+  return "(" + std::to_string(bf.level_of(v)) + "," +
+         bf.columns().to_string(bf.column_of(v)) + ")";
+}
+
+void print_tables() {
+  const ButterflyDigraph bf(2, 3);
+  const WordSpace& ws = bf.columns();
+
+  heading("Figure 3.4 - butterfly digraph F(2,3)");
+  std::cout << bf.num_nodes() << " nodes (3 levels x 8 columns), "
+            << bf.num_edges() << " edges\n";
+  for (NodeId v = 0; v < bf.num_nodes(); ++v) {
+    std::cout << "  " << bf_node(bf, v) << " ->";
+    bf.for_each_successor(v, [&](NodeId w) { std::cout << " " << bf_node(bf, w); });
+    std::cout << "\n";
+  }
+
+  heading("Figure 3.5 - F(2,3) partitioned to resemble B(2,3)");
+  const DeBruijnDigraph g(2, 3);
+  for (Word x = 0; x < ws.size(); ++x) {
+    std::cout << "  S_" << ws.to_string(x) << " = {";
+    for (unsigned i = 0; i < 3; ++i) {
+      std::cout << (i ? ", " : "") << bf_node(bf, butterfly::partition_node(bf, x, i));
+    }
+    std::cout << "}  De Bruijn successors:";
+    for (Word y : g.successors(x)) std::cout << " " << ws.to_string(y);
+    std::cout << "\n";
+  }
+
+  heading("Lemma 3.9 - lifting the 4-cycle (110, 100, 001, 011) to a 12-cycle");
+  NodeCycle c;
+  for (auto digits : {std::vector<Digit>{1, 1, 0}, {1, 0, 0}, {0, 0, 1}, {0, 1, 1}}) {
+    c.nodes.push_back(ws.from_digits(digits));
+  }
+  const auto lifted = butterfly::lift_cycle(bf, c);
+  std::cout << "Phi(C), length LCM(4,3) = " << lifted.size() << ":\n  ";
+  for (NodeId v : lifted) std::cout << bf_node(bf, v) << " ";
+  std::cout << "\nvalid butterfly cycle: "
+            << (butterfly::is_butterfly_cycle(bf, lifted) ? "YES" : "NO") << "\n";
+}
+
+void BM_LiftCycle(benchmark::State& state) {
+  const ButterflyDigraph big(3, 5);
+  const WordSpace& ws = big.columns();
+  NodeCycle c;  // a long necklace-ish cycle: use rotations of 01234-ish words
+  c.nodes = {ws.from_digits(std::vector<Digit>{0, 1, 2, 1, 0}),
+             ws.from_digits(std::vector<Digit>{1, 2, 1, 0, 0}),
+             ws.from_digits(std::vector<Digit>{2, 1, 0, 0, 1}),
+             ws.from_digits(std::vector<Digit>{1, 0, 0, 1, 2}),
+             ws.from_digits(std::vector<Digit>{0, 0, 1, 2, 1})};
+  for (auto _ : state) {
+    auto lifted = butterfly::lift_cycle(big, c);
+    benchmark::DoNotOptimize(lifted.size());
+  }
+}
+BENCHMARK(BM_LiftCycle);
+
+}  // namespace
+
+int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }

@@ -1,0 +1,122 @@
+// Reproduces the Chapter 4 worked examples and the necklace census they
+// come from - exact values that must match the paper:
+//   * necklaces of length 6 in B(2,12): 9
+//   * total necklaces in B(2,12): 352
+//   * weight-4 necklaces of length 6 in B(2,12): 2
+//   * total weight-4 necklaces in B(2,12): 43
+//   * weight-4 necklaces of length 4 in B(3,4): 4
+// plus full by-length / by-weight censuses cross-checked by enumeration.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "debruijn/necklaces.hpp"
+#include "necklace/count.hpp"
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dbr;
+using namespace dbr::bench;
+
+void print_tables() {
+  heading("Chapter 4 worked examples (must match the paper exactly)");
+  {
+    TextTable t({"quantity", "formula value", "paper"});
+    t.new_row()
+        .add(std::string("necklaces of length 6 in B(2,12)"))
+        .add(necklace::necklaces_by_length(2, 12, 6))
+        .add(std::string("9"));
+    t.new_row()
+        .add(std::string("total necklaces in B(2,12)"))
+        .add(necklace::necklaces_total(2, 12))
+        .add(std::string("352"));
+    t.new_row()
+        .add(std::string("weight-4 necklaces of length 6 in B(2,12)"))
+        .add(necklace::binary_weight_necklaces_by_length(12, 4, 6))
+        .add(std::string("2"));
+    t.new_row()
+        .add(std::string("total weight-4 necklaces in B(2,12)"))
+        .add(necklace::binary_weight_necklaces_total(12, 4))
+        .add(std::string("43"));
+    t.new_row()
+        .add(std::string("weight-4 necklaces of length 4 in B(3,4)"))
+        .add(necklace::weight_necklaces_by_length(3, 4, 4, 4))
+        .add(std::string("4"));
+    emit(t);
+    ensure(necklace::necklaces_by_length(2, 12, 6) == 9 &&
+               necklace::necklaces_total(2, 12) == 352 &&
+               necklace::binary_weight_necklaces_by_length(12, 4, 6) == 2 &&
+               necklace::binary_weight_necklaces_total(12, 4) == 43 &&
+               necklace::weight_necklaces_by_length(3, 4, 4, 4) == 4,
+           "Chapter 4 examples must reproduce exactly");
+  }
+
+  heading("Necklace census of B(2,12) by length (formula vs enumeration)");
+  {
+    const WordSpace ws(2, 12);
+    TextTable t({"t", "formula", "enumerated"});
+    for (auto t_len : nt::divisors(12)) {
+      t.new_row()
+          .add(t_len)
+          .add(necklace::necklaces_by_length(2, 12, t_len))
+          .add(necklace::brute_count_by_length(ws, static_cast<unsigned>(t_len),
+                                               [](Word) { return true; }));
+    }
+    emit(t);
+  }
+
+  heading("Weight census of B(2,12) (formula vs enumeration)");
+  {
+    const WordSpace ws(2, 12);
+    TextTable t({"k", "formula", "enumerated"});
+    for (std::uint64_t k = 0; k <= 12; ++k) {
+      t.new_row()
+          .add(k)
+          .add(necklace::binary_weight_necklaces_total(12, k))
+          .add(necklace::brute_count_total(
+              ws, [&ws, k](Word x) { return ws.weight(x) == k; }));
+    }
+    emit(t);
+  }
+
+  heading("Type census of B(3,4) (multinomial counting, Section 4.3)");
+  {
+    TextTable t({"type [k0,k1,k2]", "necklaces"});
+    for (std::uint64_t k0 = 0; k0 <= 4; ++k0) {
+      for (std::uint64_t k1 = 0; k0 + k1 <= 4; ++k1) {
+        const std::uint64_t k2 = 4 - k0 - k1;
+        const std::vector<std::uint64_t> type{k0, k1, k2};
+        t.new_row()
+            .add("[" + std::to_string(k0) + "," + std::to_string(k1) + "," +
+                 std::to_string(k2) + "]")
+            .add(necklace::type_necklaces_total(3, 4, type));
+      }
+    }
+    emit(t);
+  }
+}
+
+void BM_CountingFormulas(benchmark::State& state) {
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::uint64_t n = 2; n <= 36; ++n) acc += necklace::necklaces_total(2, n);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CountingFormulas);
+
+void BM_BruteForceCensus(benchmark::State& state) {
+  const WordSpace ws(2, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    auto count = necklace::brute_count_total(ws, [](Word) { return true; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BruteForceCensus)->Arg(12)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }

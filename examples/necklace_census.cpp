@@ -1,0 +1,46 @@
+// Necklace census tool (Chapter 4): exact counts of the necklaces of B(d,n)
+// by length and by weight, via the Moebius-inversion formulas of
+// Propositions 4.1 and 4.2.
+//
+//   $ ./necklace_census [d n]      (defaults: d=2 n=12)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "necklace/count.hpp"
+#include "nt/numtheory.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dbr;
+  const std::uint64_t d = argc > 1 ? static_cast<std::uint64_t>(std::atoi(argv[1])) : 2;
+  const unsigned n = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 12;
+
+  std::cout << "Necklace census of B(" << d << "," << n << ")\n";
+  std::cout << "total necklaces: " << necklace::necklaces_total(d, n) << "\n\n";
+
+  {
+    TextTable t({"length t", "necklaces", "nodes covered"});
+    for (std::uint64_t len : nt::divisors(n)) {
+      const std::uint64_t count = necklace::necklaces_by_length(d, n, len);
+      t.new_row().add(len).add(count).add(count * len);
+    }
+    std::cout << "by length (lengths divide n):\n";
+    t.print(std::cout);
+  }
+
+  std::cout << "\nby weight:\n";
+  {
+    TextTable t({"weight k", "necklaces"});
+    for (std::uint64_t k = 0; k <= n * (d - 1); ++k) {
+      const std::uint64_t count = necklace::weight_necklaces_total(d, n, k);
+      if (count > 0) t.new_row().add(k).add(count);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nA faulty processor removes its whole necklace from the FFC\n"
+               "ring (Chapter 2), so these counts bound the damage a single\n"
+               "fault can do: at most n nodes (an aperiodic necklace).\n";
+  return 0;
+}

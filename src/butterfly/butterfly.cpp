@@ -1,0 +1,44 @@
+#include "butterfly/butterfly.hpp"
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+ButterflyDigraph::ButterflyDigraph(Digit d, unsigned n) : columns_(d, n) {}
+
+NodeId ButterflyDigraph::encode(unsigned level, Word column) const {
+  require(level < levels(), "level out of range");
+  require(column < columns_.size(), "column out of range");
+  return static_cast<NodeId>(level) * columns_.size() + column;
+}
+
+unsigned ButterflyDigraph::level_of(NodeId v) const {
+  require(v < num_nodes(), "node out of range");
+  return static_cast<unsigned>(v / columns_.size());
+}
+
+Word ButterflyDigraph::column_of(NodeId v) const {
+  require(v < num_nodes(), "node out of range");
+  return v % columns_.size();
+}
+
+bool ButterflyDigraph::has_edge(NodeId u, NodeId v) const {
+  const unsigned ku = level_of(u);
+  const unsigned kv = level_of(v);
+  if (kv != (ku + 1) % levels()) return false;
+  const Word xu = column_of(u);
+  const Word xv = column_of(v);
+  // Columns may differ only in digit ku.
+  return columns_.with_digit(xu, ku, columns_.digit(xv, ku)) == xv;
+}
+
+Digraph ButterflyDigraph::materialize() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for_each_successor(v, [&](NodeId w) { edges.emplace_back(v, w); });
+  }
+  return Digraph::from_edges(num_nodes(), edges);
+}
+
+}  // namespace dbr

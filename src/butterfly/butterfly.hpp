@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/word.hpp"
+
+namespace dbr {
+
+/// The d-ary butterfly digraph F(d,n) (Section 3.4): nodes are pairs
+/// (level k in Z_n, column x in Z_d^n); each node (k, x) has d edges to
+/// (k+1 mod n, x with digit k replaced by any a in Z_d). Digit k is the
+/// k'th most significant digit of the column word (matching WordSpace).
+class ButterflyDigraph {
+ public:
+  ButterflyDigraph(Digit d, unsigned n);
+
+  Digit radix() const { return columns_.radix(); }
+  unsigned levels() const { return columns_.length(); }
+  const WordSpace& columns() const { return columns_; }
+
+  NodeId num_nodes() const { return levels() * columns_.size(); }
+  std::uint64_t num_edges() const { return num_nodes() * radix(); }
+
+  NodeId encode(unsigned level, Word column) const;
+  unsigned level_of(NodeId v) const;
+  Word column_of(NodeId v) const;
+
+  template <typename Fn>
+  void for_each_successor(NodeId v, Fn&& fn) const {
+    const unsigned k = level_of(v);
+    const Word x = column_of(v);
+    const unsigned next = (k + 1) % levels();
+    for (Digit a = 0; a < radix(); ++a) {
+      fn(encode(next, columns_.with_digit(x, k, a)));
+    }
+  }
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Explicit CSR copy.
+  Digraph materialize() const;
+
+ private:
+  WordSpace columns_;
+};
+
+static_assert(DirectedGraph<ButterflyDigraph>);
+
+}  // namespace dbr

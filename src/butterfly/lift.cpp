@@ -1,0 +1,54 @@
+#include "butterfly/lift.hpp"
+
+#include <algorithm>
+
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+
+namespace dbr::butterfly {
+
+NodeId partition_node(const ButterflyDigraph& bf, Word x, unsigned i) {
+  const WordSpace& ws = bf.columns();
+  require(x < ws.size(), "word out of range");
+  const unsigned n = ws.length();
+  const unsigned level = i % n;
+  // pi^{-i}(x) = pi^{n - (i mod n)}(x).
+  const Word column = ws.rotate_left(x, (n - level) % n);
+  return bf.encode(level, column);
+}
+
+std::vector<NodeId> lift_cycle(const ButterflyDigraph& bf, const NodeCycle& c) {
+  require(!c.nodes.empty(), "cannot lift an empty cycle");
+  const unsigned n = bf.levels();
+  const std::uint64_t k = c.nodes.size();
+  const std::uint64_t len = nt::lcm(k, n);
+  std::vector<NodeId> out;
+  out.reserve(len);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    out.push_back(partition_node(bf, c.nodes[i % k], static_cast<unsigned>(i % n)));
+  }
+  return out;
+}
+
+Word pull_back_edge(const ButterflyDigraph& bf, NodeId u, NodeId v) {
+  require(bf.has_edge(u, v), "not a butterfly edge");
+  const WordSpace& ws = bf.columns();
+  const unsigned j = bf.level_of(u);
+  const Word U = ws.rotate_left(bf.column_of(u), j);
+  const Word V = ws.rotate_left(bf.column_of(v), (j + 1) % ws.length());
+  ensure(ws.suffix(U) == ws.prefix(V),
+         "butterfly edges project to De Bruijn edges (Lemma 3.8)");
+  return ws.edge_word(U, ws.tail(V));
+}
+
+bool is_butterfly_cycle(const ButterflyDigraph& bf, const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return false;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!bf.has_edge(nodes[i], nodes[(i + 1) % nodes.size()])) return false;
+  }
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+}  // namespace dbr::butterfly

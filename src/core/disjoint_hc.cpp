@@ -1,0 +1,294 @@
+#include "core/disjoint_hc.hpp"
+
+#include <algorithm>
+
+#include "gf/poly.hpp"
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+
+namespace dbr::core {
+
+using gf::Field;
+using Elem = Field::Elem;
+
+bool lemma35_condition_a(std::uint64_t p) {
+  require(p >= 3 && nt::is_prime(p), "condition (a) defined for odd primes");
+  // 2 is an odd power of a primitive root iff 2 is a quadratic nonresidue.
+  return nt::pow_mod(2, (p - 1) / 2, p) == p - 1;
+}
+
+bool lemma35_condition_b(std::uint64_t p) {
+  require(p >= 3 && nt::is_prime(p), "condition (b) defined for odd primes");
+  const std::uint64_t lambda = nt::primitive_root(p);
+  // Collect the odd powers of lambda, then test all pairs for sum 2.
+  std::vector<std::uint64_t> odd_powers;
+  std::uint64_t value = lambda;  // lambda^1
+  const std::uint64_t lambda_sq = nt::mul_mod(lambda, lambda, p);
+  for (std::uint64_t e = 1; e < p - 1; e += 2) {
+    odd_powers.push_back(value);
+    value = nt::mul_mod(value, lambda_sq, p);
+  }
+  for (std::uint64_t x : odd_powers) {
+    for (std::uint64_t y : odd_powers) {
+      if ((x + y) % p == 2) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::uint64_t psi_prime_power(std::uint64_t p, unsigned e) {
+  std::uint64_t q = 1;
+  for (unsigned i = 0; i < e; ++i) q *= p;
+  if (p == 2) return q - 1;
+  if ((p - 1) / 2 % 2 == 0 && lemma35_condition_b(p)) return (q + 1) / 2;
+  return (q - 1) / 2;
+}
+
+}  // namespace
+
+std::uint64_t psi(std::uint64_t d) {
+  require(d >= 2, "psi(d) requires d >= 2");
+  std::uint64_t result = 1;
+  for (const auto& pp : nt::factor(d)) {
+    result *= psi_prime_power(pp.prime, pp.exponent);
+  }
+  return result;
+}
+
+std::uint64_t phi_edge_bound(std::uint64_t d) {
+  require(d >= 2, "phi_edge_bound requires d >= 2");
+  const auto pf = nt::factor(d);
+  std::uint64_t sum = 0;
+  for (const auto& pp : pf) sum += pp.value();
+  return sum - 2 * pf.size();
+}
+
+std::uint64_t max_tolerable_edge_faults(std::uint64_t d) {
+  return std::max(psi(d) - 1, phi_edge_bound(d));
+}
+
+// ---------------------------------------------------------------------------
+// MaximalCycleFamily
+
+MaximalCycleFamily::MaximalCycleFamily(const Field& field, unsigned n)
+    : MaximalCycleFamily(
+          field, n,
+          gf::taps_from_characteristic(field, gf::find_primitive_poly(field, n))) {}
+
+MaximalCycleFamily::MaximalCycleFamily(const Field& field, unsigned n,
+                                       std::vector<Elem> taps)
+    : field_(&field), n_(n), taps_(std::move(taps)) {
+  require(n >= 1, "MaximalCycleFamily requires n >= 1");
+  require(taps_.size() == n, "need exactly n taps");
+  const gf::Lfsr lfsr(field, taps_);
+  require(gf::is_primitive(field, lfsr.characteristic_polynomial()),
+          "characteristic polynomial must be primitive over GF(q)");
+  omega_ = lfsr.omega();
+  ensure(omega_ != 1, "primitive polynomial cannot have root 1, so omega != 1");
+  std::vector<Elem> init(n, 0);
+  init[n - 1] = 1;
+  const auto seq = lfsr.period_sequence(init);
+  base_.symbols.assign(seq.begin(), seq.end());
+}
+
+SymbolCycle MaximalCycleFamily::shifted_cycle(Elem s) const {
+  SymbolCycle out = base_;
+  for (Digit& c : out.symbols) c = field_->add(static_cast<Elem>(c), s);
+  return out;
+}
+
+std::pair<Word, Word> MaximalCycleFamily::insertion_pair(Elem s, Elem alpha) const {
+  require(alpha != s, "insertion requires alpha != s");
+  const WordSpace ws(static_cast<Digit>(field_->order()), n_);
+  // alpha-hat = a_0 alpha + s (1 - a_0) = s + a_0 (alpha - s).
+  const Elem alpha_hat =
+      field_->add(s, field_->mul(taps_[0], field_->sub(alpha, s)));
+  // Edge words ((n+1)-tuples): alpha s^n and s^n alpha-hat.
+  const Word s_rep = ws.repeated(static_cast<Digit>(s));  // s^n as n digits
+  const Word word_alpha_s_n = static_cast<Word>(alpha) * ws.size() + s_rep;
+  const Word word_s_n_alpha_hat = s_rep * field_->order() + alpha_hat;
+  return {word_alpha_s_n, word_s_n_alpha_hat};
+}
+
+SymbolCycle MaximalCycleFamily::hamiltonian_cycle_at(Elem s, Elem alpha) const {
+  require(alpha != s, "insertion requires alpha != s");
+  SymbolCycle cycle = shifted_cycle(s);
+  const std::size_t k = cycle.symbols.size();
+  // Locate the window alpha s^(n-1) and insert one extra 's' n positions
+  // later, turning ... alpha s^(n-1) alpha-hat ... into
+  // ... alpha s^n alpha-hat ... (Figure 3.1).
+  std::size_t pos = k;  // position of window alpha s^(n-1)
+  for (std::size_t i = 0; i < k; ++i) {
+    bool match = cycle.symbols[i] == alpha;
+    for (unsigned j = 1; match && j < n_; ++j) {
+      match = cycle.symbols[(i + j) % k] == s;
+    }
+    if (match) {
+      pos = i;
+      break;
+    }
+  }
+  ensure(pos < k, "s + C contains every node alpha s^(n-1), alpha != s");
+  const std::size_t insert_at = (pos + n_) % k;
+  SymbolCycle out;
+  out.symbols.reserve(k + 1);
+  out.symbols.assign(cycle.symbols.begin(),
+                     cycle.symbols.begin() + static_cast<std::ptrdiff_t>(insert_at));
+  out.symbols.push_back(static_cast<Digit>(s));
+  out.symbols.insert(out.symbols.end(),
+                     cycle.symbols.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                     cycle.symbols.end());
+  return out;
+}
+
+SymbolCycle MaximalCycleFamily::hamiltonian_cycle(Elem s, Elem f_s) const {
+  require(f_s != s, "conflict function must satisfy f(s) != s");
+  // alpha-hat = s omega + f(s) (1 - omega); recover alpha from
+  // alpha-hat = s + a_0 (alpha - s).
+  const Elem alpha_hat = field_->add(field_->mul(s, omega_),
+                                     field_->mul(f_s, field_->sub(1, omega_)));
+  const Elem alpha =
+      field_->add(s, field_->mul(field_->inv(taps_[0]), field_->sub(alpha_hat, s)));
+  ensure(alpha != s, "f(s) != s implies alpha != s (omega != 1)");
+  return hamiltonian_cycle_at(s, alpha);
+}
+
+// ---------------------------------------------------------------------------
+// Strategies 1-3 (Section 3.2.1)
+
+std::vector<SymbolCycle> disjoint_hcs_prime_power(const Field& field, unsigned n) {
+  require(n >= 2, "disjoint HC construction requires n >= 2");
+  const std::uint64_t q = field.order();
+  const std::uint64_t p = field.characteristic();
+  const MaximalCycleFamily family(field, n);
+  std::vector<SymbolCycle> out;
+
+  if (p == 2) {
+    // Strategy 1: f(x) = 0 for x != 0; the q-1 cycles {H_s : s != 0} are
+    // pairwise disjoint because 2x = 0 in characteristic 2.
+    for (Elem s = 1; s < q; ++s) {
+      out.push_back(family.hamiltonian_cycle(s, 0));
+    }
+    return out;
+  }
+
+  // Odd characteristic: lambda is a primitive root of Z_p viewed inside
+  // GF(q); J = Z_p^* and the nonzero elements split into (q-1)/(p-1) cosets
+  // g_i J. The selected cycles are H_x for x in g_i * QR(p) (even powers of
+  // lambda), optionally plus H_0 (Strategy 2 with (p-1)/2 even).
+  const std::uint64_t lambda_int = nt::primitive_root(p);
+  const Elem lambda = field.from_int(lambda_int);
+  const bool cond_b = lemma35_condition_b(p);
+  const bool use_strategy2 = cond_b;
+  // Strategy 2: f(x) = lambda^A x with 2 = lambda^A + lambda^B; it is enough
+  // to know *a* valid odd exponent A. Strategy 3: 2 = lambda^A (odd A), so
+  // f(x) = 2x. Either way f multiplies by an odd power of lambda; we pick
+  // the concrete multiplier below.
+  Elem multiplier;
+  if (use_strategy2) {
+    // Find odd A with lambda^A + lambda^B = 2, B odd.
+    multiplier = 0;
+    std::vector<std::uint64_t> odd_powers;
+    std::uint64_t value = lambda_int;
+    const std::uint64_t lambda_sq = nt::mul_mod(lambda_int, lambda_int, p);
+    for (std::uint64_t e = 1; e < p - 1; e += 2) {
+      odd_powers.push_back(value);
+      value = nt::mul_mod(value, lambda_sq, p);
+    }
+    for (std::uint64_t x : odd_powers) {
+      for (std::uint64_t y : odd_powers) {
+        if ((x + y) % p == 2) {
+          multiplier = field.from_int(x);
+          break;
+        }
+      }
+      if (multiplier != 0) break;
+    }
+    ensure(multiplier != 0, "condition (b) promised an odd-power pair");
+  } else {
+    ensure(lemma35_condition_a(p), "Lemma 3.5: condition (a) or (b) holds");
+    multiplier = field.from_int(2);  // 2 = lambda^A with A odd
+  }
+
+  // Quadratic residues of Z_p (even powers of lambda), embedded in GF(q).
+  std::vector<Elem> qr;
+  {
+    std::uint64_t value = nt::mul_mod(lambda_int, lambda_int, p);  // lambda^2
+    for (std::uint64_t k = 1; k <= (p - 1) / 2; ++k) {
+      qr.push_back(field.from_int(value));
+      value = nt::mul_mod(value, nt::mul_mod(lambda_int, lambda_int, p), p);
+    }
+  }
+
+  // Coset representatives of Z_p^* in GF(q)^*.
+  std::vector<bool> covered(q, false);
+  std::vector<Elem> coset_reps;
+  for (Elem g = 1; g < q; ++g) {
+    if (covered[g]) continue;
+    coset_reps.push_back(g);
+    for (std::uint64_t u = 1; u < p; ++u) {
+      covered[field.mul(g, field.from_int(u))] = true;
+    }
+  }
+
+  for (Elem g : coset_reps) {
+    for (Elem u : qr) {
+      const Elem x = field.mul(g, u);
+      out.push_back(family.hamiltonian_cycle(x, field.mul(multiplier, x)));
+    }
+  }
+  if (use_strategy2 && (p - 1) / 2 % 2 == 0) {
+    // H_0 with f(0) = lambda conflicts only with odd powers of lambda, none
+    // of which were selected.
+    out.push_back(family.hamiltonian_cycle(0, lambda));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rees composition and the general case
+
+SymbolCycle rees_compose(const SymbolCycle& a, const SymbolCycle& b,
+                         std::uint64_t t) {
+  require(!a.symbols.empty() && !b.symbols.empty(), "cycles must be nonempty");
+  require(nt::gcd(a.symbols.size(), b.symbols.size()) == 1,
+          "Rees composition needs coprime cycle lengths (gcd(s,t) = 1)");
+  const std::uint64_t len =
+      static_cast<std::uint64_t>(a.symbols.size()) * b.symbols.size();
+  SymbolCycle out;
+  out.symbols.reserve(len);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    out.symbols.push_back(static_cast<Digit>(
+        a.symbols[i % a.symbols.size()] * t + b.symbols[i % b.symbols.size()]));
+  }
+  return out;
+}
+
+std::vector<SymbolCycle> disjoint_hamiltonian_cycles(std::uint64_t d, unsigned n) {
+  require(d >= 2, "disjoint_hamiltonian_cycles requires d >= 2");
+  require(n >= 2, "disjoint_hamiltonian_cycles requires n >= 2");
+  const auto pf = nt::factor(d);
+  std::vector<SymbolCycle> acc;
+  for (std::size_t k = 0; k < pf.size(); ++k) {
+    const std::uint64_t t = pf[k].value();
+    const gf::Field field(t);
+    std::vector<SymbolCycle> part = disjoint_hcs_prime_power(field, n);
+    if (k == 0) {
+      acc = std::move(part);
+      continue;
+    }
+    std::vector<SymbolCycle> merged;
+    merged.reserve(acc.size() * part.size());
+    for (const SymbolCycle& a : acc) {
+      for (const SymbolCycle& b : part) {
+        merged.push_back(rees_compose(a, b, t));
+      }
+    }
+    acc = std::move(merged);
+  }
+  return acc;
+}
+
+}  // namespace dbr::core

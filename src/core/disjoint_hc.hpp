@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "debruijn/cycle.hpp"
+#include "gf/field.hpp"
+#include "gf/lfsr.hpp"
+
+namespace dbr::core {
+
+/// psi(d): the paper's guaranteed number of pairwise edge-disjoint
+/// Hamiltonian cycles in B(d,n), n >= 2 (Propositions 3.1 and 3.2):
+///   psi(2^e)  = 2^e - 1,
+///   psi(p^e)  = (p^e + 1)/2  if (p-1)/2 is even and p satisfies
+///               condition (b) of Lemma 3.5,
+///   psi(p^e)  = (p^e - 1)/2  otherwise (odd p),
+///   psi(d)    = prod psi(p_i^{e_i}).
+std::uint64_t psi(std::uint64_t d);
+
+/// Condition (a) of Lemma 3.5: 2 is an odd power of a primitive root of Z_p
+/// (equivalently, 2 is a quadratic nonresidue; p == +-3 mod 8).
+bool lemma35_condition_a(std::uint64_t p);
+
+/// Condition (b) of Lemma 3.5: 2 = lambda^A + lambda^B for odd A, B. Holds
+/// whenever p == +-1 (mod 8) and sporadically otherwise (e.g. p = 13).
+/// Independent of the choice of primitive root.
+bool lemma35_condition_b(std::uint64_t p);
+
+/// phi(d) = sum p_i^{e_i} - 2k for d = p_1^{e_1}...p_k^{e_k} (Section 3.3's
+/// edge-fault tolerance bound; NOT Euler's totient).
+std::uint64_t phi_edge_bound(std::uint64_t d);
+
+/// Proposition 3.4's guarantee: MAX(psi(d)-1, phi_edge_bound(d)) edge faults
+/// are always survivable by some Hamiltonian cycle.
+std::uint64_t max_tolerable_edge_faults(std::uint64_t d);
+
+/// The algebraic machinery of Section 3.2.1: a maximal cycle C of length
+/// q^n - 1 in B(q,n) plus its d shifted copies s + C, which partition the
+/// non-loop edges of B(q,n), and the Hamiltonianization that inserts s^n.
+class MaximalCycleFamily {
+ public:
+  /// Uses the deterministic smallest primitive polynomial of degree n.
+  MaximalCycleFamily(const gf::Field& field, unsigned n);
+  /// Uses the recurrence c_(n+i) = a_(n-1) c_(n-1+i) + ... + a_0 c_i with
+  /// the given taps, whose characteristic polynomial must be primitive
+  /// (lets tests reproduce the paper's Examples 3.1-3.4 exactly).
+  MaximalCycleFamily(const gf::Field& field, unsigned n,
+                     std::vector<gf::Field::Elem> taps);
+
+  const gf::Field& field() const { return *field_; }
+  unsigned tuple_length() const { return n_; }
+  /// omega = a_0 + ... + a_(n-1); omega != 1 for a primitive polynomial.
+  gf::Field::Elem omega() const { return omega_; }
+
+  /// The base maximal cycle C (length q^n - 1, missing only 0^n).
+  const SymbolCycle& base_cycle() const { return base_; }
+  /// The shifted cycle s + C (missing only s^n).
+  SymbolCycle shifted_cycle(gf::Field::Elem s) const;
+
+  /// The Hamiltonian cycle H_s: s + C with the edge a s^(n-1) a-hat replaced
+  /// by a s^n, s^n a-hat, where a-hat = s*omega + f_s*(1 - omega) for a
+  /// conflict-function value f_s != s (Section 3.2.1).
+  SymbolCycle hamiltonian_cycle(gf::Field::Elem s, gf::Field::Elem f_s) const;
+
+  /// The insertion pair for (s, alpha): edge words (alpha s^n, s^n alpha-hat)
+  /// with alpha-hat = s + a_0 (alpha - s). Used by the edge-fault search.
+  std::pair<Word, Word> insertion_pair(gf::Field::Elem s, gf::Field::Elem alpha) const;
+
+  /// H_s built by choosing the insertion point alpha directly (alpha != s).
+  SymbolCycle hamiltonian_cycle_at(gf::Field::Elem s, gf::Field::Elem alpha) const;
+
+ private:
+  const gf::Field* field_;
+  unsigned n_;
+  std::vector<gf::Field::Elem> taps_;
+  gf::Field::Elem omega_;
+  SymbolCycle base_;
+};
+
+/// At least psi(q) pairwise disjoint Hamiltonian cycles in B(q,n) for a
+/// prime power q, via Strategy 1 (q even), Strategy 2 (condition (b)) or
+/// Strategy 3 (condition (a)). Requires n >= 2.
+std::vector<SymbolCycle> disjoint_hcs_prime_power(const gf::Field& field, unsigned n);
+
+/// Rees composition (Lemma 3.6): given Hamiltonian cycles A in B(s,n) and
+/// B in B(t,n) with gcd(s,t) = 1, produces the Hamiltonian cycle (A,B) in
+/// B(st,n) whose i'th symbol is a_(i mod s^n) * t + b_(i mod t^n).
+SymbolCycle rees_compose(const SymbolCycle& a, const SymbolCycle& b,
+                         std::uint64_t t);
+
+/// At least psi(d) pairwise disjoint Hamiltonian cycles in B(d,n) for any
+/// d >= 2, n >= 2 (Proposition 3.2: prime-power families composed with Rees).
+std::vector<SymbolCycle> disjoint_hamiltonian_cycles(std::uint64_t d, unsigned n);
+
+}  // namespace dbr::core

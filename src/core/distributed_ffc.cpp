@@ -1,0 +1,384 @@
+#include "core/distributed_ffc.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "debruijn/necklaces.hpp"
+#include "graph/algorithms.hpp"
+#include "sim/engine.hpp"
+#include "util/require.hpp"
+
+namespace dbr::core {
+
+namespace {
+
+enum Tag : std::uint32_t {
+  kProbe = 1,     // payload: [origin, visited...]
+  kFlood = 2,     // payload: [hop]
+  kDossier = 3,   // payload: triples (id, dist, parent)*
+  kAnnounce = 4,  // payload: [child_rep, parent_node]
+  kReroute = 5,   // payload: [exit_node, entry_node]
+};
+
+constexpr std::uint64_t kNoWord = ~0ull;
+
+struct Triple {
+  Word id;
+  std::uint64_t dist;
+  Word parent;
+};
+
+struct NodeState {
+  // Phase 1.
+  bool active = false;
+  std::vector<Word> necklace;  // rotation order starting at self
+  Word rep = kNoWord;
+  // Phase 2.
+  std::uint64_t dist = kNoWord;
+  Word bfs_parent = kNoWord;
+  bool must_forward = false;
+  // Phase 3.
+  std::vector<Triple> known;
+  std::vector<Triple> fresh;
+  Word leader = kNoWord;
+  Word label = kNoWord;        // incoming tree label w (child necklaces only)
+  Word leader_parent = kNoWord;
+  // Phase 4.
+  std::vector<std::pair<Word, Word>> announcements;  // (child_rep, parent node)
+  // Phase 5.
+  std::optional<Word> reroute;
+  std::vector<std::pair<Word, Word>> pending_instructions;
+};
+
+}  // namespace
+
+DistributedFfcSolver::DistributedFfcSolver(DeBruijnDigraph graph)
+    : graph_(std::move(graph)) {}
+
+Word DistributedFfcSolver::default_root(std::span<const Word> faulty_nodes) const {
+  const WordSpace& ws = graph_.words();
+  const std::vector<bool> faulty = [&] {
+    std::vector<bool> mask(ws.size(), false);
+    for (Word rep : necklace_reps_of(ws, faulty_nodes)) {
+      for (Word v : necklace_nodes(ws, rep)) mask[v] = true;
+    }
+    return mask;
+  }();
+  const Word preferred = 1;  // 0...01
+  if (!faulty[preferred]) return preferred;
+  // Nearest nonfaulty node by breadth-first search over the full topology
+  // (the paper: "a neighboring node was used instead").
+  const auto r = bfs(graph_, preferred);
+  Word best = kNoParent;
+  std::uint32_t best_dist = kUnreached;
+  for (Word v = 0; v < ws.size(); ++v) {
+    if (faulty[v] || r.dist[v] == kUnreached) continue;
+    if (r.dist[v] < best_dist || (r.dist[v] == best_dist && v < best)) {
+      best_dist = r.dist[v];
+      best = v;
+    }
+  }
+  require(best != kNoParent, "no nonfaulty node reachable from 0...01");
+  return best;
+}
+
+DistributedFfcResult DistributedFfcSolver::run(std::span<const Word> faulty_nodes,
+                                               Word root) const {
+  const WordSpace& ws = graph_.words();
+  const unsigned n = ws.length();
+  const Word num_nodes = ws.size();
+  require(root < num_nodes, "root out of range");
+
+  sim::Engine engine(num_nodes, [&ws](NodeId u, NodeId v) {
+    return ws.suffix(u) == ws.prefix(v);
+  });
+  {
+    const std::unordered_set<Word> dead(faulty_nodes.begin(), faulty_nodes.end());
+    for (Word v : dead) engine.kill(v);
+  }
+
+  std::vector<NodeState> state(num_nodes);
+
+  // ---------------------------------------------------------------------
+  // Phase 1: necklace probe. Every live processor launches a token along
+  // its rotation successor; the token accumulates the member list and dies
+  // at any dead processor.
+  for (Word v = 0; v < num_nodes; ++v) {
+    if (!engine.alive(v)) continue;
+    engine.post(v, ws.rotate_left(v, 1), {v, kProbe, {v}});
+  }
+  const std::uint64_t probe_start = engine.rounds();
+  for (unsigned r = 0; r < n; ++r) {
+    engine.step([&](NodeId dest, std::vector<sim::Message>& batch) {
+      for (sim::Message& m : batch) {
+        if (m.tag != kProbe) continue;
+        const Word origin = m.payload.front();
+        if (origin == dest) {
+          NodeState& s = state[dest];
+          s.active = true;
+          s.necklace.assign(m.payload.begin(), m.payload.end());
+          s.rep = *std::min_element(s.necklace.begin(), s.necklace.end());
+        } else {
+          m.payload.push_back(dest);
+          engine.post(dest, ws.rotate_left(dest, 1), std::move(m));
+        }
+      }
+    });
+  }
+  // Any probe still in flight belongs to a faulty necklace and will be
+  // discarded with its carrier; drain bookkeeping by construction: probes of
+  // live necklaces completed within n rounds.
+  const std::uint64_t probe_rounds = engine.rounds() - probe_start;
+
+  require(engine.alive(root) && state[root].active,
+          "root lies on a faulty necklace");
+  root = state[root].rep;  // ensure N(R) == [R]
+
+  // ---------------------------------------------------------------------
+  // Phase 2: broadcast from R. Note: probe leftovers for faulty necklaces
+  // may still be in flight; they are filtered by tag.
+  const std::uint64_t flood_start = engine.rounds();
+  state[root].dist = 0;
+  for (Digit a = 0; a < ws.radix(); ++a) {
+    engine.post(root, ws.shift_append(root, a), {root, kFlood, {1}});
+  }
+  const std::uint64_t flood_budget = num_nodes + n + 4;
+  std::uint64_t idle_guard = 0;
+  while (!engine.idle()) {
+    ensure(++idle_guard <= flood_budget, "broadcast failed to quiesce");
+    engine.step([&](NodeId dest, std::vector<sim::Message>& batch) {
+      NodeState& s = state[dest];
+      Word best_sender = kNoWord;
+      std::uint64_t hop = 0;
+      for (const sim::Message& m : batch) {
+        if (m.tag != kFlood) continue;
+        if (!s.active) continue;       // withdrawn processors do not join
+        if (m.from == dest) continue;  // loop edges carry no information
+        if (s.dist != kNoWord) continue;
+        hop = m.payload[0];
+        if (best_sender == kNoWord || m.from < best_sender) best_sender = m.from;
+      }
+      if (best_sender != kNoWord) {
+        s.dist = hop;
+        s.bfs_parent = best_sender;
+        s.must_forward = true;
+      }
+      if (s.must_forward) {
+        s.must_forward = false;
+        for (Digit a = 0; a < ws.radix(); ++a) {
+          engine.post(dest, ws.shift_append(dest, a), {dest, kFlood, {s.dist + 1}});
+        }
+      }
+    });
+  }
+  const std::uint64_t broadcast_rounds = engine.rounds() - flood_start;
+
+  // ---------------------------------------------------------------------
+  // Phase 3: ring all-gather of (id, dist, parent) within each necklace in
+  // B* (necklaces are all-or-nothing reached, so s.dist != kNoWord is a
+  // consistent participation test).
+  const std::uint64_t dossier_start = engine.rounds();
+  auto encode_triples = [](const std::vector<Triple>& ts) {
+    std::vector<std::uint64_t> payload;
+    payload.reserve(ts.size() * 3);
+    for (const Triple& t : ts) {
+      payload.push_back(t.id);
+      payload.push_back(t.dist);
+      payload.push_back(t.parent);
+    }
+    return payload;
+  };
+  for (Word v = 0; v < num_nodes; ++v) {
+    NodeState& s = state[v];
+    if (!s.active || s.dist == kNoWord) continue;
+    const Triple self{v, s.dist, s.bfs_parent};
+    s.known.push_back(self);
+    if (s.necklace.size() > 1) {
+      engine.post(v, ws.rotate_left(v, 1), {v, kDossier, encode_triples({self})});
+    }
+  }
+  for (unsigned r = 0; r + 1 < n; ++r) {
+    if (engine.idle()) break;
+    engine.step([&](NodeId dest, std::vector<sim::Message>& batch) {
+      NodeState& s = state[dest];
+      for (const sim::Message& m : batch) {
+        if (m.tag != kDossier) continue;
+        for (std::size_t i = 0; i + 3 <= m.payload.size(); i += 3) {
+          const Triple t{m.payload[i], m.payload[i + 1], m.payload[i + 2]};
+          if (t.id == dest) continue;  // own triple came full circle
+          bool fresh_triple = true;
+          for (const Triple& k : s.known) {
+            if (k.id == t.id) {
+              fresh_triple = false;
+              break;
+            }
+          }
+          if (fresh_triple) {
+            s.known.push_back(t);
+            s.fresh.push_back(t);
+          }
+        }
+      }
+      if (!s.fresh.empty()) {
+        engine.post(dest, ws.rotate_left(dest, 1),
+                    {dest, kDossier, encode_triples(s.fresh)});
+        s.fresh.clear();
+      }
+    });
+  }
+  const std::uint64_t dossier_rounds = engine.rounds() - dossier_start;
+
+  // Leader deduction (local computation, no communication).
+  for (Word v = 0; v < num_nodes; ++v) {
+    NodeState& s = state[v];
+    if (!s.active || s.dist == kNoWord) continue;
+    ensure(s.known.size() == s.necklace.size(),
+           "dossier all-gather must cover the necklace");
+    const Triple* leader = &s.known.front();
+    for (const Triple& t : s.known) {
+      if (t.dist < leader->dist || (t.dist == leader->dist && t.id < leader->id)) {
+        leader = &t;
+      }
+    }
+    s.leader = leader->id;
+    if (s.rep != root) {
+      s.label = ws.prefix(leader->id);
+      s.leader_parent = leader->parent;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Phase 4: T_w announce. The exit node of each child necklace (the unique
+  // member whose suffix equals the incoming label) multicasts its necklace
+  // representative and the common parent node to all d successors.
+  const std::uint64_t announce_start = engine.rounds();
+  for (Word v = 0; v < num_nodes; ++v) {
+    const NodeState& s = state[v];
+    if (!s.active || s.dist == kNoWord || s.rep == root) continue;
+    if (ws.suffix(v) != s.label) continue;
+    for (Digit a = 0; a < ws.radix(); ++a) {
+      engine.post(v, ws.shift_append(v, a),
+                  {v, kAnnounce, {s.rep, s.leader_parent}});
+    }
+  }
+  engine.step([&](NodeId dest, std::vector<sim::Message>& batch) {
+    NodeState& s = state[dest];
+    if (!s.active || s.dist == kNoWord) return;
+    for (const sim::Message& m : batch) {
+      if (m.tag != kAnnounce) continue;
+      s.announcements.emplace_back(m.payload[0], m.payload[1]);
+    }
+  });
+  const std::uint64_t announce_rounds = engine.rounds() - announce_start;
+
+  // Collector logic (local): the receiving node has prefix w; it decides
+  // whether its necklace belongs to T_w (as the common parent or as a child
+  // with incoming label w), derives the ascending member cycle and prepares
+  // the reroute instruction for its necklace's exit node.
+  const std::uint64_t reroute_start = engine.rounds();
+  for (Word v = 0; v < num_nodes; ++v) {
+    NodeState& s = state[v];
+    if (s.announcements.empty()) continue;
+    const Word w = ws.prefix(v);
+    const Word parent_node = s.announcements.front().second;
+    const Word parent_rep = ws.min_rotation(parent_node);
+    std::vector<Word> members;
+    for (const auto& [child_rep, p] : s.announcements) {
+      ensure(p == parent_node, "T_w children share one parent (height-one)");
+      members.push_back(child_rep);
+    }
+    const bool is_parent = s.rep == parent_rep;
+    const bool is_child = s.rep != root && s.label == w &&
+                          std::find(members.begin(), members.end(), s.rep) !=
+                              members.end();
+    if (!is_parent && !is_child) {
+      s.announcements.clear();
+      continue;  // adjacent via w in N*, but not a member of T_w
+    }
+    members.push_back(parent_rep);
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    const auto self_it = std::find(members.begin(), members.end(), s.rep);
+    ensure(self_it != members.end(), "member list must contain own necklace");
+    const Word target_rep =
+        members[(static_cast<std::size_t>(self_it - members.begin()) + 1) %
+                members.size()];
+    // Exit node of our necklace (suffix w) and entry node of the target
+    // necklace (prefix w): both are rotations, computed locally.
+    Word exit_node = kNoWord, entry_node = kNoWord;
+    for (Word u : s.necklace) {
+      if (ws.suffix(u) == w) exit_node = u;
+    }
+    for (unsigned k = 0; k < n; ++k) {
+      const Word u = ws.rotate_left(target_rep, k);
+      if (ws.prefix(u) == w) entry_node = u;
+    }
+    ensure(exit_node != kNoWord && entry_node != kNoWord,
+           "members of T_w expose both node forms for label w");
+    s.pending_instructions.emplace_back(exit_node, entry_node);
+    s.announcements.clear();
+  }
+
+  // ---------------------------------------------------------------------
+  // Phase 5: circulate reroute instructions to the exit nodes.
+  for (Word v = 0; v < num_nodes; ++v) {
+    NodeState& s = state[v];
+    for (const auto& [exit_node, entry_node] : s.pending_instructions) {
+      if (exit_node == v) {
+        ensure(!s.reroute.has_value(), "one reroute per node");
+        s.reroute = entry_node;
+      } else {
+        engine.post(v, ws.rotate_left(v, 1), {v, kReroute, {exit_node, entry_node}});
+      }
+    }
+    s.pending_instructions.clear();
+  }
+  for (unsigned r = 0; r < n; ++r) {
+    if (engine.idle()) break;
+    engine.step([&](NodeId dest, std::vector<sim::Message>& batch) {
+      NodeState& s = state[dest];
+      for (sim::Message& m : batch) {
+        if (m.tag != kReroute) continue;
+        if (m.payload[0] == dest) {
+          ensure(!s.reroute.has_value(), "one reroute per node");
+          s.reroute = m.payload[1];
+        } else {
+          engine.post(dest, ws.rotate_left(dest, 1), std::move(m));
+        }
+      }
+    });
+  }
+  const std::uint64_t reroute_rounds = engine.rounds() - reroute_start;
+
+  // ---------------------------------------------------------------------
+  // Collect H by walking the successor pointers from the root.
+  DistributedFfcResult result;
+  result.root = root;
+  result.stats.probe_rounds = probe_rounds;
+  result.stats.broadcast_rounds = broadcast_rounds;
+  result.stats.dossier_rounds = dossier_rounds;
+  result.stats.announce_rounds = announce_rounds;
+  result.stats.reroute_rounds = reroute_rounds;
+  result.stats.messages = engine.messages_delivered();
+  std::uint64_t in_bstar = 0;
+  std::uint32_t ecc = 0;
+  for (Word v = 0; v < num_nodes; ++v) {
+    if (state[v].active && state[v].dist != kNoWord) {
+      ++in_bstar;
+      ecc = std::max(ecc, static_cast<std::uint32_t>(state[v].dist));
+    }
+  }
+  result.bstar_size = in_bstar;
+  result.root_eccentricity = ecc;
+  result.cycle.nodes.reserve(in_bstar);
+  Word cur = root;
+  for (std::uint64_t i = 0; i < in_bstar; ++i) {
+    result.cycle.nodes.push_back(cur);
+    const NodeState& s = state[cur];
+    cur = s.reroute.has_value() ? *s.reroute : ws.rotate_left(cur, 1);
+  }
+  ensure(cur == root, "distributed H must close after |B*| steps");
+  return result;
+}
+
+}  // namespace dbr::core

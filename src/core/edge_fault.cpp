@@ -1,0 +1,130 @@
+#include "core/edge_fault.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/disjoint_hc.hpp"
+#include "gf/field.hpp"
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+
+namespace dbr::core {
+
+namespace {
+
+using EdgeSet = std::unordered_set<Word>;
+
+// Splits every digit of an (n+1)-edge-word over Z_(s*t) into its Z_s / Z_t
+// halves (v = a*t + b), yielding the corresponding edge words of B(s,n) and
+// B(t,n) used by the Rees recursion in Proposition 3.3.
+std::pair<Word, Word> split_edge_word(Word e, unsigned n, std::uint64_t s,
+                                      std::uint64_t t) {
+  std::uint64_t digits_a = 0, digits_b = 0;
+  std::uint64_t place_a = 1, place_b = 1;
+  for (unsigned i = 0; i <= n; ++i) {
+    const std::uint64_t v = e % (s * t);
+    e /= (s * t);
+    digits_a += (v / t) * place_a;
+    digits_b += (v % t) * place_b;
+    place_a *= s;
+    place_b *= t;
+  }
+  return {digits_a, digits_b};
+}
+
+std::optional<SymbolCycle> phi_construction(std::uint64_t d, unsigned n,
+                                            std::vector<Word> faults);
+
+// Prime-power base case: f <= d - 2 is always satisfiable.
+std::optional<SymbolCycle> phi_prime_power(std::uint64_t q, unsigned n,
+                                           const std::vector<Word>& faults) {
+  const gf::Field field(q);
+  const MaximalCycleFamily family(field, n);
+  const WordSpace ws(static_cast<Digit>(q), n);
+  const EdgeSet fault_set(faults.begin(), faults.end());
+  for (gf::Field::Elem s = 0; s < q; ++s) {
+    const SymbolCycle shifted = family.shifted_cycle(s);
+    if (!avoids_edges(ws, shifted, faults)) continue;
+    for (gf::Field::Elem alpha = 0; alpha < q; ++alpha) {
+      if (alpha == s) continue;
+      const auto [e1, e2] = family.insertion_pair(s, alpha);
+      if (fault_set.contains(e1) || fault_set.contains(e2)) continue;
+      return family.hamiltonian_cycle_at(s, alpha);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SymbolCycle> phi_construction(std::uint64_t d, unsigned n,
+                                            std::vector<Word> faults) {
+  const auto pf = nt::factor(d);
+  if (pf.size() == 1) return phi_prime_power(d, n, faults);
+  // d = s * t with t the largest prime-power factor; split the faults so
+  // that each side stays within its own phi budget.
+  const std::uint64_t t = pf.back().value();
+  const std::uint64_t s = d / t;
+  const std::uint64_t budget_s = phi_edge_bound(s);
+  std::vector<Word> faults_a, faults_b;
+  for (Word e : faults) {
+    const auto [ea, eb] = split_edge_word(e, n, s, t);
+    if (faults_a.size() < budget_s) {
+      faults_a.push_back(ea);
+    } else {
+      faults_b.push_back(eb);
+    }
+  }
+  const auto a = phi_construction(s, n, std::move(faults_a));
+  if (!a.has_value()) return std::nullopt;
+  const auto b = phi_construction(t, n, std::move(faults_b));
+  if (!b.has_value()) return std::nullopt;
+  return rees_compose(*a, *b, t);
+}
+
+}  // namespace
+
+std::optional<SymbolCycle> fault_free_hc_phi_construction(
+    std::uint64_t d, unsigned n, std::span<const Word> faulty_edge_words) {
+  require(d >= 2 && n >= 2, "requires d >= 2 and n >= 2");
+  const WordSpace ws(static_cast<Digit>(d), n);
+  for (Word e : faulty_edge_words) {
+    require(e < ws.edge_word_count(), "faulty edge word out of range");
+  }
+  std::vector<Word> faults(faulty_edge_words.begin(), faulty_edge_words.end());
+  std::sort(faults.begin(), faults.end());
+  faults.erase(std::unique(faults.begin(), faults.end()), faults.end());
+  auto result = phi_construction(d, n, std::move(faults));
+  if (result.has_value() && !avoids_edges(ws, *result, faulty_edge_words)) {
+    return std::nullopt;  // over-budget split landed a fault on both sides
+  }
+  return result;
+}
+
+std::optional<SymbolCycle> fault_free_hc_family_scan(
+    std::uint64_t d, unsigned n, std::span<const Word> faulty_edge_words) {
+  require(d >= 2 && n >= 2, "requires d >= 2 and n >= 2");
+  const WordSpace ws(static_cast<Digit>(d), n);
+  for (Word e : faulty_edge_words) {
+    require(e < ws.edge_word_count(), "faulty edge word out of range");
+  }
+  for (const SymbolCycle& hc : disjoint_hamiltonian_cycles(d, n)) {
+    if (avoids_edges(ws, hc, faulty_edge_words)) return hc;
+  }
+  return std::nullopt;
+}
+
+std::optional<SymbolCycle> fault_free_hamiltonian_cycle(
+    std::uint64_t d, unsigned n, std::span<const Word> faulty_edge_words) {
+  require(d >= 2 && n >= 2, "requires d >= 2 and n >= 2");
+  // Proposition 3.4: take whichever construction covers more faults; try
+  // the cheaper guarantee first, then fall back to the other.
+  const std::uint64_t f = faulty_edge_words.size();
+  if (f + 1 <= psi(d)) {
+    auto viaFamily = fault_free_hc_family_scan(d, n, faulty_edge_words);
+    if (viaFamily.has_value()) return viaFamily;
+  }
+  auto viaPhi = fault_free_hc_phi_construction(d, n, faulty_edge_words);
+  if (viaPhi.has_value()) return viaPhi;
+  return fault_free_hc_family_scan(d, n, faulty_edge_words);
+}
+
+}  // namespace dbr::core

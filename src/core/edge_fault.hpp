@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "debruijn/cycle.hpp"
+
+namespace dbr::core {
+
+/// Edge-fault-tolerant ring embedding (Section 3.3).
+///
+/// Faulty edges are given as (n+1)-words over Z_d (see WordSpace::edge_word).
+/// Returns a Hamiltonian cycle of B(d,n) avoiding every faulty edge, built
+/// by one of the paper's two constructions:
+///
+///  * scan of the psi(d) pairwise disjoint Hamiltonian cycles (sufficient
+///    whenever f <= psi(d) - 1, Proposition 3.2), or
+///  * the recursive phi(d)-construction (Proposition 3.3): for prime-power
+///    d, pick a fault-free shifted maximal cycle s + C (at least d - f of
+///    the d shifts are fault-free) and a fault-free insertion pair
+///    (alpha s^n, s^n alpha-hat) (the d-1 pairs are pairwise disjoint);
+///    for composite d = s*t split the fault set into <= phi(s) and
+///    <= phi(t) halves, recurse and Rees-compose.
+///
+/// A result is guaranteed when f <= MAX(psi(d)-1, phi_edge_bound(d))
+/// (Proposition 3.4); beyond that the function still tries both routes and
+/// returns std::nullopt on failure. Faults on loop edges are harmless: no
+/// Hamiltonian cycle traverses a loop.
+///
+/// Requires d >= 2 and n >= 2.
+std::optional<SymbolCycle> fault_free_hamiltonian_cycle(
+    std::uint64_t d, unsigned n, std::span<const Word> faulty_edge_words);
+
+/// The phi(d)-construction alone (Proposition 3.3); exposed for tests and
+/// for the ablation bench. Returns nullopt if the recursion cannot place
+/// the fault set within the per-factor budgets.
+std::optional<SymbolCycle> fault_free_hc_phi_construction(
+    std::uint64_t d, unsigned n, std::span<const Word> faulty_edge_words);
+
+/// The psi(d)-family scan alone; nullopt if every member hits a fault.
+std::optional<SymbolCycle> fault_free_hc_family_scan(
+    std::uint64_t d, unsigned n, std::span<const Word> faulty_edge_words);
+
+}  // namespace dbr::core

@@ -1,0 +1,185 @@
+#include "core/mod_debruijn.hpp"
+
+#include <algorithm>
+
+#include "core/disjoint_hc.hpp"
+#include "gf/field.hpp"
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+
+namespace dbr::core {
+
+namespace {
+
+using gf::Field;
+using Elem = Field::Elem;
+
+// Position of node `target` in a node cycle.
+std::size_t position_of(const NodeCycle& c, Word target) {
+  for (std::size_t i = 0; i < c.nodes.size(); ++i) {
+    if (c.nodes[i] == target) return i;
+  }
+  throw invariant_error("node not found in cycle");
+}
+
+// Rotates the cycle so it starts at `start`.
+NodeCycle rotated_to(NodeCycle c, Word start) {
+  const std::size_t i = position_of(c, start);
+  std::rotate(c.nodes.begin(), c.nodes.begin() + static_cast<std::ptrdiff_t>(i),
+              c.nodes.end());
+  return c;
+}
+
+ModifiedDeBruijn decompose_odd_prime_power(Digit d, unsigned n) {
+  const Field field(d);
+  const MaximalCycleFamily family(field, n);
+  const WordSpace ws(d, n);
+  const SymbolCycle& c = family.base_cycle();
+  const std::size_t k = c.symbols.size();
+
+  // Find a p-edge in C: an alternating (n+1)-window a b a b ... with a != b.
+  std::size_t pos = k;
+  Digit alpha = 0, beta = 0;
+  for (std::size_t i = 0; i < k && pos == k; ++i) {
+    const Digit a = c.symbols[i];
+    const Digit b = c.symbols[(i + 1) % k];
+    if (a == b) continue;
+    bool alternating = true;
+    for (unsigned j = 2; j <= n; ++j) {
+      const Digit expect = (j % 2 == 0) ? a : b;
+      if (c.symbols[(i + j) % k] != expect) {
+        alternating = false;
+        break;
+      }
+    }
+    if (alternating) {
+      pos = i;
+      alpha = a;
+      beta = b;
+    }
+  }
+  ensure(pos < k, "a maximal cycle contains a p-edge (Section 3.2.3)");
+
+  ModifiedDeBruijn out{d, n, {}, {}, {}};
+  for (Elem s = 0; s < d; ++s) {
+    // In s + C the p-edge becomes ((alpha+s)(beta+s)~, (beta+s)(alpha+s)~);
+    // reroute it through s^n.
+    const Digit as = field.add(alpha, s);
+    const Digit bs = field.add(beta, s);
+    const Word u = ws.alternating(as, bs);
+    const Word v = ws.alternating(bs, as);
+    const Word sn = ws.repeated(static_cast<Digit>(s));
+    NodeCycle cycle = to_node_cycle(ws, family.shifted_cycle(s));
+    cycle = rotated_to(std::move(cycle), u);
+    ensure(cycle.nodes[1] == v, "shifted p-edge must lie on s + C");
+    NodeCycle modified;
+    modified.nodes.reserve(cycle.nodes.size() + 1);
+    modified.nodes.push_back(u);
+    modified.nodes.push_back(sn);
+    modified.nodes.insert(modified.nodes.end(), cycle.nodes.begin() + 1,
+                          cycle.nodes.end());
+    out.cycles.push_back(std::move(modified));
+    out.added_edges.emplace_back(u, sn);
+    out.added_edges.emplace_back(sn, v);
+    out.removed_edges.emplace_back(u, v);
+  }
+  return out;
+}
+
+ModifiedDeBruijn decompose_binary(unsigned n) {
+  const Field field(2);
+  const MaximalCycleFamily family(field, n);
+  const WordSpace ws(2, n);
+  const Word zeros = 0;
+  const Word ones = ws.size() - 1;
+
+  NodeCycle c0 = to_node_cycle(ws, family.base_cycle());      // misses 0^n
+  NodeCycle c1 = to_node_cycle(ws, family.shifted_cycle(1));  // misses 1^n
+
+  const Word w01 = ws.alternating(0, 1);
+  const Word w10 = ws.alternating(1, 0);
+  // Locate the alternating p-edge: each of (01~ -> 10~) and (10~ -> 01~)
+  // lies in exactly one of C, 1+C. The construction reroutes a p-edge of
+  // the cycle that will host *both* constant nodes; the other cycle is
+  // extended by one constant node along existing De Bruijn edges.
+  auto has_edge = [](const NodeCycle& c, Word from, Word to) {
+    const std::size_t i = position_of(c, from);
+    return c.nodes[(i + 1) % c.nodes.size()] == to;
+  };
+
+  ModifiedDeBruijn out{2, n, {}, {}, {}};
+  const bool pedge_in_c1 = has_edge(c1, w01, w10) || has_edge(c1, w10, w01);
+  if (pedge_in_c1) {
+    // Paper's case. Extend C with 0^n between 10^(n-1) and 0^(n-1)1.
+    const Word left = ws.shift_prepend(zeros, 1);   // 10^(n-1)
+    const Word right = ws.shift_append(zeros, 1);   // 0^(n-1)1
+    NodeCycle host = rotated_to(std::move(c0), left);
+    ensure(host.nodes[1] == right, "C contains the edge 10^(n-1) -> 0^(n-1)1");
+    host.nodes.insert(host.nodes.begin() + 1, zeros);
+    // Remove 0^n from 1+C (reconnect via the edge freed from C), then
+    // reroute the p-edge through 0^n and 1^n.
+    NodeCycle other = rotated_to(std::move(c1), zeros);
+    other.nodes.erase(other.nodes.begin());
+    const Word from = has_edge(other, w01, w10) ? w01 : w10;
+    const Word to = from == w01 ? w10 : w01;
+    ensure(has_edge(other, from, to), "p-edge must survive the 0^n removal");
+    NodeCycle rebuilt = rotated_to(std::move(other), from);
+    NodeCycle result;
+    result.nodes.push_back(from);
+    result.nodes.push_back(zeros);
+    result.nodes.push_back(ones);
+    result.nodes.insert(result.nodes.end(), rebuilt.nodes.begin() + 1,
+                        rebuilt.nodes.end());
+    out.cycles.push_back(std::move(host));
+    out.cycles.push_back(std::move(result));
+    out.added_edges.emplace_back(from, zeros);
+    out.added_edges.emplace_back(zeros, ones);
+    out.added_edges.emplace_back(ones, to);
+    out.removed_edges.emplace_back(from, to);
+  } else {
+    // Mirror case: both alternating edges lie in C. Extend 1+C with 1^n
+    // between 01^(n-1) and 1^(n-1)0; remove 1^n from C; reroute C's p-edge
+    // through 1^n and 0^n.
+    const Word left = ws.shift_prepend(ones, 0);   // 01^(n-1)
+    const Word right = ws.shift_append(ones, 0);   // 1^(n-1)0
+    NodeCycle host = rotated_to(std::move(c1), left);
+    ensure(host.nodes[1] == right, "1+C contains the edge 01^(n-1) -> 1^(n-1)0");
+    host.nodes.insert(host.nodes.begin() + 1, ones);
+    NodeCycle other = rotated_to(std::move(c0), ones);
+    other.nodes.erase(other.nodes.begin());
+    const Word from = has_edge(other, w01, w10) ? w01 : w10;
+    const Word to = from == w01 ? w10 : w01;
+    ensure(has_edge(other, from, to), "p-edge must survive the 1^n removal");
+    NodeCycle rebuilt = rotated_to(std::move(other), from);
+    NodeCycle result;
+    result.nodes.push_back(from);
+    result.nodes.push_back(ones);
+    result.nodes.push_back(zeros);
+    result.nodes.insert(result.nodes.end(), rebuilt.nodes.begin() + 1,
+                        rebuilt.nodes.end());
+    out.cycles.push_back(std::move(host));
+    out.cycles.push_back(std::move(result));
+    out.added_edges.emplace_back(from, ones);
+    out.added_edges.emplace_back(ones, zeros);
+    out.added_edges.emplace_back(zeros, to);
+    out.removed_edges.emplace_back(from, to);
+  }
+  return out;
+}
+
+}  // namespace
+
+ModifiedDeBruijn modified_debruijn_decomposition(Digit d, unsigned n) {
+  if (d == 2) {
+    require(n >= 3, "MB(2,n) requires n >= 3");
+    return decompose_binary(n);
+  }
+  std::uint64_t p = 0;
+  unsigned e = 0;
+  require(nt::is_prime_power(d, &p, &e) && p % 2 == 1,
+          "MB(d,n) is defined for odd prime powers and d = 2");
+  require(n >= 2, "MB(d,n) requires n >= 2");
+  return decompose_odd_prime_power(d, n);
+}
+
+}  // namespace dbr::core

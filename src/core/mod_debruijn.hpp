@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "debruijn/cycle.hpp"
+
+namespace dbr::core {
+
+/// The modified De Bruijn graph MB(d,n) of Section 3.2.3: B(d,n) with a few
+/// parallel ("p-") edges between alternating nodes rerouted through the
+/// constant nodes s^n so that the edge set decomposes into d pairwise
+/// disjoint Hamiltonian cycles (a Hamiltonian decomposition - impossible for
+/// B(d,n) itself because of its loops).
+///
+/// Defined for d an odd prime power with n >= 2, and for d = 2 with n >= 3.
+/// Properties guaranteed (and enforced by tests):
+///  * exactly d Hamiltonian cycles, pairwise edge-disjoint;
+///  * every node has indegree and outdegree d in MB(d,n);
+///  * the undirected UMB(d,n) contains UB(d,n) as a subgraph (at most one
+///    edge of each antiparallel p-edge pair is rerouted).
+///
+/// For n >= 3 MB(d,n) is a simple graph (every rerouted edge is new). For
+/// n = 2 a rerouted edge can coincide with an existing De Bruijn edge, so
+/// MB(d,2) is in general a multigraph - the paper's footnote in Section
+/// 3.2.3 - and "edge-disjoint" is meant with multiplicity.
+struct ModifiedDeBruijn {
+  Digit radix;
+  unsigned tuple_length;
+  /// The d disjoint Hamiltonian cycles whose union is MB(d,n). These are
+  /// node cycles because the rerouted hops are not De Bruijn edges.
+  std::vector<NodeCycle> cycles;
+  /// Edges of MB(d,n) that are not edges of B(d,n).
+  std::vector<std::pair<Word, Word>> added_edges;
+  /// Edges of B(d,n) (always non-loop) absent from MB(d,n).
+  std::vector<std::pair<Word, Word>> removed_edges;
+};
+
+/// Builds MB(d,n) and its Hamiltonian decomposition.
+ModifiedDeBruijn modified_debruijn_decomposition(Digit d, unsigned n);
+
+}  // namespace dbr::core

@@ -1,0 +1,128 @@
+#include "debruijn/cycle.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+Word window_at(const WordSpace& ws, const SymbolCycle& c, std::size_t i) {
+  const std::size_t k = c.symbols.size();
+  require(k > 0, "empty symbol cycle has no windows");
+  Word x = 0;
+  for (unsigned j = 0; j < ws.length(); ++j) {
+    x = x * ws.radix() + c.symbols[(i + j) % k];
+  }
+  return x;
+}
+
+NodeCycle to_node_cycle(const WordSpace& ws, const SymbolCycle& c) {
+  NodeCycle out;
+  out.nodes.reserve(c.symbols.size());
+  for (std::size_t i = 0; i < c.symbols.size(); ++i) {
+    out.nodes.push_back(window_at(ws, c, i));
+  }
+  return out;
+}
+
+SymbolCycle to_symbol_cycle(const WordSpace& ws, const NodeCycle& c) {
+  SymbolCycle out;
+  out.symbols.reserve(c.nodes.size());
+  for (Word v : c.nodes) out.symbols.push_back(ws.head(v));
+  return out;
+}
+
+bool is_closed_walk(const WordSpace& ws, const NodeCycle& c) {
+  const std::size_t k = c.nodes.size();
+  if (k == 0) return false;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Word u = c.nodes[i];
+    const Word v = c.nodes[(i + 1) % k];
+    if (u >= ws.size() || ws.suffix(u) != ws.prefix(v)) return false;
+  }
+  return true;
+}
+
+bool is_cycle(const WordSpace& ws, const NodeCycle& c) {
+  if (!is_closed_walk(ws, c)) return false;
+  std::vector<Word> sorted = c.nodes;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+bool is_cycle(const WordSpace& ws, const SymbolCycle& c) {
+  if (c.symbols.empty()) return false;
+  for (Digit s : c.symbols) {
+    if (s >= ws.radix()) return false;
+  }
+  return is_cycle(ws, to_node_cycle(ws, c));
+}
+
+bool is_hamiltonian(const WordSpace& ws, const NodeCycle& c) {
+  return c.nodes.size() == ws.size() && is_cycle(ws, c);
+}
+
+bool is_hamiltonian(const WordSpace& ws, const SymbolCycle& c) {
+  return c.symbols.size() == ws.size() && is_cycle(ws, c);
+}
+
+std::vector<Word> edge_words(const WordSpace& ws, const SymbolCycle& c) {
+  const std::size_t k = c.symbols.size();
+  std::vector<Word> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const Word u = window_at(ws, c, i);
+    out.push_back(ws.edge_word(u, c.symbols[(i + ws.length()) % k]));
+  }
+  return out;
+}
+
+std::vector<Word> edge_words(const WordSpace& ws, const NodeCycle& c) {
+  const std::size_t k = c.nodes.size();
+  std::vector<Word> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(ws.edge_word(c.nodes[i], ws.tail(c.nodes[(i + 1) % k])));
+  }
+  return out;
+}
+
+bool edges_disjoint(const WordSpace& ws, const SymbolCycle& a, const SymbolCycle& b) {
+  const auto ea = edge_words(ws, a);
+  std::unordered_set<Word> seen(ea.begin(), ea.end());
+  for (Word e : edge_words(ws, b)) {
+    if (seen.contains(e)) return false;
+  }
+  return true;
+}
+
+bool avoids_edges(const WordSpace& ws, const SymbolCycle& c,
+                  std::span<const Word> faulty_edge_words) {
+  const std::unordered_set<Word> faulty(faulty_edge_words.begin(),
+                                        faulty_edge_words.end());
+  for (Word e : edge_words(ws, c)) {
+    if (faulty.contains(e)) return false;
+  }
+  return true;
+}
+
+NodeCycle canonical_rotation(const WordSpace& ws, NodeCycle c) {
+  (void)ws;
+  if (c.nodes.empty()) return c;
+  const auto it = std::min_element(c.nodes.begin(), c.nodes.end());
+  std::rotate(c.nodes.begin(), it, c.nodes.end());
+  return c;
+}
+
+std::string to_string(const WordSpace& ws, const NodeCycle& c) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < c.nodes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ws.to_string(c.nodes[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dbr

@@ -1,0 +1,64 @@
+#include "debruijn/debruijn.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+std::vector<Word> DeBruijnDigraph::successors(Word v) const {
+  std::vector<Word> out;
+  out.reserve(ws_.radix());
+  for (Digit a = 0; a < ws_.radix(); ++a) out.push_back(ws_.shift_append(v, a));
+  return out;
+}
+
+std::vector<Word> DeBruijnDigraph::predecessors(Word v) const {
+  std::vector<Word> out;
+  out.reserve(ws_.radix());
+  for (Digit a = 0; a < ws_.radix(); ++a) out.push_back(ws_.shift_prepend(v, a));
+  return out;
+}
+
+bool DeBruijnDigraph::is_loop_node(Word v) const {
+  return v == ws_.repeated(ws_.tail(v));
+}
+
+Digraph DeBruijnDigraph::materialize() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges());
+  for (Word v = 0; v < num_nodes(); ++v) {
+    for (Digit a = 0; a < ws_.radix(); ++a) {
+      edges.emplace_back(v, ws_.shift_append(v, a));
+    }
+  }
+  return Digraph::from_edges(num_nodes(), edges);
+}
+
+std::vector<Word> UndirectedDeBruijn::neighbors(Word v) const {
+  std::vector<Word> out = graph_.successors(v);
+  const std::vector<Word> preds = graph_.predecessors(v);
+  out.insert(out.end(), preds.begin(), preds.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), v), out.end());
+  return out;
+}
+
+unsigned UndirectedDeBruijn::degree(Word v) const {
+  return static_cast<unsigned>(neighbors(v).size());
+}
+
+std::uint64_t UndirectedDeBruijn::num_edges() const {
+  std::uint64_t twice = 0;
+  for (Word v = 0; v < num_nodes(); ++v) twice += degree(v);
+  ensure(twice % 2 == 0, "handshake parity violated");
+  return twice / 2;
+}
+
+bool UndirectedDeBruijn::has_edge(Word u, Word v) const {
+  if (u == v) return false;
+  return graph_.has_edge(u, v) || graph_.has_edge(v, u);
+}
+
+}  // namespace dbr

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/word.hpp"
+
+namespace dbr {
+
+/// The d-ary directed De Bruijn graph B(d,n): nodes are d-ary n-tuples,
+/// with edges x1...xn -> x2...xn a for every digit a. Nodes of the form a^n
+/// carry loops. Adjacency is computed arithmetically in O(1) per edge; the
+/// graph is never materialized unless materialize() is called.
+class DeBruijnDigraph {
+ public:
+  DeBruijnDigraph(Digit d, unsigned n) : ws_(d, n) {}
+  explicit DeBruijnDigraph(const WordSpace& ws) : ws_(ws) {}
+
+  const WordSpace& words() const { return ws_; }
+  Digit radix() const { return ws_.radix(); }
+  unsigned tuple_length() const { return ws_.length(); }
+
+  NodeId num_nodes() const { return ws_.size(); }
+  /// d^(n+1) directed edges including the d loops.
+  std::uint64_t num_edges() const { return ws_.size() * ws_.radix(); }
+  /// Non-loop directed edges: d^(n+1) - d (Section 3.2 counts these).
+  std::uint64_t num_nonloop_edges() const { return num_edges() - ws_.radix(); }
+
+  template <typename Fn>
+  void for_each_successor(NodeId v, Fn&& fn) const {
+    for (Digit a = 0; a < ws_.radix(); ++a) fn(ws_.shift_append(v, a));
+  }
+
+  std::vector<Word> successors(Word v) const;
+  std::vector<Word> predecessors(Word v) const;
+  bool has_edge(Word u, Word v) const { return ws_.suffix(u) == ws_.prefix(v); }
+  bool is_loop_node(Word v) const;
+
+  /// Explicit CSR copy (loops included).
+  Digraph materialize() const;
+
+ private:
+  WordSpace ws_;
+};
+
+static_assert(DirectedGraph<DeBruijnDigraph>);
+
+/// The undirected De Bruijn graph UB(d,n): B(d,n) with loops deleted,
+/// orientation removed and parallel edges merged. Degree structure
+/// (Pradhan-Reddy 1982, quoted in Section 1.2): d nodes of degree 2d-2,
+/// d(d-1) nodes of degree 2d-1, and d^n - d^2 nodes of degree 2d (n >= 2).
+class UndirectedDeBruijn {
+ public:
+  UndirectedDeBruijn(Digit d, unsigned n) : graph_(d, n) {}
+
+  const WordSpace& words() const { return graph_.words(); }
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+
+  /// Distinct neighbors (no self, parallel edges merged), ascending.
+  std::vector<Word> neighbors(Word v) const;
+  unsigned degree(Word v) const;
+  /// Total undirected edges.
+  std::uint64_t num_edges() const;
+  bool has_edge(Word u, Word v) const;
+
+  template <typename Fn>
+  void for_each_successor(NodeId v, Fn&& fn) const {
+    for (Word w : neighbors(v)) fn(w);
+  }
+
+ private:
+  DeBruijnDigraph graph_;
+};
+
+static_assert(DirectedGraph<UndirectedDeBruijn>);
+
+}  // namespace dbr

@@ -1,0 +1,53 @@
+#include "debruijn/kautz.hpp"
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+std::uint64_t KautzDigraph::num_kautz_nodes() const {
+  std::uint64_t count = degree_ + 1ull;
+  for (unsigned i = 1; i < ws_.length(); ++i) count *= degree_;
+  return count;
+}
+
+bool KautzDigraph::is_node(Word v) const {
+  if (v >= ws_.size()) return false;
+  for (unsigned i = 0; i + 1 < ws_.length(); ++i) {
+    if (ws_.digit(v, i) == ws_.digit(v, i + 1)) return false;
+  }
+  return true;
+}
+
+std::vector<Word> KautzDigraph::nodes() const {
+  std::vector<Word> out;
+  out.reserve(num_kautz_nodes());
+  for (Word v = 0; v < ws_.size(); ++v) {
+    if (is_node(v)) out.push_back(v);
+  }
+  ensure(out.size() == num_kautz_nodes(), "Kautz node count formula");
+  return out;
+}
+
+std::vector<Word> KautzDigraph::successors(Word v) const {
+  require(is_node(v), "not a Kautz node");
+  std::vector<Word> out;
+  out.reserve(degree_);
+  for_each_successor(v, [&](NodeId w) { out.push_back(w); });
+  return out;
+}
+
+bool KautzDigraph::has_edge(Word u, Word v) const {
+  if (!is_node(u) || !is_node(v)) return false;
+  return ws_.suffix(u) == ws_.prefix(v) && ws_.tail(u) != ws_.tail(v);
+}
+
+Digraph KautzDigraph::materialize() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_kautz_edges());
+  for (Word v = 0; v < ws_.size(); ++v) {
+    for_each_successor(v, [&](NodeId w) { edges.emplace_back(v, w); });
+  }
+  return Digraph::from_edges(ws_.size(), edges);
+}
+
+}  // namespace dbr

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/word.hpp"
+
+namespace dbr {
+
+/// The Kautz digraph K(d,n), the De Bruijn relative named in Chapter 5's
+/// future-work list ("other bounded degree graphs, such as butterfly graphs
+/// and Kautz graphs [BP89]"): nodes are words of length n over a (d+1)-ary
+/// alphabet whose consecutive digits differ; edges shift left and append
+/// any digit different from the new last one. (d+1) d^(n-1) nodes, in- and
+/// out-degree d, no loops, diameter n, and K(d,n+1) is the line graph of
+/// K(d,n).
+///
+/// Nodes are encoded as WordSpace(d+1, n) words; only valid (proper) words
+/// are Kautz nodes - use is_node() / nodes() to enumerate them. Invalid ids
+/// have no successors, so graph algorithms over the full id range treat
+/// them as isolated.
+class KautzDigraph {
+ public:
+  KautzDigraph(Digit d, unsigned n) : degree_(d), ws_(d + 1, n) {}
+
+  Digit degree() const { return degree_; }
+  const WordSpace& words() const { return ws_; }
+
+  /// Number of ids in the encoding space ((d+1)^n); only num_kautz_nodes()
+  /// of them are valid Kautz nodes.
+  NodeId num_nodes() const { return ws_.size(); }
+  std::uint64_t num_kautz_nodes() const;
+  std::uint64_t num_kautz_edges() const { return num_kautz_nodes() * degree_; }
+
+  /// True if the word has no equal consecutive digits.
+  bool is_node(Word v) const;
+  /// All valid Kautz nodes, ascending.
+  std::vector<Word> nodes() const;
+
+  std::vector<Word> successors(Word v) const;
+  bool has_edge(Word u, Word v) const;
+
+  template <typename Fn>
+  void for_each_successor(NodeId v, Fn&& fn) const {
+    if (!is_node(v)) return;
+    for (Digit a = 0; a <= degree_; ++a) {
+      if (a == ws_.tail(v)) continue;
+      fn(ws_.shift_append(v, a));
+    }
+  }
+
+  /// Explicit CSR copy over the full id space (invalid ids isolated).
+  Digraph materialize() const;
+
+ private:
+  Digit degree_;
+  WordSpace ws_;
+};
+
+static_assert(DirectedGraph<KautzDigraph>);
+
+}  // namespace dbr

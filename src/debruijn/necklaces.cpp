@@ -1,0 +1,53 @@
+#include "debruijn/necklaces.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+Word necklace_rep(const WordSpace& ws, Word x) { return ws.min_rotation(x); }
+
+std::vector<Word> necklace_nodes(const WordSpace& ws, Word x) {
+  const Word rep = ws.min_rotation(x);
+  const unsigned len = ws.period(x);
+  std::vector<Word> out;
+  out.reserve(len);
+  Word cur = rep;
+  for (unsigned i = 0; i < len; ++i) {
+    out.push_back(cur);
+    cur = ws.rotate_left(cur, 1);
+  }
+  ensure(cur == rep, "necklace traversal did not close");
+  return out;
+}
+
+Word necklace_successor(const WordSpace& ws, Word x) { return ws.rotate_left(x, 1); }
+
+std::vector<Necklace> all_necklaces(const WordSpace& ws) {
+  std::vector<Necklace> out;
+  for (Word x = 0; x < ws.size(); ++x) {
+    if (ws.min_rotation(x) == x) out.push_back({x, ws.period(x)});
+  }
+  return out;
+}
+
+std::vector<Word> necklace_reps_of(const WordSpace& ws, std::span<const Word> nodes) {
+  std::vector<Word> reps;
+  reps.reserve(nodes.size());
+  for (Word x : nodes) {
+    require(x < ws.size(), "node out of range");
+    reps.push_back(ws.min_rotation(x));
+  }
+  std::sort(reps.begin(), reps.end());
+  reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+  return reps;
+}
+
+std::uint64_t necklace_node_count(const WordSpace& ws, std::span<const Word> reps) {
+  std::uint64_t total = 0;
+  for (Word rep : reps) total += ws.period(rep);
+  return total;
+}
+
+}  // namespace dbr

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/word.hpp"
+
+namespace dbr {
+
+/// A necklace N(x): the cyclic rotation class of a word, which forms a
+/// cycle of length period(x) in B(d,n) (Section 2.1). The representative is
+/// the minimal rotation, written [y] in the paper.
+struct Necklace {
+  Word rep;
+  unsigned length;
+
+  bool operator==(const Necklace&) const = default;
+};
+
+/// Representative of the necklace containing x.
+Word necklace_rep(const WordSpace& ws, Word x);
+
+/// The distinct nodes of N(x) in cycle order starting from the
+/// representative: rep, pi(rep), pi^2(rep), ...
+std::vector<Word> necklace_nodes(const WordSpace& ws, Word x);
+
+/// Successor of x along its necklace cycle: x2...xn x1.
+Word necklace_successor(const WordSpace& ws, Word x);
+
+/// All necklaces of B(d,n), ordered by representative.
+std::vector<Necklace> all_necklaces(const WordSpace& ws);
+
+/// Canonical representatives of the necklaces containing the given nodes
+/// (deduplicated, sorted) - the paper's "faulty necklaces" for a fault set.
+std::vector<Word> necklace_reps_of(const WordSpace& ws, std::span<const Word> nodes);
+
+/// Total number of nodes covered by the necklaces of the given
+/// representatives (the paper's N_F for a faulty set).
+std::uint64_t necklace_node_count(const WordSpace& ws, std::span<const Word> reps);
+
+}  // namespace dbr

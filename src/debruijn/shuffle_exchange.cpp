@@ -1,0 +1,19 @@
+#include "debruijn/shuffle_exchange.hpp"
+
+#include <algorithm>
+
+namespace dbr {
+
+std::vector<Word> ShuffleExchange::neighbors(Word v) const {
+  std::vector<Word> out{shuffle(v), unshuffle(v), exchange(v)};
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), v), out.end());
+  return out;
+}
+
+unsigned ShuffleExchange::degree(Word v) const {
+  return static_cast<unsigned>(neighbors(v).size());
+}
+
+}  // namespace dbr

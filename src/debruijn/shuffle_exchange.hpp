@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/word.hpp"
+
+namespace dbr {
+
+/// The binary shuffle-exchange graph SE(n) whose necklace structure Chapter
+/// 4 counts alongside B(2,n)'s ([LMR88], [LHC89], [PI92], [RB90]): nodes are
+/// binary n-tuples; each node has a *shuffle* edge to its left rotation, an
+/// *unshuffle* edge to its right rotation, and an *exchange* edge to the
+/// node with the last bit flipped. Viewed as a symmetric digraph.
+///
+/// Necklaces (rotation classes) play the role of the butterfly's levels in
+/// the [LMR88] routing scheme: shuffle edges move around a necklace,
+/// exchange edges hop between necklaces.
+class ShuffleExchange {
+ public:
+  explicit ShuffleExchange(unsigned n) : ws_(2, n) {}
+
+  const WordSpace& words() const { return ws_; }
+  NodeId num_nodes() const { return ws_.size(); }
+
+  Word shuffle(Word v) const { return ws_.rotate_left(v, 1); }
+  Word unshuffle(Word v) const { return ws_.rotate_left(v, ws_.length() - 1); }
+  Word exchange(Word v) const { return v ^ 1u; }
+
+  /// Distinct neighbors (self-loops from 0^n / 1^n shuffles removed).
+  std::vector<Word> neighbors(Word v) const;
+  unsigned degree(Word v) const;
+
+  template <typename Fn>
+  void for_each_successor(NodeId v, Fn&& fn) const {
+    for (Word w : neighbors(v)) fn(w);
+  }
+
+ private:
+  WordSpace ws_;
+};
+
+static_assert(DirectedGraph<ShuffleExchange>);
+
+}  // namespace dbr

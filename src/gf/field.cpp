@@ -1,0 +1,280 @@
+#include "gf/field.hpp"
+
+#include <algorithm>
+
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+
+namespace dbr::gf {
+
+namespace {
+
+using Elem = Field::Elem;
+using ZpPoly = std::vector<Elem>;  // coefficient i = coefficient of x^i, over Z_p
+
+void trim(ZpPoly& f) {
+  while (!f.empty() && f.back() == 0) f.pop_back();
+}
+
+int deg(const ZpPoly& f) { return static_cast<int>(f.size()) - 1; }
+
+ZpPoly mul(const ZpPoly& a, const ZpPoly& b, std::uint64_t p) {
+  if (a.empty() || b.empty()) return {};
+  ZpPoly out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = static_cast<Elem>((out[i + j] + static_cast<std::uint64_t>(a[i]) * b[j]) % p);
+    }
+  }
+  trim(out);
+  return out;
+}
+
+// Reduces a modulo monic m in place.
+void mod(ZpPoly& a, const ZpPoly& m, std::uint64_t p) {
+  const int dm = deg(m);
+  while (deg(a) >= dm) {
+    const Elem lead = a.back();
+    const std::size_t shift = a.size() - m.size();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      const std::uint64_t sub = static_cast<std::uint64_t>(lead) * m[i] % p;
+      a[shift + i] = static_cast<Elem>((a[shift + i] + p - sub) % p);
+    }
+    trim(a);
+  }
+}
+
+ZpPoly mulmod(const ZpPoly& a, const ZpPoly& b, const ZpPoly& m, std::uint64_t p) {
+  ZpPoly out = mul(a, b, p);
+  mod(out, m, p);
+  return out;
+}
+
+ZpPoly powmod(ZpPoly base, std::uint64_t k, const ZpPoly& m, std::uint64_t p) {
+  ZpPoly result{1};
+  mod(base, m, p);
+  while (k > 0) {
+    if (k & 1) result = mulmod(result, base, m, p);
+    base = mulmod(base, base, m, p);
+    k >>= 1;
+  }
+  return result;
+}
+
+ZpPoly poly_gcd(ZpPoly a, ZpPoly b, std::uint64_t p) {
+  while (!b.empty()) {
+    // Make b monic so mod() applies.
+    const Elem lead_inv = static_cast<Elem>(nt::pow_mod(b.back(), p - 2, p));
+    ZpPoly bm = b;
+    for (Elem& c : bm) c = static_cast<Elem>(static_cast<std::uint64_t>(c) * lead_inv % p);
+    mod(a, bm, p);
+    std::swap(a, b);
+  }
+  return a;
+}
+
+// Irreducibility of a monic polynomial f of degree e over Z_p via the
+// standard test: x^(p^e) == x (mod f) and gcd(x^(p^(e/r)) - x, f) == 1 for
+// every prime r dividing e.
+bool is_irreducible_zp(const ZpPoly& f, std::uint64_t p) {
+  const int e = deg(f);
+  if (e <= 0) return false;
+  if (e == 1) return true;
+  auto x_pow_p_to = [&](unsigned k) {
+    // x^(p^k) mod f by repeated Frobenius exponentiation.
+    ZpPoly acc{0, 1};  // x
+    for (unsigned i = 0; i < k; ++i) acc = powmod(acc, p, f, p);
+    return acc;
+  };
+  ZpPoly t = x_pow_p_to(static_cast<unsigned>(e));
+  // t must equal x.
+  ZpPoly x{0, 1};
+  if (t != x) return false;
+  for (const auto& pp : nt::factor(static_cast<std::uint64_t>(e))) {
+    ZpPoly u = x_pow_p_to(static_cast<unsigned>(e) / static_cast<unsigned>(pp.prime));
+    // gcd(u - x, f) must be a unit.
+    ZpPoly diff = u;
+    if (diff.size() < 2) diff.resize(2, 0);
+    diff[1] = static_cast<Elem>((diff[1] + p - 1) % p);
+    trim(diff);
+    ZpPoly g = poly_gcd(f, diff, p);
+    if (deg(g) > 0) return false;
+  }
+  return true;
+}
+
+// Smallest monic irreducible polynomial of degree e over Z_p, ordered by the
+// base-p encoding of the non-leading coefficients.
+ZpPoly find_field_modulus(std::uint64_t p, unsigned e) {
+  std::uint64_t total = 1;
+  for (unsigned i = 0; i < e; ++i) total *= p;
+  for (std::uint64_t code = 0; code < total; ++code) {
+    ZpPoly f(e + 1, 0);
+    f[e] = 1;
+    std::uint64_t c = code;
+    for (unsigned i = 0; i < e; ++i) {
+      f[i] = static_cast<Elem>(c % p);
+      c /= p;
+    }
+    if (is_irreducible_zp(f, p)) return f;
+  }
+  throw invariant_error("no irreducible polynomial found (impossible)");
+}
+
+}  // namespace
+
+Field::Field(std::uint64_t q) : q_(q) {
+  std::uint64_t p = 0;
+  unsigned e = 0;
+  require(nt::is_prime_power(q, &p, &e), "GF(q) requires q to be a prime power");
+  require(q <= (1u << 20), "field too large: q must be <= 2^20");
+  p_ = p;
+  e_ = e;
+
+  if (e_ == 1) {
+    modulus_ = {0, 1};
+  } else {
+    modulus_ = find_field_modulus(p_, e_);
+  }
+
+  // Element codes <-> Z_p coefficient vectors.
+  auto decode = [&](Elem a) {
+    ZpPoly f;
+    std::uint64_t v = a;
+    while (v > 0) {
+      f.push_back(static_cast<Elem>(v % p_));
+      v /= p_;
+    }
+    return f;
+  };
+  auto encode = [&](const ZpPoly& f) {
+    std::uint64_t v = 0;
+    for (std::size_t i = f.size(); i-- > 0;) v = v * p_ + f[i];
+    return static_cast<Elem>(v);
+  };
+  auto field_mul = [&](Elem a, Elem b) {
+    if (e_ == 1) return static_cast<Elem>(static_cast<std::uint64_t>(a) * b % p_);
+    return encode(mulmod(decode(a), decode(b), modulus_, p_));
+  };
+
+  // Find a multiplicative generator, then build exp/log tables.
+  const auto group_factors = nt::factor(q_ - 1);
+  auto order_is_maximal = [&](Elem g) {
+    for (const auto& pp : group_factors) {
+      std::uint64_t k = (q_ - 1) / pp.prime;
+      Elem acc = 1, base = g;
+      while (k > 0) {
+        if (k & 1) acc = field_mul(acc, base);
+        base = field_mul(base, base);
+        k >>= 1;
+      }
+      if (acc == 1) return false;
+    }
+    return true;
+  };
+  for (Elem g = 2; g < q_; ++g) {
+    if (order_is_maximal(g)) {
+      generator_ = g;
+      break;
+    }
+  }
+  if (generator_ == 0) {
+    ensure(q_ == 2, "generator search failed");
+    generator_ = 1;
+  }
+
+  exp_table_.resize(q_ - 1);
+  log_table_.assign(q_, 0);
+  Elem cur = 1;
+  for (std::uint64_t i = 0; i < q_ - 1; ++i) {
+    exp_table_[i] = cur;
+    log_table_[cur] = static_cast<std::uint32_t>(i);
+    cur = field_mul(cur, generator_);
+  }
+  ensure(cur == 1, "generator order mismatch");
+}
+
+Field::Elem Field::add(Elem a, Elem b) const {
+  require(a < q_ && b < q_, "element out of range");
+  if (e_ == 1) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+    return static_cast<Elem>(s >= q_ ? s - q_ : s);
+  }
+  Elem out = 0;
+  std::uint64_t place = 1;
+  while (a > 0 || b > 0) {
+    const std::uint64_t da = a % p_, db = b % p_;
+    out = static_cast<Elem>(out + place * ((da + db) % p_));
+    a = static_cast<Elem>(a / p_);
+    b = static_cast<Elem>(b / p_);
+    place *= p_;
+  }
+  return out;
+}
+
+Field::Elem Field::neg(Elem a) const {
+  require(a < q_, "element out of range");
+  if (e_ == 1) return a == 0 ? 0 : static_cast<Elem>(q_ - a);
+  Elem out = 0;
+  std::uint64_t place = 1;
+  while (a > 0) {
+    const std::uint64_t da = a % p_;
+    out = static_cast<Elem>(out + place * ((p_ - da) % p_));
+    a = static_cast<Elem>(a / p_);
+    place *= p_;
+  }
+  return out;
+}
+
+Field::Elem Field::mul(Elem a, Elem b) const {
+  require(a < q_ && b < q_, "element out of range");
+  if (a == 0 || b == 0) return 0;
+  const std::uint64_t s = log_table_[a] + log_table_[b];
+  return exp_table_[s % (q_ - 1)];
+}
+
+Field::Elem Field::inv(Elem a) const {
+  require(a != 0, "zero has no multiplicative inverse");
+  require(a < q_, "element out of range");
+  return exp_table_[(q_ - 1 - log_table_[a]) % (q_ - 1)];
+}
+
+Field::Elem Field::pow(Elem a, std::uint64_t k) const {
+  require(a < q_, "element out of range");
+  if (k == 0) return 1;
+  if (a == 0) return 0;
+  const std::uint64_t l = log_table_[a] % (q_ - 1);
+  return exp_table_[static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(l) * k % (q_ - 1))];
+}
+
+std::uint64_t Field::element_order(Elem a) const {
+  require(a != 0 && a < q_, "element_order requires a nonzero element");
+  const std::uint64_t l = log_table_[a];
+  return (q_ - 1) / nt::gcd(q_ - 1, l == 0 ? q_ - 1 : l);
+}
+
+std::uint64_t Field::log(Elem a) const {
+  require(a != 0 && a < q_, "log of zero is undefined");
+  return log_table_[a];
+}
+
+Field::Elem Field::exp(std::uint64_t k) const { return exp_table_[k % (q_ - 1)]; }
+
+std::vector<Field::Elem> Field::coefficients(Elem a) const {
+  require(a < q_, "element out of range");
+  std::vector<Elem> out(e_, 0);
+  for (unsigned i = 0; i < e_; ++i) {
+    out[i] = static_cast<Elem>(a % p_);
+    a = static_cast<Elem>(a / p_);
+  }
+  return out;
+}
+
+Field::Elem Field::from_int(std::uint64_t v) const {
+  require(v < p_, "from_int requires 0 <= v < characteristic");
+  return static_cast<Elem>(v);
+}
+
+}  // namespace dbr::gf

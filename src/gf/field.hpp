@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbr::gf {
+
+/// The Galois field GF(q), q = p^e a prime power.
+///
+/// Elements are encoded as integers in [0, q): the element with polynomial
+/// representation c_(e-1) x^(e-1) + ... + c_1 x + c_0 over Z_p is encoded as
+/// the base-p integer sum c_i p^i. For prime q this is ordinary Z_p
+/// arithmetic; 0 and 1 always encode the additive and multiplicative
+/// identities. Multiplication and inversion use discrete exp/log tables,
+/// so construction is O(q log q) and operations are O(1) (addition is
+/// O(e) digit arithmetic).
+///
+/// The paper's Chapter 3 identifies the d-ary alphabet with GF(d) through
+/// "any one-to-one mapping"; this library uses the identity on codes, so a
+/// field element is directly usable as a De Bruijn digit.
+class Field {
+ public:
+  using Elem = std::uint32_t;
+
+  /// Builds GF(q). Throws precondition_error unless q is a prime power
+  /// with q <= 2^20.
+  explicit Field(std::uint64_t q);
+
+  std::uint64_t order() const { return q_; }
+  std::uint64_t characteristic() const { return p_; }
+  unsigned degree() const { return e_; }
+
+  Elem zero() const { return 0; }
+  Elem one() const { return 1; }
+
+  Elem add(Elem a, Elem b) const;
+  Elem neg(Elem a) const;
+  Elem sub(Elem a, Elem b) const { return add(a, neg(b)); }
+  Elem mul(Elem a, Elem b) const;
+  /// Multiplicative inverse; requires a != 0.
+  Elem inv(Elem a) const;
+  Elem div(Elem a, Elem b) const { return mul(a, inv(b)); }
+  /// a^k with a^0 == 1 (including a == 0).
+  Elem pow(Elem a, std::uint64_t k) const;
+
+  /// A fixed generator of the multiplicative group.
+  Elem generator() const { return generator_; }
+  /// Multiplicative order of a != 0.
+  std::uint64_t element_order(Elem a) const;
+  /// Discrete log base generator(); requires a != 0.
+  std::uint64_t log(Elem a) const;
+  /// generator()^k.
+  Elem exp(std::uint64_t k) const;
+
+  /// Coefficients (c_0, ..., c_(e-1)) of the polynomial representation.
+  std::vector<Elem> coefficients(Elem a) const;
+  /// Modulus polynomial coefficients m_0..m_e over Z_p (monic, m_e == 1);
+  /// for prime fields this is the linear polynomial x - 0 placeholder {0, 1}.
+  const std::vector<Elem>& modulus() const { return modulus_; }
+
+  /// Embeds an integer 0 <= v < p as the constant polynomial v.
+  Elem from_int(std::uint64_t v) const;
+
+ private:
+  std::uint64_t q_;
+  std::uint64_t p_;
+  unsigned e_;
+  Elem generator_ = 0;
+  std::vector<Elem> modulus_;       // irreducible polynomial defining the field
+  std::vector<Elem> exp_table_;     // exp_table_[i] = g^i, i in [0, q-1)
+  std::vector<std::uint32_t> log_table_;  // inverse of exp_table_, log_table_[1] = 0
+};
+
+}  // namespace dbr::gf

@@ -1,0 +1,70 @@
+#include "gf/lfsr.hpp"
+
+#include "util/require.hpp"
+
+namespace dbr::gf {
+
+Lfsr::Lfsr(const Field& field, std::vector<Field::Elem> taps, Field::Elem offset)
+    : field_(&field), taps_(std::move(taps)), offset_(offset) {
+  require(!taps_.empty(), "LFSR needs at least one tap");
+  require(taps_[0] != 0, "a_0 must be nonzero (full memory length)");
+  for (Field::Elem t : taps_) require(t < field.order(), "tap out of field range");
+}
+
+Poly Lfsr::characteristic_polynomial() const {
+  std::vector<Field::Elem> coeffs(taps_.size() + 1, 0);
+  for (std::size_t i = 0; i < taps_.size(); ++i) coeffs[i] = field_->neg(taps_[i]);
+  coeffs[taps_.size()] = 1;
+  return trimmed(std::move(coeffs));
+}
+
+std::vector<Field::Elem> Lfsr::period_sequence(std::vector<Field::Elem> initial) const {
+  require(initial.size() == taps_.size(), "initial state must have length n");
+  const std::size_t n = taps_.size();
+  const std::vector<Field::Elem> start = initial;
+  // The state space is finite (q^n states), so the period cannot exceed q^n;
+  // anything longer signals a bug.
+  std::uint64_t bound = UINT64_MAX;
+  {
+    std::uint64_t b = 1;
+    bool overflow = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (b > UINT64_MAX / field_->order()) {
+        overflow = true;
+        break;
+      }
+      b *= field_->order();
+    }
+    if (!overflow) bound = b;
+  }
+  std::vector<Field::Elem> out;
+  std::vector<Field::Elem> state = std::move(initial);
+  for (;;) {
+    // Emit the oldest symbol, then advance: next = sum a_j * state[j] + offset.
+    Field::Elem next = offset_;
+    for (std::size_t j = 0; j < n; ++j) {
+      next = field_->add(next, field_->mul(taps_[j], state[j]));
+    }
+    out.push_back(state[0]);
+    for (std::size_t j = 0; j + 1 < n; ++j) state[j] = state[j + 1];
+    state[n - 1] = next;
+    if (state == start) return out;
+    ensure(out.size() <= bound, "LFSR failed to cycle");
+  }
+}
+
+Field::Elem Lfsr::omega() const {
+  Field::Elem w = 0;
+  for (Field::Elem t : taps_) w = field_->add(w, t);
+  return w;
+}
+
+std::vector<Field::Elem> taps_from_characteristic(const Field& f, const Poly& m) {
+  require(m.degree() >= 1, "characteristic polynomial must have degree >= 1");
+  require(m.coeffs.back() == 1, "characteristic polynomial must be monic");
+  std::vector<Field::Elem> taps(static_cast<std::size_t>(m.degree()), 0);
+  for (std::size_t i = 0; i < taps.size(); ++i) taps[i] = f.neg(m.coeffs[i]);
+  return taps;
+}
+
+}  // namespace dbr::gf

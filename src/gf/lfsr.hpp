@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/field.hpp"
+#include "gf/poly.hpp"
+
+namespace dbr::gf {
+
+/// Linear-feedback shift register over GF(q) implementing the paper's
+/// recurrence (3.1):
+///
+///     c_(n+i) = a_(n-1) c_(n-1+i) + ... + a_0 c_i + offset,   i >= 0,
+///
+/// where the affine `offset` term is zero for plain maximal cycles and
+/// s(1 - omega) for the shifted cycle s + C (Lemma 3.2).
+class Lfsr {
+ public:
+  /// taps = (a_0, ..., a_(n-1)); requires a_(n-1)... at least a_0 != 0 so the
+  /// recurrence has full memory length n.
+  Lfsr(const Field& field, std::vector<Field::Elem> taps, Field::Elem offset = 0);
+
+  /// The characteristic polynomial x^n - a_(n-1) x^(n-1) - ... - a_0 (3.2).
+  Poly characteristic_polynomial() const;
+
+  /// Generates the sequence from the given initial state (c_0, ..., c_(n-1))
+  /// until the state first repeats; returns one full period.
+  std::vector<Field::Elem> period_sequence(std::vector<Field::Elem> initial) const;
+
+  /// omega = a_0 + ... + a_(n-1) (the paper's coefficient sum).
+  Field::Elem omega() const;
+
+  const Field& field() const { return *field_; }
+  const std::vector<Field::Elem>& taps() const { return taps_; }
+  Field::Elem offset() const { return offset_; }
+
+ private:
+  const Field* field_;
+  std::vector<Field::Elem> taps_;
+  Field::Elem offset_;
+};
+
+/// Taps (a_0 .. a_(n-1)) of the recurrence whose characteristic polynomial is
+/// the given monic polynomial: a_i = -m_i.
+std::vector<Field::Elem> taps_from_characteristic(const Field& f, const Poly& m);
+
+}  // namespace dbr::gf

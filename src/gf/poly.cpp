@@ -1,0 +1,155 @@
+#include "gf/poly.hpp"
+
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+
+namespace dbr::gf {
+
+Poly trimmed(std::vector<Field::Elem> coeffs) {
+  while (!coeffs.empty() && coeffs.back() == 0) coeffs.pop_back();
+  return Poly{std::move(coeffs)};
+}
+
+Poly poly_x() { return Poly{{0, 1}}; }
+
+Poly poly_const(Field::Elem c) { return c == 0 ? Poly{} : Poly{{c}}; }
+
+Poly poly_add(const Field& f, const Poly& a, const Poly& b) {
+  std::vector<Field::Elem> out(std::max(a.coeffs.size(), b.coeffs.size()), 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Field::Elem ca = i < a.coeffs.size() ? a.coeffs[i] : 0;
+    const Field::Elem cb = i < b.coeffs.size() ? b.coeffs[i] : 0;
+    out[i] = f.add(ca, cb);
+  }
+  return trimmed(std::move(out));
+}
+
+Poly poly_sub(const Field& f, const Poly& a, const Poly& b) {
+  std::vector<Field::Elem> out(std::max(a.coeffs.size(), b.coeffs.size()), 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Field::Elem ca = i < a.coeffs.size() ? a.coeffs[i] : 0;
+    const Field::Elem cb = i < b.coeffs.size() ? b.coeffs[i] : 0;
+    out[i] = f.sub(ca, cb);
+  }
+  return trimmed(std::move(out));
+}
+
+Poly poly_mul(const Field& f, const Poly& a, const Poly& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  std::vector<Field::Elem> out(a.coeffs.size() + b.coeffs.size() - 1, 0);
+  for (std::size_t i = 0; i < a.coeffs.size(); ++i) {
+    if (a.coeffs[i] == 0) continue;
+    for (std::size_t j = 0; j < b.coeffs.size(); ++j) {
+      out[i + j] = f.add(out[i + j], f.mul(a.coeffs[i], b.coeffs[j]));
+    }
+  }
+  return trimmed(std::move(out));
+}
+
+Poly poly_mod(const Field& f, Poly a, const Poly& b) {
+  require(!b.is_zero(), "polynomial modulus must be nonzero");
+  const Field::Elem lead_inv = f.inv(b.coeffs.back());
+  while (a.degree() >= b.degree()) {
+    const Field::Elem scale = f.mul(a.coeffs.back(), lead_inv);
+    const std::size_t shift = a.coeffs.size() - b.coeffs.size();
+    for (std::size_t i = 0; i < b.coeffs.size(); ++i) {
+      a.coeffs[shift + i] = f.sub(a.coeffs[shift + i], f.mul(scale, b.coeffs[i]));
+    }
+    a = trimmed(std::move(a.coeffs));
+  }
+  return a;
+}
+
+Poly poly_powmod(const Field& f, Poly base, std::uint64_t k, const Poly& m) {
+  Poly result = poly_const(1);
+  base = poly_mod(f, std::move(base), m);
+  while (k > 0) {
+    if (k & 1) result = poly_mod(f, poly_mul(f, result, base), m);
+    base = poly_mod(f, poly_mul(f, base, base), m);
+    k >>= 1;
+  }
+  return result;
+}
+
+Poly poly_gcd(const Field& f, Poly a, Poly b) {
+  while (!b.is_zero()) {
+    Poly r = poly_mod(f, std::move(a), b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  if (!a.is_zero()) {
+    // Normalize to monic.
+    const Field::Elem inv = f.inv(a.coeffs.back());
+    for (auto& c : a.coeffs) c = f.mul(c, inv);
+  }
+  return a;
+}
+
+Field::Elem poly_eval(const Field& f, const Poly& a, Field::Elem x) {
+  Field::Elem acc = 0;
+  for (std::size_t i = a.coeffs.size(); i-- > 0;) {
+    acc = f.add(f.mul(acc, x), a.coeffs[i]);
+  }
+  return acc;
+}
+
+bool is_irreducible(const Field& f, const Poly& m) {
+  const int n = m.degree();
+  require(n >= 1, "is_irreducible requires degree >= 1");
+  require(m.coeffs.back() == 1, "is_irreducible expects a monic polynomial");
+  if (n == 1) return true;
+  const std::uint64_t q = f.order();
+  auto x_pow_q_to = [&](unsigned k) {
+    Poly acc = poly_x();
+    for (unsigned i = 0; i < k; ++i) acc = poly_powmod(f, acc, q, m);
+    return acc;
+  };
+  if (x_pow_q_to(static_cast<unsigned>(n)) != poly_x()) return false;
+  for (const auto& pp : nt::factor(static_cast<std::uint64_t>(n))) {
+    const Poly u = x_pow_q_to(static_cast<unsigned>(n) / static_cast<unsigned>(pp.prime));
+    const Poly g = poly_gcd(f, m, poly_sub(f, u, poly_x()));
+    if (g.degree() > 0) return false;
+  }
+  return true;
+}
+
+bool is_primitive(const Field& f, const Poly& m) {
+  const int n = m.degree();
+  require(n >= 1, "is_primitive requires degree >= 1");
+  if (m.coeffs[0] == 0) return false;  // x | m means x is not invertible mod m
+  if (!is_irreducible(f, m)) return false;
+  // Irreducible => ord(x) divides q^n - 1; primitive iff no proper divisor works.
+  std::uint64_t group = 1;
+  for (int i = 0; i < n; ++i) group *= f.order();
+  group -= 1;
+  for (const auto& pp : nt::factor(group)) {
+    const Poly t = poly_powmod(f, poly_x(), group / pp.prime, m);
+    if (t == poly_const(1)) return false;
+  }
+  return true;
+}
+
+Poly find_primitive_poly(const Field& f, unsigned n) {
+  require(n >= 1, "find_primitive_poly requires degree >= 1");
+  const std::uint64_t q = f.order();
+  std::uint64_t total = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    require(total <= UINT64_MAX / q, "search space too large");
+    total *= q;
+  }
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::vector<Field::Elem> coeffs(n + 1, 0);
+    coeffs[n] = 1;
+    std::uint64_t c = code;
+    for (unsigned i = 0; i < n; ++i) {
+      coeffs[i] = static_cast<Field::Elem>(c % q);
+      c /= q;
+    }
+    const Poly candidate{std::move(coeffs)};
+    if (candidate.coeffs[0] == 0) continue;
+    if (is_primitive(f, candidate)) return candidate;
+  }
+  throw invariant_error("no primitive polynomial found (impossible for a field)");
+}
+
+}  // namespace dbr::gf

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/field.hpp"
+
+namespace dbr::gf {
+
+/// A polynomial over GF(q): coeffs[i] is the coefficient of x^i.
+/// Invariant: no trailing zero coefficients (the zero polynomial is empty).
+struct Poly {
+  std::vector<Field::Elem> coeffs;
+
+  bool is_zero() const { return coeffs.empty(); }
+  /// Degree; -1 for the zero polynomial.
+  int degree() const { return static_cast<int>(coeffs.size()) - 1; }
+  bool operator==(const Poly& other) const = default;
+};
+
+/// Removes trailing zeros (restores the representation invariant).
+Poly trimmed(std::vector<Field::Elem> coeffs);
+
+/// The monomial x.
+Poly poly_x();
+/// The constant polynomial c.
+Poly poly_const(Field::Elem c);
+
+Poly poly_add(const Field& f, const Poly& a, const Poly& b);
+Poly poly_sub(const Field& f, const Poly& a, const Poly& b);
+Poly poly_mul(const Field& f, const Poly& a, const Poly& b);
+/// Remainder of a modulo b (b monic or not; b != 0).
+Poly poly_mod(const Field& f, Poly a, const Poly& b);
+/// base^k modulo m.
+Poly poly_powmod(const Field& f, Poly base, std::uint64_t k, const Poly& m);
+Poly poly_gcd(const Field& f, Poly a, Poly b);
+Field::Elem poly_eval(const Field& f, const Poly& a, Field::Elem x);
+
+/// True if the monic polynomial m (degree >= 1) is irreducible over GF(q).
+bool is_irreducible(const Field& f, const Poly& m);
+
+/// True if m is primitive over GF(q): irreducible of degree n with
+/// ord(x mod m) == q^n - 1 (Section 3.1's definition).
+bool is_primitive(const Field& f, const Poly& m);
+
+/// Deterministic smallest-first search for a primitive polynomial of degree
+/// n over GF(q). Polynomials are scanned in increasing base-q code of their
+/// non-leading coefficients, so the result is stable across runs.
+Poly find_primitive_poly(const Field& f, unsigned n);
+
+}  // namespace dbr::gf

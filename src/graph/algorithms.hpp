@@ -1,0 +1,225 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/union_find.hpp"
+#include "util/require.hpp"
+
+namespace dbr {
+
+/// Distance value for nodes not reached by a traversal.
+inline constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+/// Parent value for roots / unreached nodes.
+inline constexpr NodeId kNoParent = std::numeric_limits<NodeId>::max();
+
+struct BfsResult {
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> parent;
+
+  /// Maximum finite distance (the eccentricity of the source within its
+  /// reachable set). Zero for an isolated source.
+  std::uint32_t eccentricity() const {
+    std::uint32_t e = 0;
+    for (std::uint32_t d : dist) {
+      if (d != kUnreached && d > e) e = d;
+    }
+    return e;
+  }
+
+  /// Number of reached nodes (including the source).
+  std::uint64_t reached() const {
+    std::uint64_t c = 0;
+    for (std::uint32_t d : dist) c += (d != kUnreached) ? 1 : 0;
+    return c;
+  }
+};
+
+/// Breadth-first search over the subgraph induced by `active`, following
+/// directed edges forward from src. Implements the paper's broadcast-tree
+/// rule (Section 2.4, Step 1.1): the parent of a node is the *minimum-id*
+/// predecessor among those at distance dist-1, i.e. the first processor the
+/// message was received from, with ties broken toward the smallest id.
+template <DirectedGraph G, typename ActivePred>
+BfsResult bfs(const G& g, NodeId src, ActivePred&& active) {
+  const NodeId n = g.num_nodes();
+  require(src < n, "BFS source out of range");
+  require(active(src), "BFS source must be active");
+  BfsResult r;
+  r.dist.assign(n, kUnreached);
+  r.parent.assign(n, kNoParent);
+  std::vector<NodeId> frontier{src};
+  r.dist[src] = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (NodeId u : frontier) {
+      const std::uint32_t du = r.dist[u];
+      g.for_each_successor(u, [&](NodeId v) {
+        if (v == u) return;  // loops carry no information for the broadcast
+        if (!active(v)) return;
+        if (r.dist[v] == kUnreached) {
+          r.dist[v] = du + 1;
+          r.parent[v] = u;
+          next.push_back(v);
+        } else if (r.dist[v] == du + 1 && u < r.parent[v]) {
+          r.parent[v] = u;  // same round, smaller sender id wins
+        }
+      });
+    }
+    frontier.swap(next);
+  }
+  return r;
+}
+
+/// BFS over all nodes (no fault mask).
+template <DirectedGraph G>
+BfsResult bfs(const G& g, NodeId src) {
+  return bfs(g, src, [](NodeId) { return true; });
+}
+
+/// Weakly-connected components of the subgraph induced by `active`.
+/// Returns the component label of each node (kNoParent for inactive nodes);
+/// labels are the minimum node id in the component.
+template <DirectedGraph G, typename ActivePred>
+std::vector<NodeId> weak_components(const G& g, ActivePred&& active) {
+  const NodeId n = g.num_nodes();
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (!active(u)) continue;
+    g.for_each_successor(u, [&](NodeId v) {
+      if (v < n && active(v)) uf.unite(u, v);
+    });
+  }
+  std::vector<NodeId> label(n, kNoParent);
+  std::vector<NodeId> root_min(n, kNoParent);
+  for (NodeId u = 0; u < n; ++u) {
+    if (!active(u)) continue;
+    const NodeId r = uf.find(u);
+    if (root_min[r] == kNoParent) root_min[r] = u;  // ids scanned ascending
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (active(u)) label[u] = root_min[uf.find(u)];
+  }
+  return label;
+}
+
+/// True if every active node has equal in- and out-degree within the active
+/// subgraph (loops count once on each side).
+template <DirectedGraph G, typename ActivePred>
+bool is_balanced(const G& g, ActivePred&& active) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::int64_t> balance(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (!active(u)) continue;
+    g.for_each_successor(u, [&](NodeId v) {
+      if (v < n && active(v)) {
+        ++balance[u];
+        --balance[v];
+      }
+    });
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (active(u) && balance[u] != 0) return false;
+  }
+  return true;
+}
+
+/// Lightweight fault-masked view of a graph: inactive nodes lose all
+/// incident edges (they become isolated singletons). Models DirectedGraph,
+/// so every algorithm in this header runs on it unchanged.
+template <DirectedGraph G>
+class SubgraphView {
+ public:
+  SubgraphView(const G& g, const std::vector<bool>& active)
+      : g_(&g), active_(&active) {
+    require(active.size() == g.num_nodes(), "active mask size mismatch");
+  }
+
+  NodeId num_nodes() const { return g_->num_nodes(); }
+
+  template <typename Fn>
+  void for_each_successor(NodeId v, Fn&& fn) const {
+    if (!(*active_)[v]) return;
+    g_->for_each_successor(v, [&](NodeId w) {
+      if ((*active_)[w]) fn(w);
+    });
+  }
+
+  bool active(NodeId v) const { return (*active_)[v]; }
+
+ private:
+  const G* g_;
+  const std::vector<bool>* active_;
+};
+
+/// Strongly connected components (iterative Tarjan). Returns component ids
+/// in [0, count); nodes in the same SCC share an id.
+struct SccResult {
+  std::vector<std::uint64_t> component;
+  std::uint64_t count = 0;
+};
+
+template <DirectedGraph G>
+SccResult strongly_connected_components(const G& g) {
+  const NodeId n = g.num_nodes();
+  constexpr std::uint64_t kUndef = std::numeric_limits<std::uint64_t>::max();
+  SccResult r;
+  r.component.assign(n, kUndef);
+  std::vector<std::uint64_t> index(n, kUndef), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::uint64_t next_index = 0;
+
+  // Iterative DFS frames: (node, iterator position over materialized succs).
+  struct Frame {
+    NodeId node;
+    std::vector<NodeId> succs;
+    std::size_t pos = 0;
+  };
+  std::vector<Frame> frames;
+  for (NodeId start = 0; start < n; ++start) {
+    if (index[start] != kUndef) continue;
+    frames.push_back({start, {}, 0});
+    index[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    g.for_each_successor(start, [&](NodeId w) { frames.back().succs.push_back(w); });
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.pos < f.succs.size()) {
+        const NodeId w = f.succs[f.pos++];
+        if (index[w] == kUndef) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, {}, 0});
+          g.for_each_successor(w, [&](NodeId x) { frames.back().succs.push_back(x); });
+        } else if (on_stack[w]) {
+          low[f.node] = std::min(low[f.node], index[w]);
+        }
+      } else {
+        const NodeId v = f.node;
+        if (low[v] == index[v]) {
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            r.component[w] = r.count;
+            if (w == v) break;
+          }
+          ++r.count;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] = std::min(low[frames.back().node], low[v]);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace dbr

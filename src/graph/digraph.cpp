@@ -1,0 +1,76 @@
+#include "graph/digraph.hpp"
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+Digraph Digraph::from_edges(NodeId num_nodes,
+                            std::span<const std::pair<NodeId, NodeId>> edges) {
+  Digraph g;
+  g.num_nodes_ = num_nodes;
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (const auto& [u, v] : edges) {
+    require(u < num_nodes && v < num_nodes, "edge endpoint out of range");
+    ++g.offsets_[u + 1];
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.heads_.resize(edges.size());
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) g.heads_[cursor[u]++] = v;
+  return g;
+}
+
+std::span<const NodeId> Digraph::successors(NodeId v) const {
+  require(v < num_nodes_, "node out of range");
+  return {heads_.data() + offsets_[v], heads_.data() + offsets_[v + 1]};
+}
+
+std::vector<std::uint64_t> Digraph::in_degrees() const {
+  std::vector<std::uint64_t> deg(num_nodes_, 0);
+  for (NodeId h : heads_) ++deg[h];
+  return deg;
+}
+
+std::vector<std::uint64_t> Digraph::out_degrees() const {
+  std::vector<std::uint64_t> deg(num_nodes_, 0);
+  for (NodeId v = 0; v < num_nodes_; ++v) deg[v] = offsets_[v + 1] - offsets_[v];
+  return deg;
+}
+
+Digraph Digraph::reversed() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(heads_.size());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (NodeId w : successors(v)) edges.emplace_back(w, v);
+  }
+  return from_edges(num_nodes_, edges);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Digraph::edge_list() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(heads_.size());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (NodeId w : successors(v)) edges.emplace_back(v, w);
+  }
+  return edges;
+}
+
+Digraph line_graph(const Digraph& g) {
+  // Edge k of g (in CSR order) becomes node k of L(g).
+  const auto edges = g.edge_list();
+  // first_edge[v] = index of first CSR edge with tail v.
+  std::vector<std::uint64_t> first_edge(g.num_nodes() + 1, 0);
+  for (const auto& [u, v] : edges) ++first_edge[u + 1];
+  for (NodeId v = 0; v < g.num_nodes(); ++v) first_edge[v + 1] += first_edge[v];
+
+  std::vector<std::pair<NodeId, NodeId>> line_edges;
+  for (std::uint64_t k = 0; k < edges.size(); ++k) {
+    const NodeId head = edges[k].second;
+    for (std::uint64_t j = first_edge[head]; j < first_edge[head + 1]; ++j) {
+      line_edges.emplace_back(k, j);
+    }
+  }
+  return Digraph::from_edges(edges.size(), line_edges);
+}
+
+}  // namespace dbr

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dbr {
+
+/// Node identifier in a graph (graphs here are at most a few million nodes).
+using NodeId = std::uint64_t;
+
+namespace detail {
+struct SuccessorSink {
+  void operator()(NodeId) const {}
+};
+}  // namespace detail
+
+/// A directed graph exposed through successor enumeration. Models include
+/// the explicit CSR Digraph below and the implicit De Bruijn / butterfly /
+/// hypercube graphs, which compute successors arithmetically.
+template <typename G>
+concept DirectedGraph = requires(const G& g, NodeId v, detail::SuccessorSink sink) {
+  { g.num_nodes() } -> std::convertible_to<NodeId>;
+  g.for_each_successor(v, sink);
+};
+
+/// Explicit directed multigraph in compressed sparse row form.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Builds from an edge list; parallel edges and loops are kept.
+  static Digraph from_edges(NodeId num_nodes,
+                            std::span<const std::pair<NodeId, NodeId>> edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::uint64_t num_edges() const { return heads_.size(); }
+
+  std::span<const NodeId> successors(NodeId v) const;
+
+  template <typename Fn>
+  void for_each_successor(NodeId v, Fn&& fn) const {
+    for (NodeId w : successors(v)) fn(w);
+  }
+
+  /// In-degree of every node (parallel edges counted).
+  std::vector<std::uint64_t> in_degrees() const;
+  /// Out-degree of every node.
+  std::vector<std::uint64_t> out_degrees() const;
+  /// The graph with every edge reversed.
+  Digraph reversed() const;
+  /// All edges in CSR order.
+  std::vector<std::pair<NodeId, NodeId>> edge_list() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<std::uint64_t> offsets_;  // size num_nodes_+1
+  std::vector<NodeId> heads_;
+};
+
+static_assert(DirectedGraph<Digraph>);
+
+/// The line graph L(G): one node per edge of g, an edge (a,b) -> (b,c)
+/// whenever the head of one edge is the tail of the next. Used to validate
+/// the De Bruijn identity B(d,n) = L(B(d,n-1)) (Section 2.5).
+Digraph line_graph(const Digraph& g);
+
+}  // namespace dbr

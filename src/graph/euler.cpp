@@ -1,0 +1,59 @@
+#include "graph/euler.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/require.hpp"
+
+namespace dbr {
+
+bool has_eulerian_circuit(const Digraph& g) {
+  const auto in = g.in_degrees();
+  const auto out = g.out_degrees();
+  NodeId support = kNoParent;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in[v] != out[v]) return false;
+    if (out[v] > 0 && support == kNoParent) support = v;
+  }
+  if (support == kNoParent) return true;  // no edges
+  const auto label = weak_components(
+      g, [&](NodeId v) { return in[v] + out[v] > 0; });
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (out[v] > 0 && label[v] != label[support]) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> eulerian_circuit(const Digraph& g) {
+  require(has_eulerian_circuit(g), "graph is not Eulerian");
+  NodeId start = kNoParent;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!g.successors(v).empty()) {
+      start = v;
+      break;
+    }
+  }
+  if (start == kNoParent) return {};
+
+  // Hierholzer with an explicit stack; `cursor[v]` walks v's successor list.
+  std::vector<std::size_t> cursor(g.num_nodes(), 0);
+  std::vector<NodeId> stack{start};
+  std::vector<NodeId> circuit;
+  circuit.reserve(g.num_edges() + 1);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    const auto succ = g.successors(v);
+    if (cursor[v] < succ.size()) {
+      stack.push_back(succ[cursor[v]++]);
+    } else {
+      circuit.push_back(v);
+      stack.pop_back();
+    }
+  }
+  ensure(circuit.size() == g.num_edges() + 1, "Eulerian circuit missed edges");
+  std::reverse(circuit.begin(), circuit.end());
+  circuit.pop_back();  // drop the duplicated endpoint
+  return circuit;
+}
+
+}  // namespace dbr

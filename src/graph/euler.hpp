@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dbr {
+
+/// Computes an Eulerian circuit of a directed multigraph using Hierholzer's
+/// algorithm. The circuit is returned as the visited node sequence
+/// v0, v1, ..., vm with vm == v0 omitted (m == number of edges).
+///
+/// Preconditions: the multigraph restricted to nodes with degree > 0 is
+/// connected and every node is balanced (indegree == outdegree); throws
+/// precondition_error otherwise. An empty graph yields an empty circuit.
+///
+/// The De Bruijn line-graph identity (Section 2.5) maps Eulerian circuits of
+/// B(d,n-1) to Hamiltonian cycles of B(d,n); tests use this as an
+/// independent generator of De Bruijn sequences.
+std::vector<NodeId> eulerian_circuit(const Digraph& g);
+
+/// True if g admits an Eulerian circuit (balanced and connected on its
+/// support).
+bool has_eulerian_circuit(const Digraph& g);
+
+}  // namespace dbr

@@ -1,0 +1,85 @@
+#include "graph/longest_cycle.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/require.hpp"
+
+namespace dbr {
+
+namespace {
+
+struct Search {
+  const Digraph* g;
+  std::vector<bool> eligible;  // nodes allowed in the current anchor's search
+  std::vector<bool> visited;
+  NodeId anchor = 0;  // cycles are enumerated with their minimum node first
+  std::uint64_t best = 0;
+  std::uint64_t remaining = 0;  // unvisited eligible nodes
+
+  void dfs(NodeId v, std::uint64_t length) {
+    // Bound: even using every remaining node cannot beat the incumbent.
+    if (length + remaining <= best) return;
+    for (NodeId w : g->successors(v)) {
+      if (w == anchor) {
+        best = std::max(best, length);
+        continue;
+      }
+      if (!eligible[w] || visited[w]) continue;
+      visited[w] = true;
+      --remaining;
+      dfs(w, length + 1);
+      ++remaining;
+      visited[w] = false;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t longest_cycle_bruteforce(const Digraph& g,
+                                       const std::vector<bool>& active) {
+  require(active.size() == g.num_nodes(), "active mask size mismatch");
+  require(g.num_nodes() <= 64, "brute-force longest cycle limited to 64 nodes");
+  const Digraph rev = g.reversed();
+  Search s;
+  s.g = &g;
+  s.visited.assign(g.num_nodes(), false);
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (!active[start]) continue;
+    // Loops are 1-cycles.
+    for (NodeId w : g.successors(start)) {
+      if (w == start) s.best = std::max<std::uint64_t>(s.best, 1);
+    }
+    // Any cycle whose minimum node is `start` lives inside the strongly
+    // connected component of `start` within {v >= start, active}; restrict
+    // the search (and its pruning bound) to that set.
+    std::vector<bool> mask(g.num_nodes(), false);
+    for (NodeId v = start; v < g.num_nodes(); ++v) mask[v] = active[v];
+    const SubgraphView<Digraph> fview(g, mask);
+    const auto fwd = bfs(fview, start, [&](NodeId v) { return mask[v]; });
+    const SubgraphView<Digraph> rview(rev, mask);
+    const auto bwd = bfs(rview, start, [&](NodeId v) { return mask[v]; });
+    s.eligible.assign(g.num_nodes(), false);
+    std::uint64_t comp_size = 0;
+    for (NodeId v = start; v < g.num_nodes(); ++v) {
+      if (fwd.dist[v] != kUnreached && bwd.dist[v] != kUnreached) {
+        s.eligible[v] = true;
+        ++comp_size;
+      }
+    }
+    if (comp_size <= s.best) continue;  // component too small to improve
+    s.anchor = start;
+    s.remaining = comp_size - 1;
+    std::fill(s.visited.begin(), s.visited.end(), false);
+    s.visited[start] = true;
+    s.dfs(start, 1);
+  }
+  return s.best;
+}
+
+std::uint64_t longest_cycle_bruteforce(const Digraph& g) {
+  return longest_cycle_bruteforce(g, std::vector<bool>(g.num_nodes(), true));
+}
+
+}  // namespace dbr

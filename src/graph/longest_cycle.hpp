@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dbr {
+
+/// Exhaustive longest simple cycle in a small directed graph, optionally
+/// restricted to an active node mask. Exponential-time DFS with branch
+/// pruning; intended for graphs of at most a few dozen nodes, where it
+/// serves as an optimality oracle for the worst-case fault-placement claims
+/// of Section 2.5 (no fault-free cycle longer than d^n - nf exists for the
+/// adversarial fault set {a^(n-1)(d-1)}).
+///
+/// Returns the length of the longest cycle (0 if the graph is acyclic on the
+/// active set). Loops count as cycles of length 1.
+std::uint64_t longest_cycle_bruteforce(const Digraph& g,
+                                       const std::vector<bool>& active);
+
+/// Convenience overload over all nodes.
+std::uint64_t longest_cycle_bruteforce(const Digraph& g);
+
+}  // namespace dbr

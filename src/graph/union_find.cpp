@@ -1,0 +1,34 @@
+#include "graph/union_find.hpp"
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+UnionFind::UnionFind(std::uint64_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  for (std::uint64_t i = 0; i < n; ++i) parent_[i] = i;
+}
+
+std::uint64_t UnionFind::find(std::uint64_t x) {
+  require(x < parent_.size(), "element out of range");
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint64_t a, std::uint64_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+std::uint64_t UnionFind::set_size(std::uint64_t x) { return size_[find(x)]; }
+
+}  // namespace dbr

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbr {
+
+/// Disjoint-set forest with union by size and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint64_t n);
+
+  std::uint64_t find(std::uint64_t x);
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(std::uint64_t a, std::uint64_t b);
+  /// Size of the set containing x.
+  std::uint64_t set_size(std::uint64_t x);
+  /// Number of disjoint sets.
+  std::uint64_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<std::uint64_t> parent_;
+  std::vector<std::uint64_t> size_;
+  std::uint64_t num_sets_;
+};
+
+}  // namespace dbr

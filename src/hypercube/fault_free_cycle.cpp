@@ -1,0 +1,309 @@
+#include "hypercube/fault_free_cycle.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/require.hpp"
+
+namespace dbr::hypercube {
+
+namespace {
+
+HNode drop_bit(HNode x, unsigned j) {
+  const HNode low = x & ((1ull << j) - 1);
+  const HNode high = x >> (j + 1);
+  return (high << j) | low;
+}
+
+HNode insert_bit(HNode x, unsigned j, bool value) {
+  const HNode low = x & ((1ull << j) - 1);
+  const HNode high = x >> j;
+  return (high << (j + 1)) | (static_cast<HNode>(value) << j) | low;
+}
+
+bool contains(std::span<const HNode> xs, HNode v) {
+  return std::find(xs.begin(), xs.end(), v) != xs.end();
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive search fallbacks for small subcubes (n <= 4: at most 16 nodes).
+
+struct SmallSearch {
+  unsigned n;
+  std::vector<bool> blocked;
+  std::vector<HNode> current;
+  std::vector<HNode> best;
+  std::uint64_t expansions = 0;
+
+  static constexpr std::uint64_t kMaxExpansions = 2'000'000;
+
+  bool full() const { return best.size() == (1ull << n) - count_blocked(); }
+  std::size_t count_blocked() const {
+    return static_cast<std::size_t>(
+        std::count(blocked.begin(), blocked.end(), true));
+  }
+
+  void dfs_path(HNode v, HNode target) {
+    if (++expansions > kMaxExpansions) return;
+    current.push_back(v);
+    blocked[v] = true;
+    if (v == target) {
+      if (current.size() > best.size()) best = current;
+    } else {
+      for (unsigned b = 0; b < n; ++b) {
+        const HNode w = v ^ (1ull << b);
+        if (!blocked[w]) dfs_path(w, target);
+      }
+    }
+    blocked[v] = false;
+    current.pop_back();
+  }
+
+  void dfs_cycle(HNode v, HNode anchor) {
+    if (++expansions > kMaxExpansions) return;
+    current.push_back(v);
+    blocked[v] = true;
+    for (unsigned b = 0; b < n; ++b) {
+      const HNode w = v ^ (1ull << b);
+      if (w == anchor && current.size() >= 3) {
+        if (current.size() > best.size()) best = current;
+      } else if (!blocked[w] && w > anchor) {
+        dfs_cycle(w, anchor);
+      }
+    }
+    blocked[v] = false;
+    current.pop_back();
+  }
+};
+
+std::vector<HNode> exhaustive_path(unsigned n, HNode a, HNode b,
+                                   std::span<const HNode> faults) {
+  SmallSearch s;
+  s.n = n;
+  s.blocked.assign(1ull << n, false);
+  for (HNode f : faults) s.blocked[f] = true;
+  s.dfs_path(a, b);
+  return s.best;
+}
+
+std::vector<HNode> exhaustive_cycle(unsigned n, std::span<const HNode> faults) {
+  SmallSearch s;
+  s.n = n;
+  s.blocked.assign(1ull << n, false);
+  for (HNode f : faults) s.blocked[f] = true;
+  std::vector<HNode> best;
+  for (HNode anchor = 0; anchor < (1ull << n); ++anchor) {
+    if (s.blocked[anchor]) continue;
+    s.best.clear();
+    s.current.clear();
+    s.expansions = 0;
+    s.dfs_cycle(anchor, anchor);
+    if (s.best.size() > best.size()) best = s.best;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Recursive constructions with runtime-verified coverage bounds.
+
+std::vector<HNode> ffp(unsigned n, HNode a, HNode b, std::vector<HNode> faults);
+
+// Splits faults by bit j; returns (side of a, other side), coordinates
+// projected through drop_bit.
+std::pair<std::vector<HNode>, std::vector<HNode>> split_faults(
+    std::span<const HNode> faults, unsigned j, bool a_side) {
+  std::vector<HNode> same, other;
+  for (HNode f : faults) {
+    if (((f >> j) & 1) == static_cast<HNode>(a_side)) {
+      same.push_back(drop_bit(f, j));
+    } else {
+      other.push_back(drop_bit(f, j));
+    }
+  }
+  return {std::move(same), std::move(other)};
+}
+
+std::uint64_t path_target(unsigned n, std::size_t f, HNode a, HNode b) {
+  const std::uint64_t size = 1ull << n;
+  const std::uint64_t penalty = 2 * f + (parity(a) == parity(b) ? 1 : 0);
+  return size > penalty ? size - penalty : 2;
+}
+
+// Fault-free a->b path meeting the 2^n - 2f (-1 for equal parity) target.
+std::vector<HNode> ffp(unsigned n, HNode a, HNode b, std::vector<HNode> faults) {
+  require(a != b, "path endpoints must differ");
+  require(!contains(faults, a) && !contains(faults, b),
+          "path endpoints must be nonfaulty");
+  const std::uint64_t target = path_target(n, faults.size(), a, b);
+  if (faults.empty()) {
+    return parity(a) != parity(b) ? hamiltonian_path(n, a, b)
+                                  : near_hamiltonian_path(n, a, b);
+  }
+  if (n <= 4) {
+    auto best = exhaustive_path(n, a, b, faults);
+    ensure(best.size() >= target, "small-cube path search missed the bound");
+    return best;
+  }
+
+  // Try each split dimension; prefer ones separating the faults.
+  std::vector<unsigned> dims;
+  for (unsigned j = 0; j < n; ++j) dims.push_back(j);
+  std::stable_sort(dims.begin(), dims.end(), [&](unsigned x, unsigned y) {
+    auto spread = [&](unsigned j) {
+      std::size_t ones = 0;
+      for (HNode f : faults) ones += (f >> j) & 1;
+      return std::min(ones, faults.size() - ones);
+    };
+    return spread(x) > spread(y);
+  });
+
+  for (unsigned j : dims) {
+    const bool a_side = (a >> j) & 1;
+    auto [fa, fb] = split_faults(faults, j, a_side);
+    if (((b >> j) & 1) == static_cast<HNode>(a_side)) {
+      // Same-side endpoints: path within, splice the other half through a
+      // crossing edge with nonfaulty partners.
+      std::vector<HNode> inner;
+      try {
+        inner = ffp(n - 1, drop_bit(a, j), drop_bit(b, j), fa);
+      } catch (const invariant_error&) {
+        continue;
+      }
+      for (std::size_t i = 0; i + 1 < inner.size(); ++i) {
+        const HNode u = insert_bit(inner[i], j, a_side);
+        const HNode up = u ^ (1ull << j);
+        const HNode vp = insert_bit(inner[i + 1], j, a_side) ^ (1ull << j);
+        if (contains(faults, up) || contains(faults, vp)) continue;
+        std::vector<HNode> cross;
+        if (fb.empty() && parity(up) != parity(vp)) {
+          cross = hamiltonian_path(n - 1, drop_bit(up, j), drop_bit(vp, j));
+        } else {
+          try {
+            cross = ffp(n - 1, drop_bit(up, j), drop_bit(vp, j), fb);
+          } catch (const invariant_error&) {
+            continue;
+          } catch (const precondition_error&) {
+            continue;
+          }
+        }
+        std::vector<HNode> out;
+        out.reserve(inner.size() + cross.size());
+        for (std::size_t t = 0; t <= i; ++t) out.push_back(insert_bit(inner[t], j, a_side));
+        for (HNode v : cross) out.push_back(insert_bit(v, j, !a_side));
+        for (std::size_t t = i + 1; t < inner.size(); ++t) {
+          out.push_back(insert_bit(inner[t], j, a_side));
+        }
+        if (out.size() >= target) return out;
+      }
+    } else {
+      // Endpoints in different halves: cross at a candidate c next to a's
+      // half whose partner is nonfaulty.
+      const std::uint64_t half = 1ull << (n - 1);
+      for (HNode c_low = 0; c_low < half; ++c_low) {
+        const HNode c = insert_bit(c_low, j, a_side);
+        if (c == a || contains(faults, c)) continue;
+        const HNode cp = c ^ (1ull << j);
+        if (cp == b || contains(faults, cp)) continue;
+        std::vector<HNode> left, right;
+        try {
+          left = ffp(n - 1, drop_bit(a, j), c_low, fa);
+          right = ffp(n - 1, drop_bit(cp, j), drop_bit(b, j), fb);
+        } catch (const invariant_error&) {
+          continue;
+        } catch (const precondition_error&) {
+          continue;
+        }
+        std::vector<HNode> out;
+        out.reserve(left.size() + right.size());
+        for (HNode v : left) out.push_back(insert_bit(v, j, a_side));
+        for (HNode v : right) out.push_back(insert_bit(v, j, !a_side));
+        if (out.size() >= target) return out;
+      }
+    }
+  }
+  throw invariant_error("fault-free path construction missed its bound");
+}
+
+}  // namespace
+
+std::vector<HNode> fault_free_path(unsigned n, HNode a, HNode b,
+                                   std::span<const HNode> faults) {
+  require(n >= 2, "fault_free_path requires n >= 2");
+  std::vector<HNode> fs(faults.begin(), faults.end());
+  std::sort(fs.begin(), fs.end());
+  fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+  return ffp(n, a, b, std::move(fs));
+}
+
+std::vector<HNode> fault_free_cycle(unsigned n, std::span<const HNode> faults) {
+  require(n >= 3, "fault_free_cycle requires n >= 3");
+  std::vector<HNode> fs(faults.begin(), faults.end());
+  std::sort(fs.begin(), fs.end());
+  fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+  require(fs.size() <= n - 2, "the hypercube bound assumes f <= n-2");
+  for (HNode f : fs) require(f < (1ull << n), "fault out of range");
+  const std::uint64_t target = (1ull << n) - 2 * fs.size();
+
+  if (fs.empty()) return gray_cycle(n);
+  if (n <= 4) {
+    auto best = exhaustive_cycle(n, fs);
+    ensure(best.size() >= target, "small-cube cycle search missed the bound");
+    return best;
+  }
+
+  // Prefer a dimension that separates the faults (exists whenever f >= 2;
+  // for f == 1 any dimension puts the fault alone in one half).
+  std::vector<unsigned> dims;
+  for (unsigned j = 0; j < n; ++j) dims.push_back(j);
+  std::stable_sort(dims.begin(), dims.end(), [&](unsigned x, unsigned y) {
+    auto spread = [&](unsigned j) {
+      std::size_t ones = 0;
+      for (HNode f : fs) ones += (f >> j) & 1;
+      return std::min(ones, fs.size() - ones);
+    };
+    return spread(x) > spread(y);
+  });
+
+  for (unsigned j : dims) {
+    // Host the recursive cycle in side 0, splice a path through side 1.
+    for (bool host_side : {false, true}) {
+      auto [f_host, f_other] = split_faults(fs, j, host_side);
+      std::vector<HNode> inner;
+      try {
+        inner = fault_free_cycle(n - 1, f_host);
+      } catch (const precondition_error&) {
+        continue;  // too many faults landed in the host half
+      } catch (const invariant_error&) {
+        continue;
+      }
+      for (std::size_t i = 0; i < inner.size(); ++i) {
+        const HNode u = insert_bit(inner[i], j, host_side);
+        const HNode v = insert_bit(inner[(i + 1) % inner.size()], j, host_side);
+        const HNode up = u ^ (1ull << j);
+        const HNode vp = v ^ (1ull << j);
+        if (contains(fs, up) || contains(fs, vp)) continue;
+        std::vector<HNode> cross;
+        try {
+          cross = fault_free_path(n - 1, drop_bit(up, j), drop_bit(vp, j), f_other);
+        } catch (const invariant_error&) {
+          continue;
+        } catch (const precondition_error&) {
+          continue;
+        }
+        std::vector<HNode> out;
+        out.reserve(inner.size() + cross.size());
+        for (std::size_t t = 0; t <= i; ++t) {
+          out.push_back(insert_bit(inner[t], j, host_side));
+        }
+        for (HNode w : cross) out.push_back(insert_bit(w, j, !host_side));
+        for (std::size_t t = i + 1; t < inner.size(); ++t) {
+          out.push_back(insert_bit(inner[t], j, host_side));
+        }
+        if (out.size() >= target) return out;
+      }
+    }
+  }
+  throw invariant_error("fault-free cycle construction missed the 2^n - 2f bound");
+}
+
+}  // namespace dbr::hypercube

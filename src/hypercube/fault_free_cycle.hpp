@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hypercube/hypercube.hpp"
+
+namespace dbr::hypercube {
+
+/// Fault-free ring embedding in the hypercube: given f <= n-2 faulty nodes
+/// in Q_n (n >= 3), constructs a fault-free cycle of length at least
+/// 2^n - 2f (the bound of [WC92, CL91a] quoted in Chapter 2's comparison).
+///
+/// The construction is the classical recursion: split along a dimension
+/// separating the faults, build a fault-free cycle in one half, then splice
+/// in a fault-free path through the other half across a crossing edge whose
+/// endpoints are nonfaulty. Small subcubes (n <= 4) fall back to exhaustive
+/// search. Throws invariant_error if the bound cannot be met (which the
+/// theorem rules out for f <= n-2).
+std::vector<HNode> fault_free_cycle(unsigned n, std::span<const HNode> faults);
+
+/// Fault-free path companion: a simple path from a to b avoiding the faults
+/// covering at least 2^n - 2f - 1 nodes (2^n - 2f when parity(a) !=
+/// parity(b)). Endpoints must be nonfaulty and distinct.
+std::vector<HNode> fault_free_path(unsigned n, HNode a, HNode b,
+                                   std::span<const HNode> faults);
+
+}  // namespace dbr::hypercube

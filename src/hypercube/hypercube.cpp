@@ -1,0 +1,125 @@
+#include "hypercube/hypercube.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dbr::hypercube {
+
+Hypercube::Hypercube(unsigned dimension) : dim_(dimension) {
+  require(dimension >= 1 && dimension <= 40, "dimension must be in [1, 40]");
+}
+
+bool Hypercube::has_edge(HNode u, HNode v) const {
+  const HNode x = u ^ v;
+  return x != 0 && (x & (x - 1)) == 0 && u < num_nodes() && v < num_nodes();
+}
+
+std::vector<HNode> gray_cycle(unsigned n) {
+  require(n >= 2, "Q_n is Hamiltonian only for n >= 2");
+  const std::uint64_t size = 1ull << n;
+  std::vector<HNode> out(size);
+  for (std::uint64_t i = 0; i < size; ++i) out[i] = i ^ (i >> 1);
+  return out;
+}
+
+namespace {
+
+// Removes bit j from x (bits above j shift down): projects a subcube node
+// onto Q_(n-1) coordinates.
+HNode drop_bit(HNode x, unsigned j) {
+  const HNode low = x & ((1ull << j) - 1);
+  const HNode high = x >> (j + 1);
+  return (high << j) | low;
+}
+
+// Inverse of drop_bit: re-inserts bit j with the given value.
+HNode insert_bit(HNode x, unsigned j, bool value) {
+  const HNode low = x & ((1ull << j) - 1);
+  const HNode high = x >> j;
+  return (high << (j + 1)) | (static_cast<HNode>(value) << j) | low;
+}
+
+}  // namespace
+
+std::vector<HNode> hamiltonian_path(unsigned n, HNode a, HNode b) {
+  require(n >= 1, "dimension must be positive");
+  require(a < (1ull << n) && b < (1ull << n), "endpoint out of range");
+  require(parity(a) != parity(b),
+          "Hamiltonian path endpoints must have opposite parity");
+  if (n == 1) return {a, b};
+  // Split along a dimension where the endpoints differ; cross at a node c
+  // of parity opposite to a (so the a-side is fully covered) whose partner
+  // c' differs from b.
+  unsigned j = 0;
+  while (((a ^ b) >> j & 1) == 0) ++j;
+  for (HNode c = 0; c < (1ull << n); ++c) {
+    if ((c >> j & 1) != (a >> j & 1)) continue;  // same side as a
+    if (c == a || parity(c) == parity(a)) continue;
+    const HNode cp = c ^ (1ull << j);
+    if (cp == b) continue;
+    const auto left =
+        hamiltonian_path(n - 1, drop_bit(a, j), drop_bit(c, j));
+    const auto right =
+        hamiltonian_path(n - 1, drop_bit(cp, j), drop_bit(b, j));
+    std::vector<HNode> out;
+    out.reserve(1ull << n);
+    const bool a_side = (a >> j) & 1;
+    for (HNode v : left) out.push_back(insert_bit(v, j, a_side));
+    for (HNode v : right) out.push_back(insert_bit(v, j, !a_side));
+    return out;
+  }
+  throw invariant_error("hamiltonian_path: no crossing candidate (impossible for n >= 2)");
+}
+
+std::vector<HNode> near_hamiltonian_path(unsigned n, HNode a, HNode b) {
+  require(n >= 2, "near-Hamiltonian path needs n >= 2");
+  require(a < (1ull << n) && b < (1ull << n), "endpoint out of range");
+  require(a != b, "endpoints must differ");
+  require(parity(a) == parity(b), "use hamiltonian_path for opposite parity");
+  if (n == 2) {
+    // Same parity in Q_2: endpoints are antipodal; the 3-node path through
+    // either shared neighbor covers 2^2 - 1 nodes.
+    const HNode mid = a ^ 1;  // differs from a in bit 0; adjacent to b too
+    return {a, mid, b};
+  }
+  // a and b differ in at least two bits; split along one of them.
+  unsigned j = 0;
+  while (((a ^ b) >> j & 1) == 0) ++j;
+  for (HNode c = 0; c < (1ull << n); ++c) {
+    if ((c >> j & 1) != (a >> j & 1)) continue;
+    if (c == a || parity(c) == parity(a)) continue;
+    const HNode cp = c ^ (1ull << j);
+    if (cp == b) continue;
+    const auto left = hamiltonian_path(n - 1, drop_bit(a, j), drop_bit(c, j));
+    const auto right =
+        near_hamiltonian_path(n - 1, drop_bit(cp, j), drop_bit(b, j));
+    std::vector<HNode> out;
+    out.reserve((1ull << n) - 1);
+    const bool a_side = (a >> j) & 1;
+    for (HNode v : left) out.push_back(insert_bit(v, j, a_side));
+    for (HNode v : right) out.push_back(insert_bit(v, j, !a_side));
+    return out;
+  }
+  throw invariant_error("near_hamiltonian_path: no crossing candidate");
+}
+
+bool is_hypercube_path(unsigned n, const std::vector<HNode>& nodes) {
+  if (nodes.empty()) return false;
+  const Hypercube q(n);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    if (!q.has_edge(nodes[i], nodes[i + 1])) return false;
+  }
+  std::vector<HNode> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end() &&
+         sorted.back() < q.num_nodes();
+}
+
+bool is_hypercube_cycle(unsigned n, const std::vector<HNode>& nodes) {
+  if (nodes.size() < 3) return false;
+  const Hypercube q(n);
+  return is_hypercube_path(n, nodes) && q.has_edge(nodes.back(), nodes.front());
+}
+
+}  // namespace dbr::hypercube

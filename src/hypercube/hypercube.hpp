@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dbr::hypercube {
+
+/// Node of Q_n: an n-bit integer.
+using HNode = std::uint64_t;
+
+/// The hypercube Q_n viewed as a symmetric digraph (each undirected link is
+/// a pair of antiparallel edges). This is the baseline network of the
+/// Chapter 2 comparison ([WC92, CL91a]: a fault-free cycle of length
+/// 2^n - 2f exists under f <= n-2 node faults).
+class Hypercube {
+ public:
+  explicit Hypercube(unsigned dimension);
+
+  unsigned dimension() const { return dim_; }
+  NodeId num_nodes() const { return 1ull << dim_; }
+  /// Directed edge count n * 2^n (undirected links: n * 2^(n-1)).
+  std::uint64_t num_edges() const { return dim_ * num_nodes(); }
+  std::uint64_t num_links() const { return num_edges() / 2; }
+
+  template <typename Fn>
+  void for_each_successor(NodeId v, Fn&& fn) const {
+    for (unsigned b = 0; b < dim_; ++b) fn(v ^ (1ull << b));
+  }
+
+  bool has_edge(HNode u, HNode v) const;
+
+ private:
+  unsigned dim_;
+};
+
+static_assert(DirectedGraph<Hypercube>);
+
+/// Parity (number of one bits mod 2).
+inline unsigned parity(HNode v) {
+  return static_cast<unsigned>(__builtin_popcountll(v)) & 1u;
+}
+
+/// The reflected-Gray-code Hamiltonian cycle of Q_n (n >= 2).
+std::vector<HNode> gray_cycle(unsigned n);
+
+/// Hamiltonian path of Q_n from a to b; requires parity(a) != parity(b)
+/// (Q_n is Hamiltonian-laceable). Covers all 2^n nodes.
+std::vector<HNode> hamiltonian_path(unsigned n, HNode a, HNode b);
+
+/// Near-Hamiltonian path for same-parity endpoints: covers 2^n - 1 nodes
+/// (the maximum possible, since a path between same-parity endpoints has
+/// odd node count). Requires a != b.
+std::vector<HNode> near_hamiltonian_path(unsigned n, HNode a, HNode b);
+
+/// True if `nodes` is a simple path in Q_n from nodes.front() to
+/// nodes.back() (consecutive nodes adjacent, all distinct).
+bool is_hypercube_path(unsigned n, const std::vector<HNode>& nodes);
+
+/// True if `nodes` is a simple cycle in Q_n (wrap edge included).
+bool is_hypercube_cycle(unsigned n, const std::vector<HNode>& nodes);
+
+}  // namespace dbr::hypercube

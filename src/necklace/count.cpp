@@ -1,0 +1,148 @@
+#include "necklace/count.hpp"
+
+#include "debruijn/necklaces.hpp"
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+
+namespace dbr::necklace {
+
+namespace {
+
+using i128 = __int128;
+
+u64 checked_pow(u64 d, u64 e) {
+  u64 r = 1;
+  for (u64 i = 0; i < e; ++i) {
+    require(r <= UINT64_MAX / d, "d^j overflows 64 bits");
+    r *= d;
+  }
+  return r;
+}
+
+// Factorial as 128-bit; small arguments only (multinomials of Chapter 4).
+i128 factorial128(u64 n) {
+  i128 r = 1;
+  for (u64 i = 2; i <= n; ++i) {
+    r *= static_cast<i128>(i);
+    require(r > 0, "factorial overflows 128 bits");
+  }
+  return r;
+}
+
+}  // namespace
+
+u64 count_by_length(u64 n, u64 t, const GammaFn& gamma) {
+  require(n >= 1 && t >= 1, "count_by_length requires n, t >= 1");
+  require(n % t == 0, "necklace length t must divide n");
+  i128 total = 0;
+  for (u64 j : nt::divisors(t)) {
+    total += static_cast<i128>(gamma(j)) * nt::mobius(t / j);
+  }
+  ensure(total >= 0 && total % static_cast<i128>(t) == 0,
+         "Moebius sum must be a non-negative multiple of t");
+  const i128 result = total / static_cast<i128>(t);
+  require(result <= static_cast<i128>(UINT64_MAX), "count overflows 64 bits");
+  return static_cast<u64>(result);
+}
+
+u64 count_total(u64 n, const GammaFn& gamma) {
+  require(n >= 1, "count_total requires n >= 1");
+  i128 total = 0;
+  for (u64 j : nt::divisors(n)) {
+    total += static_cast<i128>(gamma(j)) * static_cast<i128>(nt::euler_phi(n / j));
+  }
+  ensure(total >= 0 && total % static_cast<i128>(n) == 0,
+         "phi-weighted sum must be a non-negative multiple of n");
+  const i128 result = total / static_cast<i128>(n);
+  require(result <= static_cast<i128>(UINT64_MAX), "count overflows 64 bits");
+  return static_cast<u64>(result);
+}
+
+u64 necklaces_by_length(u64 d, u64 n, u64 t) {
+  return count_by_length(n, t, [d](u64 j) { return checked_pow(d, j); });
+}
+
+u64 necklaces_total(u64 d, u64 n) {
+  return count_total(n, [d](u64 j) { return checked_pow(d, j); });
+}
+
+namespace {
+
+// Gamma(j) for weight counting: number of d-ary j-tuples of weight jk/n,
+// zero when jk/n is not an integer (Condition B's restriction).
+GammaFn weight_gamma(u64 d, u64 n, u64 k) {
+  return [d, n, k](u64 j) -> u64 {
+    if ((j * k) % n != 0) return 0;
+    return nt::bounded_compositions(d, j, j * k / n);
+  };
+}
+
+}  // namespace
+
+u64 binary_weight_necklaces_by_length(u64 n, u64 k, u64 t) {
+  return count_by_length(n, t, weight_gamma(2, n, k));
+}
+
+u64 binary_weight_necklaces_total(u64 n, u64 k) {
+  return count_total(n, weight_gamma(2, n, k));
+}
+
+u64 weight_necklaces_by_length(u64 d, u64 n, u64 k, u64 t) {
+  return count_by_length(n, t, weight_gamma(d, n, k));
+}
+
+u64 weight_necklaces_total(u64 d, u64 n, u64 k) {
+  return count_total(n, weight_gamma(d, n, k));
+}
+
+namespace {
+
+GammaFn type_gamma(u64 n, std::vector<u64> type) {
+  return [n, type = std::move(type)](u64 j) -> u64 {
+    i128 denom = 1;
+    for (u64 ka : type) {
+      if ((j * ka) % n != 0) return 0;
+      denom *= factorial128(j * ka / n);
+    }
+    const i128 value = factorial128(j) / denom;
+    require(value <= static_cast<i128>(UINT64_MAX), "multinomial overflows");
+    return static_cast<u64>(value);
+  };
+}
+
+}  // namespace
+
+u64 type_necklaces_by_length(u64 d, u64 n, std::span<const u64> type, u64 t) {
+  require(type.size() == d, "type vector must have d entries");
+  u64 sum = 0;
+  for (u64 ka : type) sum += ka;
+  require(sum == n, "type entries must sum to n");
+  return count_by_length(n, t, type_gamma(n, {type.begin(), type.end()}));
+}
+
+u64 type_necklaces_total(u64 d, u64 n, std::span<const u64> type) {
+  require(type.size() == d, "type vector must have d entries");
+  u64 sum = 0;
+  for (u64 ka : type) sum += ka;
+  require(sum == n, "type entries must sum to n");
+  return count_total(n, type_gamma(n, {type.begin(), type.end()}));
+}
+
+u64 brute_count_by_length(const WordSpace& ws, unsigned t,
+                          const std::function<bool(Word)>& pred) {
+  u64 count = 0;
+  for (Word x = 0; x < ws.size(); ++x) {
+    if (ws.min_rotation(x) == x && ws.period(x) == t && pred(x)) ++count;
+  }
+  return count;
+}
+
+u64 brute_count_total(const WordSpace& ws, const std::function<bool(Word)>& pred) {
+  u64 count = 0;
+  for (Word x = 0; x < ws.size(); ++x) {
+    if (ws.min_rotation(x) == x && pred(x)) ++count;
+  }
+  return count;
+}
+
+}  // namespace dbr::necklace

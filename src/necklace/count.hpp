@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/word.hpp"
+
+namespace dbr::necklace {
+
+using u64 = std::uint64_t;
+
+/// The generic counting framework of Chapter 4. A family is described by
+/// gamma(j) = #Gamma(j), the number of d-ary j-tuples w satisfying
+/// f(w) = g(j), for each j dividing n. The pair (f, g) must satisfy the
+/// chapter's Conditions A (rotation invariance) and B (restriction
+/// compatibility); all instantiations below do.
+using GammaFn = std::function<u64(u64 j)>;
+
+/// Proposition 4.1: number of necklaces of length t (t | n) in B(d,n) whose
+/// nodes satisfy f(x) = g(n):  (1/t) * sum_{j | t} Gamma(j) mu(t/j).
+u64 count_by_length(u64 n, u64 t, const GammaFn& gamma);
+
+/// Proposition 4.2: total number of such necklaces:
+/// (1/n) * sum_{j | n} Gamma(j) phi(n/j).
+u64 count_total(u64 n, const GammaFn& gamma);
+
+// --- Instantiations (Section 4.3) ---
+
+/// Necklaces of length t in B(d,n) (f == 0): (1/t) sum_{j|t} d^j mu(t/j).
+u64 necklaces_by_length(u64 d, u64 n, u64 t);
+/// All necklaces of B(d,n): (1/n) sum_{j|n} d^j phi(n/j).
+u64 necklaces_total(u64 d, u64 n);
+
+/// Necklaces of length t in B(2,n) made of weight-k nodes
+/// (Gamma(j) = C(j, jk/n) when jk/n is integral, else 0).
+u64 binary_weight_necklaces_by_length(u64 n, u64 k, u64 t);
+u64 binary_weight_necklaces_total(u64 n, u64 k);
+
+/// d-ary generalization using the bounded-composition counts c_d(j, jk/n).
+u64 weight_necklaces_by_length(u64 d, u64 n, u64 k, u64 t);
+u64 weight_necklaces_total(u64 d, u64 n, u64 k);
+
+/// Counting by type: type[a] = number of occurrences of digit a
+/// (sum type[a] == n). Gamma(j) is the multinomial j! / prod (j*type[a]/n)!.
+u64 type_necklaces_by_length(u64 d, u64 n, std::span<const u64> type, u64 t);
+u64 type_necklaces_total(u64 d, u64 n, std::span<const u64> type);
+
+// --- Brute-force oracles for property tests ---
+
+/// Counts necklaces of length t whose nodes all satisfy pred, by enumerating
+/// canonical representatives. pred must be rotation-invariant.
+u64 brute_count_by_length(const WordSpace& ws, unsigned t,
+                          const std::function<bool(Word)>& pred);
+u64 brute_count_total(const WordSpace& ws, const std::function<bool(Word)>& pred);
+
+}  // namespace dbr::necklace

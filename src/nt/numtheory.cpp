@@ -1,0 +1,232 @@
+#include "nt/numtheory.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dbr::nt {
+
+u64 mul_mod(u64 a, u64 b, u64 m) {
+  return static_cast<u64>(static_cast<u128>(a) * b % m);
+}
+
+u64 pow_mod(u64 a, u64 e, u64 m) {
+  require(m > 0, "pow_mod: modulus must be positive");
+  u64 result = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) result = mul_mod(result, a, m);
+    a = mul_mod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+u64 gcd(u64 a, u64 b) {
+  while (b != 0) {
+    a %= b;
+    std::swap(a, b);
+  }
+  return a;
+}
+
+u64 lcm(u64 a, u64 b) {
+  require(a > 0 && b > 0, "lcm of zero is undefined here");
+  const u64 g = gcd(a, b);
+  const u64 q = a / g;
+  require(q <= UINT64_MAX / b, "lcm overflows 64 bits");
+  return q * b;
+}
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic Miller-Rabin witness set for 64-bit integers.
+  u64 d = n - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (u64 a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    u64 x = pow_mod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (unsigned i = 1; i < r; ++i) {
+      x = mul_mod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+u64 PrimePower::value() const {
+  u64 v = 1;
+  for (unsigned i = 0; i < exponent; ++i) v *= prime;
+  return v;
+}
+
+namespace {
+
+// Pollard rho (Brent variant) returning a nontrivial factor of composite n.
+u64 pollard_rho(u64 n) {
+  if (n % 2 == 0) return 2;
+  for (u64 c = 1;; ++c) {
+    auto step = [&](u64 x) { return (mul_mod(x, x, n) + c) % n; };
+    u64 x = 2, y = 2, d = 1;
+    while (d == 1) {
+      x = step(x);
+      y = step(step(y));
+      d = gcd(x > y ? x - y : y - x, n);
+    }
+    if (d != n) return d;
+  }
+}
+
+void factor_rec(u64 n, std::vector<u64>& primes) {
+  if (n == 1) return;
+  if (is_prime(n)) {
+    primes.push_back(n);
+    return;
+  }
+  const u64 d = pollard_rho(n);
+  factor_rec(d, primes);
+  factor_rec(n / d, primes);
+}
+
+}  // namespace
+
+std::vector<PrimePower> factor(u64 n) {
+  require(n >= 1, "factor requires n >= 1");
+  std::vector<u64> primes;
+  // Strip small primes first; rho handles the rest.
+  for (u64 p = 2; p <= 61 && p * p <= n; ++p) {
+    while (n % p == 0) {
+      primes.push_back(p);
+      n /= p;
+    }
+  }
+  factor_rec(n, primes);
+  std::sort(primes.begin(), primes.end());
+  std::vector<PrimePower> out;
+  for (std::size_t i = 0; i < primes.size();) {
+    std::size_t j = i;
+    while (j < primes.size() && primes[j] == primes[i]) ++j;
+    out.push_back({primes[i], static_cast<unsigned>(j - i)});
+    i = j;
+  }
+  return out;
+}
+
+std::vector<u64> divisors(u64 n) {
+  const auto pf = factor(n);
+  std::vector<u64> out{1};
+  for (const auto& pp : pf) {
+    const std::size_t base = out.size();
+    u64 mult = 1;
+    for (unsigned e = 1; e <= pp.exponent; ++e) {
+      mult *= pp.prime;
+      for (std::size_t i = 0; i < base; ++i) out.push_back(out[i] * mult);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int mobius(u64 n) {
+  require(n >= 1, "mobius requires n >= 1");
+  const auto pf = factor(n);
+  for (const auto& pp : pf) {
+    if (pp.exponent > 1) return 0;
+  }
+  return pf.size() % 2 == 0 ? 1 : -1;
+}
+
+u64 euler_phi(u64 n) {
+  require(n >= 1, "euler_phi requires n >= 1");
+  u64 result = n;
+  for (const auto& pp : factor(n)) {
+    result -= result / pp.prime;
+  }
+  return result;
+}
+
+bool is_prime_power(u64 n, u64* prime, unsigned* exponent) {
+  if (n < 2) return false;
+  const auto pf = factor(n);
+  if (pf.size() != 1) return false;
+  if (prime) *prime = pf[0].prime;
+  if (exponent) *exponent = pf[0].exponent;
+  return true;
+}
+
+u64 primitive_root(u64 p) {
+  require(is_prime(p), "primitive_root requires a prime modulus");
+  if (p == 2) return 1;
+  const auto pf = factor(p - 1);
+  for (u64 g = 2; g < p; ++g) {
+    bool ok = true;
+    for (const auto& pp : pf) {
+      if (pow_mod(g, (p - 1) / pp.prime, p) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  ensure(false, "primitive root must exist for a prime modulus");
+  return 0;
+}
+
+u64 multiplicative_order(u64 a, u64 m) {
+  require(m >= 2, "multiplicative_order requires modulus >= 2");
+  a %= m;
+  require(gcd(a, m) == 1, "multiplicative_order requires gcd(a, m) == 1");
+  u64 order = euler_phi(m);
+  for (const auto& pp : factor(order)) {
+    for (unsigned i = 0; i < pp.exponent; ++i) {
+      if (pow_mod(a, order / pp.prime, m) == 1) {
+        order /= pp.prime;
+      } else {
+        break;
+      }
+    }
+  }
+  return order;
+}
+
+u64 binomial(u64 n, u64 k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  u128 result = 1;
+  for (u64 i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;  // exact: divides a product of i consecutive ints
+    require(result <= static_cast<u128>(UINT64_MAX), "binomial overflows 64 bits");
+  }
+  return static_cast<u64>(result);
+}
+
+u64 bounded_compositions(u64 d, u64 n, u64 k) {
+  require(d >= 1, "bounded_compositions requires d >= 1");
+  if (k > n * (d - 1)) return 0;
+  // c_d(n,k) = sum_i (-1)^i C(n,i) C(n-1+k-d*i, n-1)   [Knuth, via Section 4.3]
+  using i128 = __int128;
+  i128 total = 0;
+  for (u64 i = 0; i <= k / d && i <= n; ++i) {
+    const u64 top = n - 1 + k - d * i;
+    const i128 term = static_cast<i128>(binomial(n, i)) *
+                      static_cast<i128>(binomial(top, n - 1));
+    total += (i % 2 == 0) ? term : -term;
+  }
+  ensure(total >= 0, "bounded_compositions: negative count");
+  require(total <= static_cast<i128>(UINT64_MAX), "bounded_compositions overflows 64 bits");
+  return static_cast<u64>(total);
+}
+
+}  // namespace dbr::nt

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbr::nt {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/// a*b mod m without overflow (128-bit intermediate).
+u64 mul_mod(u64 a, u64 b, u64 m);
+/// a^e mod m.
+u64 pow_mod(u64 a, u64 e, u64 m);
+/// Greatest common divisor.
+u64 gcd(u64 a, u64 b);
+/// Least common multiple; throws on 64-bit overflow.
+u64 lcm(u64 a, u64 b);
+
+/// Deterministic Miller-Rabin, valid for all 64-bit inputs.
+bool is_prime(u64 n);
+
+/// A prime factor entry p^e.
+struct PrimePower {
+  u64 prime;
+  unsigned exponent;
+  /// The value prime^exponent.
+  u64 value() const;
+};
+
+/// Prime factorization via trial division + Pollard rho, sorted by prime.
+std::vector<PrimePower> factor(u64 n);
+
+/// All divisors of n in ascending order.
+std::vector<u64> divisors(u64 n);
+
+/// Moebius function mu(n) in {-1, 0, 1}.
+int mobius(u64 n);
+
+/// Euler totient phi(n).
+u64 euler_phi(u64 n);
+
+/// True if n == p^e for a prime p (e >= 1); outputs p and e when so.
+bool is_prime_power(u64 n, u64* prime = nullptr, unsigned* exponent = nullptr);
+
+/// Smallest primitive root modulo an odd prime p (also handles p = 2).
+u64 primitive_root(u64 p);
+
+/// Multiplicative order of a modulo m (requires gcd(a, m) == 1).
+u64 multiplicative_order(u64 a, u64 m);
+
+/// Binomial coefficient C(n, k); throws on 64-bit overflow.
+u64 binomial(u64 n, u64 k);
+
+/// Exact count of d-ary n-tuples of weight k: the coefficient c_d(n,k) of
+/// z^k in (1 + z + ... + z^(d-1))^n, via the alternating-binomial formula
+/// used in Section 4.3. Throws on 64-bit overflow.
+u64 bounded_compositions(u64 d, u64 n, u64 k);
+
+}  // namespace dbr::nt

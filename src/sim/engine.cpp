@@ -1,0 +1,73 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dbr::sim {
+
+Engine::Engine(NodeId num_nodes, std::function<bool(NodeId, NodeId)> edge_ok)
+    : num_nodes_(num_nodes), edge_ok_(std::move(edge_ok)), dead_(num_nodes, false) {
+  require(num_nodes > 0, "engine needs at least one node");
+  require(static_cast<bool>(edge_ok_), "topology predicate required");
+}
+
+void Engine::kill(NodeId v) {
+  require(v < num_nodes_, "node out of range");
+  dead_[v] = true;
+}
+
+bool Engine::alive(NodeId v) const {
+  require(v < num_nodes_, "node out of range");
+  return !dead_[v];
+}
+
+void Engine::post(NodeId from, NodeId to, Message msg) {
+  require(from < num_nodes_ && to < num_nodes_, "endpoint out of range");
+  require(edge_ok_(from, to), "no physical link between endpoints");
+  if (dead_[from] || dead_[to]) {
+    ++dropped_;
+    return;
+  }
+  msg.from = from;
+  outbox_.emplace_back(to, std::move(msg));
+}
+
+std::uint64_t Engine::step(
+    const std::function<void(NodeId, std::vector<Message>&)>& on_deliver) {
+  ++rounds_;
+  if (outbox_.empty()) return 0;
+  // Stable-group the round's traffic by destination.
+  std::vector<std::pair<NodeId, Message>> in_flight;
+  in_flight.swap(outbox_);
+  std::stable_sort(in_flight.begin(), in_flight.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::uint64_t count = in_flight.size();
+  std::vector<Message> batch;
+  std::size_t i = 0;
+  while (i < in_flight.size()) {
+    const NodeId dest = in_flight[i].first;
+    batch.clear();
+    while (i < in_flight.size() && in_flight[i].first == dest) {
+      batch.push_back(std::move(in_flight[i].second));
+      ++i;
+    }
+    on_deliver(dest, batch);
+  }
+  delivered_ += count;
+  return count;
+}
+
+std::uint64_t Engine::run_until_idle(
+    const std::function<void(NodeId, std::vector<Message>&)>& on_deliver,
+    std::uint64_t max_rounds) {
+  std::uint64_t used = 0;
+  while (!idle()) {
+    ensure(used < max_rounds, "protocol failed to quiesce within the round budget");
+    step(on_deliver);
+    ++used;
+  }
+  return used;
+}
+
+}  // namespace dbr::sim

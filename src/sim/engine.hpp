@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dbr::sim {
+
+/// A message in flight. Payload semantics are protocol-defined; `tag`
+/// distinguishes message kinds within one protocol.
+struct Message {
+  NodeId from = 0;
+  std::uint32_t tag = 0;
+  std::vector<std::uint64_t> payload;
+};
+
+/// Synchronous round-based message-passing engine (the multi-port model of
+/// Section 2.4: in one time step a processor may send along all of its
+/// outgoing links and receive along all incoming ones).
+///
+/// Faults are fail-stop processors: a dead node neither sends nor receives;
+/// traffic addressed to it vanishes, which is exactly how the necklace probe
+/// detects faulty necklaces. Links are validated against the supplied
+/// topology predicate so protocols cannot cheat with non-local hops.
+class Engine {
+ public:
+  /// edge_ok(u, v) must return true iff the network has a physical link
+  /// u -> v that messages may traverse.
+  Engine(NodeId num_nodes, std::function<bool(NodeId, NodeId)> edge_ok);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Marks a processor fail-stop dead.
+  void kill(NodeId v);
+  bool alive(NodeId v) const;
+
+  /// Queues a message for delivery in the next round. Silently dropped when
+  /// either endpoint is dead (a dead sender models a node that failed before
+  /// the protocol started; callers normally skip dead senders anyway).
+  /// Throws precondition_error if the topology lacks the link.
+  void post(NodeId from, NodeId to, Message msg);
+
+  /// Delivers every queued message: invokes on_deliver(dest, batch) once per
+  /// destination with a nonempty inbox (batch unordered within the round).
+  /// Advances the round counter; returns the number of delivered messages.
+  std::uint64_t step(
+      const std::function<void(NodeId dest, std::vector<Message>& batch)>& on_deliver);
+
+  /// Runs step() until no messages are in flight or max_rounds is exhausted
+  /// (throws invariant_error on exhaustion). Returns rounds consumed.
+  std::uint64_t run_until_idle(
+      const std::function<void(NodeId dest, std::vector<Message>& batch)>& on_deliver,
+      std::uint64_t max_rounds);
+
+  bool idle() const { return outbox_.empty(); }
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+
+ private:
+  NodeId num_nodes_;
+  std::function<bool(NodeId, NodeId)> edge_ok_;
+  std::vector<bool> dead_;
+  std::vector<std::pair<NodeId, Message>> outbox_;  // (dest, message)
+  std::uint64_t rounds_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dbr::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dbr {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails; indicates a library bug.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Checks a documented precondition of a public entry point.
+/// Throws dbr::precondition_error with the offending location on failure.
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw precondition_error(std::string(loc.file_name()) + ":" +
+                             std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+/// Checks an internal invariant. Failure means the library itself is wrong,
+/// so the error type is distinct from precondition violations.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw invariant_error(std::string(loc.file_name()) + ":" +
+                          std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace dbr

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Used for all Monte-Carlo
+/// experiments so tables are reproducible from a seed; not for cryptography.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound) without modulo bias.
+  std::uint64_t below(std::uint64_t bound) {
+    require(bound > 0, "Rng::below requires bound > 0");
+    const std::uint64_t threshold = -bound % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, population) via partial
+  /// Floyd sampling; O(k) expected time, result unsorted but deterministic.
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t population, std::uint64_t k) {
+    require(k <= population, "cannot sample more values than the population");
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(k));
+    // Floyd's algorithm: for j in [population-k, population), draw t in [0, j];
+    // if t already chosen, take j instead.
+    for (std::uint64_t j = population - k; j < population; ++j) {
+      const std::uint64_t t = below(j + 1);
+      bool seen = false;
+      for (std::uint64_t v : out) {
+        if (v == t) {
+          seen = true;
+          break;
+        }
+      }
+      out.push_back(seen ? j : t);
+    }
+    return out;
+  }
+
+  /// Derives an independent stream (for per-thread RNGs in parallel sweeps).
+  Rng split(std::uint64_t stream) const {
+    Rng r(state_ ^ (0x9e3779b97f4a7c15ull * (stream + 1)));
+    r.next_u64();
+    return r;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dbr

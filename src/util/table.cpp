@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TextTable needs at least one column");
+}
+
+TextTable& TextTable::new_row() {
+  ensure(rows_.empty() || rows_.back().size() == headers_.size(),
+         "previous row incomplete");
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(const std::string& value) {
+  require(!rows_.empty(), "call new_row() before add()");
+  require(rows_.back().size() < headers_.size(), "row has too many values");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::add(std::int64_t value) { return add(std::to_string(value)); }
+TextTable& TextTable::add(std::uint64_t value) { return add(std::to_string(value)); }
+
+TextTable& TextTable::add(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return add(std::string(buf));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out += "| ";
+      out.append(width[c] - cell.size(), ' ');
+      out += cell;
+      out += ' ';
+    }
+    out += "|\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += ',';
+      out += cells[c];
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace dbr

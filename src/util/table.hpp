@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dbr {
+
+/// Minimal fixed-column text table used by the benchmark harness to render
+/// paper-style tables (right-aligned numeric columns under a header row).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row; values are appended with add().
+  TextTable& new_row();
+  TextTable& add(const std::string& value);
+  TextTable& add(std::int64_t value);
+  TextTable& add(std::uint64_t value);
+  TextTable& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  TextTable& add(unsigned value) { return add(static_cast<std::uint64_t>(value)); }
+  /// Fixed-point rendering with the given number of decimals.
+  TextTable& add(double value, int decimals = 2);
+
+  /// Renders with column separators and a rule under the header.
+  std::string to_string() const;
+  /// Comma-separated rendering for machine consumption.
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbr

@@ -1,0 +1,144 @@
+#include "util/word.hpp"
+
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace dbr {
+
+namespace {
+
+// Returns d^n, throwing if the result (times one extra factor of d) would
+// overflow 64 bits; keeps edge words representable alongside node words.
+Word checked_pow(Digit d, unsigned n) {
+  Word result = 1;
+  const Word limit = std::numeric_limits<Word>::max() / d;
+  for (unsigned i = 0; i < n + 1; ++i) {  // +1: room for (n+1)-digit edge words
+    require(result <= limit, "d^(n+1) does not fit in 64 bits");
+    result *= d;
+  }
+  return result / d;
+}
+
+}  // namespace
+
+WordSpace::WordSpace(Digit d, unsigned n) : d_(d), n_(n) {
+  require(d >= 2, "WordSpace requires radix d >= 2");
+  require(n >= 1, "WordSpace requires length n >= 1");
+  size_ = checked_pow(d, n);
+  suffix_size_ = size_ / d_;
+  place_.resize(n);
+  Word p = 1;
+  for (unsigned i = 0; i < n; ++i) {
+    place_[n - 1 - i] = p;
+    p *= d_;
+  }
+}
+
+Digit WordSpace::digit(Word x, unsigned i) const {
+  require(i < n_, "digit index out of range");
+  return static_cast<Digit>((x / place_[i]) % d_);
+}
+
+Word WordSpace::with_digit(Word x, unsigned i, Digit v) const {
+  require(i < n_, "digit index out of range");
+  require(v < d_, "digit value out of range");
+  const Digit old = static_cast<Digit>((x / place_[i]) % d_);
+  return x + (static_cast<Word>(v) - static_cast<Word>(old)) * place_[i];
+}
+
+Word WordSpace::from_digits(std::span<const Digit> digits) const {
+  require(digits.size() == n_, "from_digits expects exactly n digits");
+  Word x = 0;
+  for (Digit v : digits) {
+    require(v < d_, "digit value out of range");
+    x = x * d_ + v;
+  }
+  return x;
+}
+
+std::vector<Digit> WordSpace::digits(Word x) const {
+  std::vector<Digit> out(n_);
+  for (unsigned i = 0; i < n_; ++i) out[i] = digit(x, i);
+  return out;
+}
+
+std::string WordSpace::to_string(Word x) const {
+  std::string s;
+  const bool wide = d_ > 10;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (wide && i > 0) s += '.';
+    s += std::to_string(digit(x, i));
+  }
+  return s;
+}
+
+Word WordSpace::rotate_left(Word x, unsigned k) const {
+  k %= n_;
+  if (k == 0) return x;
+  const Word cut = place_[k - 1];  // d^(n-k)
+  return (x % cut) * (size_ / cut) + x / cut;
+}
+
+Word WordSpace::min_rotation(Word x) const {
+  Word best = x;
+  Word cur = x;
+  for (unsigned k = 1; k < n_; ++k) {
+    cur = rotate_left(cur, 1);
+    if (cur < best) best = cur;
+  }
+  return best;
+}
+
+unsigned WordSpace::period(Word x) const {
+  // The period divides n, so only divisors need checking.
+  for (unsigned t = 1; t <= n_; ++t) {
+    if (n_ % t == 0 && rotate_left(x, t) == x) return t;
+  }
+  ensure(false, "period: rotation by n must fix x");
+  return n_;
+}
+
+unsigned WordSpace::weight(Word x) const {
+  unsigned w = 0;
+  for (unsigned i = 0; i < n_; ++i) w += digit(x, i);
+  return w;
+}
+
+unsigned WordSpace::count_digit(Word x, Digit a) const {
+  require(a < d_, "digit value out of range");
+  unsigned c = 0;
+  for (unsigned i = 0; i < n_; ++i) c += (digit(x, i) == a) ? 1u : 0u;
+  return c;
+}
+
+Word WordSpace::shift_append(Word x, Digit a) const {
+  require(a < d_, "digit value out of range");
+  return (x % suffix_size_) * d_ + a;
+}
+
+Word WordSpace::shift_prepend(Word x, Digit a) const {
+  require(a < d_, "digit value out of range");
+  return static_cast<Word>(a) * suffix_size_ + x / d_;
+}
+
+Word WordSpace::repeated(Digit a) const {
+  require(a < d_, "digit value out of range");
+  Word x = 0;
+  for (unsigned i = 0; i < n_; ++i) x = x * d_ + a;
+  return x;
+}
+
+Word WordSpace::alternating(Digit a, Digit b) const {
+  require(a < d_ && b < d_, "digit value out of range");
+  Word x = 0;
+  for (unsigned i = 0; i < n_; ++i) x = x * d_ + (i % 2 == 0 ? a : b);
+  return x;
+}
+
+std::pair<Word, Word> WordSpace::edge_endpoints(Word e) const {
+  require(e < edge_word_count(), "edge word out of range");
+  return {e / d_, e % size_};
+}
+
+}  // namespace dbr

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dbr {
+
+/// A d-ary n-tuple x1...xn encoded as a radix-d integer with x1 the most
+/// significant digit. Words index the nodes of the De Bruijn graph B(d,n).
+using Word = std::uint64_t;
+
+/// Digit of a word (an element of Z_d).
+using Digit = std::uint32_t;
+
+/// Algebra of fixed-length d-ary words: digit access, rotations, necklace
+/// canonical forms, weights, and the (n+1)-word edge codec used throughout
+/// the ring-embedding algorithms.
+///
+/// Terminology follows the paper: the "necklace" N(x) is the cyclic rotation
+/// class of x; its representative [y] is the minimal rotation when words are
+/// compared as base-d numbers.
+class WordSpace {
+ public:
+  /// Requires d >= 2, n >= 1, and d^(n+1) representable in 64 bits
+  /// (the +1 leaves room for edge words).
+  WordSpace(Digit d, unsigned n);
+
+  Digit radix() const { return d_; }
+  unsigned length() const { return n_; }
+  /// Number of words: d^n.
+  Word size() const { return size_; }
+
+  /// Digit i of x, i in [0, n); 0 addresses x1 (most significant).
+  Digit digit(Word x, unsigned i) const;
+  /// Copy of x with digit i replaced by v.
+  Word with_digit(Word x, unsigned i, Digit v) const;
+  /// Assembles a word from n digits (digits[0] = x1).
+  Word from_digits(std::span<const Digit> digits) const;
+  /// All n digits of x, most significant first.
+  std::vector<Digit> digits(Word x) const;
+  /// Word rendered as a digit string, e.g. "0112" (digits >= 10 separated by '.').
+  std::string to_string(Word x) const;
+
+  /// Left rotation by k positions: pi^k(x) in the paper's notation.
+  Word rotate_left(Word x, unsigned k) const;
+  /// Minimal rotation of x: the representative of necklace N(x).
+  Word min_rotation(Word x) const;
+  /// Least t > 0 with pi^t(x) == x; always divides n.
+  unsigned period(Word x) const;
+  /// True if period(x) == n.
+  bool aperiodic(Word x) const { return period(x) == length(); }
+
+  /// Sum of digits: wt(x).
+  unsigned weight(Word x) const;
+  /// Number of occurrences of digit a: wt_a(x).
+  unsigned count_digit(Word x, Digit a) const;
+
+  /// The De Bruijn successor x2...xn a.
+  Word shift_append(Word x, Digit a) const;
+  /// The De Bruijn predecessor a x1...x(n-1).
+  Word shift_prepend(Word x, Digit a) const;
+  /// First n-1 digits x1...x(n-1), as an (n-1)-digit value.
+  Word prefix(Word x) const { return x / d_; }
+  /// Last n-1 digits x2...xn, as an (n-1)-digit value.
+  Word suffix(Word x) const { return x % suffix_size_; }
+  /// First digit x1.
+  Digit head(Word x) const { return static_cast<Digit>(x / suffix_size_); }
+  /// Last digit xn.
+  Digit tail(Word x) const { return static_cast<Digit>(x % d_); }
+  /// The word w b where w is an (n-1)-digit value (paper's "enter node" form).
+  Word compose_suffix(Word w, Digit b) const { return w * d_ + b; }
+  /// The word a w where w is an (n-1)-digit value (paper's "exit node" form).
+  Word compose_prefix(Digit a, Word w) const { return a * suffix_size_ + w; }
+
+  /// The constant word a^n.
+  Word repeated(Digit a) const;
+  /// The alternating word "a b a b ..." of length n (paper's \overline{ab}):
+  /// ends with b when n is even, with a when n is odd.
+  Word alternating(Digit a, Digit b) const;
+
+  /// Edge (u, shift_append(u, a)) encoded as the (n+1)-word u1...un a.
+  Word edge_word(Word u, Digit a) const { return u * d_ + a; }
+  /// Endpoints (u, v) of the edge encoded by an (n+1)-word.
+  std::pair<Word, Word> edge_endpoints(Word e) const;
+  /// Number of distinct (n+1)-words: d^(n+1).
+  Word edge_word_count() const { return size_ * d_; }
+
+ private:
+  Digit d_;
+  unsigned n_;
+  Word size_;         // d^n
+  Word suffix_size_;  // d^(n-1)
+  std::vector<Word> place_;  // place_[i] = d^(n-1-i), weight of digit i
+};
+
+}  // namespace dbr

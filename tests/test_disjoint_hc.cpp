@@ -1,0 +1,279 @@
+#include "core/disjoint_hc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gf/poly.hpp"
+#include "util/require.hpp"
+
+namespace dbr::core {
+namespace {
+
+// --------------------------------------------------------------------------
+// psi(d): Table 3.1 reproduces exactly.
+
+TEST(Psi, Table31Exact) {
+  // Table 3.1: psi(d) for 2 <= d <= 38.
+  const std::vector<std::uint64_t> expected{
+      /* d=2  */ 1,  1, 3,  2, 1,  3, 7,  4,  2, 5, 3, 7, 3, 2, 15, 9, 4, 9, 6,
+      /* d=21 */ 3,  5, 11, 7, 12, 7, 13, 9,  15, 2, 15, 31, 5, 9, 6, 12, 19, 9};
+  for (std::uint64_t d = 2; d <= 38; ++d) {
+    EXPECT_EQ(psi(d), expected[d - 2]) << "psi(" << d << ")";
+  }
+}
+
+TEST(Psi, Multiplicative) {
+  EXPECT_EQ(psi(6), psi(2) * psi(3));
+  EXPECT_EQ(psi(12), psi(4) * psi(3));
+  EXPECT_EQ(psi(20), psi(4) * psi(5));
+  EXPECT_EQ(psi(36), psi(4) * psi(9));
+  EXPECT_EQ(psi(30), psi(2) * psi(3) * psi(5));
+}
+
+TEST(Psi, PowerOfTwoIsOptimal) {
+  // Upper bound d-1 is met for powers of two (Section 3.2).
+  for (std::uint64_t d : {2ull, 4ull, 8ull, 16ull, 32ull}) {
+    EXPECT_EQ(psi(d), d - 1);
+  }
+}
+
+TEST(Lemma35, ConditionsCoverAllOddPrimes) {
+  // Lemma 3.5: at least one of (a), (b) holds for every odd prime.
+  for (std::uint64_t p : {3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                          29ull, 31ull, 37ull, 41ull, 43ull, 47ull}) {
+    EXPECT_TRUE(lemma35_condition_a(p) || lemma35_condition_b(p)) << p;
+  }
+}
+
+TEST(Lemma35, KnownCases) {
+  // Condition (a) iff p = +-3 (mod 8) (2 is a nonresidue).
+  EXPECT_TRUE(lemma35_condition_a(3));
+  EXPECT_TRUE(lemma35_condition_a(5));
+  EXPECT_TRUE(lemma35_condition_a(13));
+  EXPECT_FALSE(lemma35_condition_a(7));
+  EXPECT_FALSE(lemma35_condition_a(17));
+  // The paper notes p = 13 satisfies both (7 + 7^9 = 2 mod 13), while in Z_5
+  // only (a) holds.
+  EXPECT_TRUE(lemma35_condition_b(13));
+  EXPECT_FALSE(lemma35_condition_b(5));
+  // p = +-1 (mod 8) forces (b).
+  EXPECT_TRUE(lemma35_condition_b(7));
+  EXPECT_TRUE(lemma35_condition_b(17));
+  EXPECT_TRUE(lemma35_condition_b(23));
+  // psi(29) = 15 = (29+1)/2 in Table 3.1 requires (b) for 29 = 5 mod 8.
+  EXPECT_TRUE(lemma35_condition_b(29));
+}
+
+TEST(PhiEdgeBound, KnownValues) {
+  EXPECT_EQ(phi_edge_bound(2), 0u);
+  EXPECT_EQ(phi_edge_bound(3), 1u);
+  EXPECT_EQ(phi_edge_bound(5), 3u);       // prime power: d - 2
+  EXPECT_EQ(phi_edge_bound(8), 6u);
+  EXPECT_EQ(phi_edge_bound(6), 1u);       // 2 + 3 - 4
+  EXPECT_EQ(phi_edge_bound(12), 3u);      // 4 + 3 - 4
+  EXPECT_EQ(phi_edge_bound(30), 4u);      // 2 + 3 + 5 - 6
+  EXPECT_EQ(phi_edge_bound(28), 7u);      // 4 + 7 - 4
+}
+
+TEST(MaxTolerable, Table32Exact) {
+  // Table 3.2: MAX{psi(d)-1, phi(d)} for 2 <= d <= 35.
+  const std::vector<std::uint64_t> expected{
+      /* d=2  */ 0,  1, 2,  3, 1,  5, 6,  7,  3, 9, 3, 11, 5, 4, 14, 15, 7,
+      /* d=19 */ 17, 5, 6,  9, 21, 7, 23, 11, 25, 8, 27, 4, 29, 30, 10, 15, 8};
+  for (std::uint64_t d = 2; d <= 35; ++d) {
+    EXPECT_EQ(max_tolerable_edge_faults(d), expected[d - 2]) << "d=" << d;
+  }
+}
+
+TEST(MaxTolerable, D28IsTheSolePsiException) {
+  // Section 3.3: for 2 <= d <= 35, d = 28 is the only d where psi(d)-1
+  // exceeds phi(d).
+  for (std::uint64_t d = 2; d <= 35; ++d) {
+    if (d == 28) {
+      EXPECT_GT(psi(d) - 1, phi_edge_bound(d));
+    } else {
+      EXPECT_LE(psi(d) - 1, phi_edge_bound(d));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Maximal cycle machinery and the paper's worked examples.
+
+TEST(MaximalCycle, ShiftedFamilyPartitionsNonLoopEdges) {
+  // Lemma 3.3 + the observation before Lemma 3.4: the d cycles {s + C}
+  // partition the d(d^n - 1) non-loop edges.
+  for (auto [q, n] : {std::pair<std::uint64_t, unsigned>{2, 4}, {3, 3}, {4, 2}, {5, 2}}) {
+    const gf::Field field(q);
+    const MaximalCycleFamily family(field, n);
+    const WordSpace ws(static_cast<Digit>(q), n);
+    std::set<Word> seen;
+    for (gf::Field::Elem s = 0; s < q; ++s) {
+      const SymbolCycle c = family.shifted_cycle(s);
+      EXPECT_TRUE(is_cycle(ws, c));
+      EXPECT_EQ(c.length(), ws.size() - 1);
+      for (Word e : edge_words(ws, c)) {
+        EXPECT_TRUE(seen.insert(e).second) << "duplicate edge across shifts";
+        const auto [u, v] = ws.edge_endpoints(e);
+        EXPECT_NE(u, v) << "shifted cycles avoid loops";
+      }
+    }
+    EXPECT_EQ(seen.size(), q * (ws.size() - 1));
+  }
+}
+
+TEST(MaximalCycle, Example34ExactSequences) {
+  // Example 3.4: d = 5, n = 2, C from Example 3.1, f(x) = 2x (Strategy 3,
+  // 2 = 3^3 in Z_5). H_1 and H_4 are printed in the paper.
+  const gf::Field field(5);
+  const MaximalCycleFamily family(field, 2, {3, 1});
+  const SymbolCycle h1 = family.hamiltonian_cycle(1, 2);
+  const SymbolCycle h4 = family.hamiltonian_cycle(4, field.mul(2, 4));
+  const SymbolCycle expected_h1{{1, 2, 2, 0, 3, 0, 1, 1, 3, 3, 4, 0, 4,
+                                 1, 0, 0, 2, 4, 2, 1, 4, 4, 3, 2, 3}};
+  const SymbolCycle expected_h4{{4, 0, 0, 3, 1, 3, 4, 1, 1, 2, 3, 2, 4,
+                                 3, 3, 0, 2, 0, 4, 4, 2, 2, 1, 0, 1}};
+  EXPECT_EQ(h1, expected_h1);
+  EXPECT_EQ(h4, expected_h4);
+  const WordSpace ws(5, 2);
+  EXPECT_TRUE(is_hamiltonian(ws, h1));
+  EXPECT_TRUE(is_hamiltonian(ws, h4));
+  EXPECT_TRUE(edges_disjoint(ws, h1, h4));
+}
+
+TEST(MaximalCycle, InsertionPairConsistency) {
+  // insertion_pair and hamiltonian_cycle_at agree: the two new edge words
+  // appear in H_s and the removed edge word does not.
+  const gf::Field field(7);
+  const MaximalCycleFamily family(field, 2);
+  const WordSpace ws(7, 2);
+  for (gf::Field::Elem s = 0; s < 7; ++s) {
+    for (gf::Field::Elem alpha = 0; alpha < 7; ++alpha) {
+      if (alpha == s) continue;
+      const auto [e1, e2] = family.insertion_pair(s, alpha);
+      const SymbolCycle h = family.hamiltonian_cycle_at(s, alpha);
+      EXPECT_TRUE(is_hamiltonian(ws, h));
+      const auto ews = edge_words(ws, h);
+      const std::set<Word> edge_set(ews.begin(), ews.end());
+      EXPECT_TRUE(edge_set.contains(e1));
+      EXPECT_TRUE(edge_set.contains(e2));
+    }
+  }
+}
+
+TEST(MaximalCycle, RejectsNonPrimitiveTaps) {
+  const gf::Field field(5);
+  // x^2 + 2 is irreducible but not primitive: taps (a0, a1) = (-2, 0)...
+  // a0 = 3, a1 = 0.
+  EXPECT_THROW(MaximalCycleFamily(field, 2, {3, 0}), precondition_error);
+}
+
+// --------------------------------------------------------------------------
+// The disjoint families themselves.
+
+class DisjointFamily
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>> {};
+
+TEST_P(DisjointFamily, CountHamiltonicityAndPairwiseDisjointness) {
+  const auto [d, n] = GetParam();
+  const WordSpace ws(static_cast<Digit>(d), n);
+  const auto family = disjoint_hamiltonian_cycles(d, n);
+  EXPECT_GE(family.size(), psi(d));
+  for (const SymbolCycle& hc : family) {
+    EXPECT_TRUE(is_hamiltonian(ws, hc));
+  }
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    for (std::size_t j = i + 1; j < family.size(); ++j) {
+      EXPECT_TRUE(edges_disjoint(ws, family[i], family[j]))
+          << "cycles " << i << " and " << j << " share an edge";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DisjointFamily,
+    ::testing::Values(std::pair<std::uint64_t, unsigned>{2, 3},
+                      std::pair<std::uint64_t, unsigned>{2, 6},
+                      std::pair<std::uint64_t, unsigned>{3, 3},
+                      std::pair<std::uint64_t, unsigned>{4, 2},
+                      std::pair<std::uint64_t, unsigned>{4, 3},
+                      std::pair<std::uint64_t, unsigned>{5, 2},
+                      std::pair<std::uint64_t, unsigned>{5, 3},
+                      std::pair<std::uint64_t, unsigned>{7, 2},
+                      std::pair<std::uint64_t, unsigned>{8, 2},
+                      std::pair<std::uint64_t, unsigned>{9, 2},
+                      std::pair<std::uint64_t, unsigned>{13, 2},
+                      std::pair<std::uint64_t, unsigned>{16, 2},
+                      std::pair<std::uint64_t, unsigned>{6, 2},
+                      std::pair<std::uint64_t, unsigned>{6, 3},
+                      std::pair<std::uint64_t, unsigned>{10, 2},
+                      std::pair<std::uint64_t, unsigned>{12, 2},
+                      std::pair<std::uint64_t, unsigned>{15, 2}),
+    [](const auto& pinfo) {
+      return "B" + std::to_string(pinfo.param.first) + "_" +
+             std::to_string(pinfo.param.second);
+    });
+
+TEST(Strategy1, PowerOfTwoFamilies) {
+  // d = 4: 3 disjoint HCs (Example 3.2's count); d = 8: 7.
+  for (auto [q, n] : {std::pair<std::uint64_t, unsigned>{4, 2}, {4, 3}, {8, 2}}) {
+    const gf::Field field(q);
+    const auto family = disjoint_hcs_prime_power(field, n);
+    EXPECT_EQ(family.size(), q - 1);
+  }
+}
+
+TEST(Strategy2, D13GetsSevenCycles) {
+  // Example 3.3: {H_0, H_1, H_7^2, ...}: 7 = (13+1)/2 disjoint HCs.
+  const gf::Field field(13);
+  const auto family = disjoint_hcs_prime_power(field, 2);
+  EXPECT_EQ(family.size(), 7u);
+}
+
+TEST(Strategy3, D5GetsTwoCycles) {
+  const gf::Field field(5);
+  const auto family = disjoint_hcs_prime_power(field, 2);
+  EXPECT_EQ(family.size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Rees composition (Lemma 3.6 / Example 3.5).
+
+TEST(Rees, Example35Exact) {
+  const SymbolCycle a{{0, 0, 1, 1}};                    // HC in B(2,2)
+  const SymbolCycle b{{0, 0, 2, 2, 1, 2, 0, 1, 1}};     // HC in B(3,2)
+  const SymbolCycle expected{{0, 0, 5, 5, 1, 2, 3, 4, 1, 0, 3, 5,
+                              2, 1, 5, 3, 1, 1, 3, 3, 2, 2, 4, 5,
+                              0, 1, 4, 3, 0, 2, 5, 4, 2, 0, 4, 4}};
+  const SymbolCycle got = rees_compose(a, b, 3);
+  EXPECT_EQ(got, expected);
+  EXPECT_TRUE(is_hamiltonian(WordSpace(6, 2), got));
+}
+
+TEST(Rees, RequiresCoprimeLengths) {
+  const SymbolCycle a{{0, 0, 1, 1}};
+  EXPECT_THROW((void)rees_compose(a, a, 2), precondition_error);
+}
+
+TEST(Rees, ComposesAcrossThreeFactors) {
+  // d = 30 = 2 * 3 * 5 at n = 2: psi(30) = 2 cycles, each Hamiltonian.
+  const auto family = disjoint_hamiltonian_cycles(30, 2);
+  EXPECT_GE(family.size(), 2u);
+  const WordSpace ws(30, 2);
+  for (const auto& hc : family) {
+    EXPECT_TRUE(is_hamiltonian(ws, hc));
+  }
+  EXPECT_TRUE(edges_disjoint(ws, family[0], family[1]));
+}
+
+TEST(Preconditions, RejectsBadArguments) {
+  EXPECT_THROW(psi(1), precondition_error);
+  EXPECT_THROW(phi_edge_bound(0), precondition_error);
+  EXPECT_THROW(disjoint_hamiltonian_cycles(2, 1), precondition_error);
+  EXPECT_THROW(lemma35_condition_b(4), precondition_error);
+  EXPECT_THROW(lemma35_condition_a(2), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbr::core

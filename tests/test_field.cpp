@@ -1,0 +1,175 @@
+#include "gf/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace dbr::gf {
+namespace {
+
+class FieldAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FieldAxioms, AdditiveGroup) {
+  const Field f(GetParam());
+  const auto q = static_cast<Field::Elem>(f.order());
+  for (Field::Elem a = 0; a < q; ++a) {
+    EXPECT_EQ(f.add(a, 0), a);
+    EXPECT_EQ(f.add(a, f.neg(a)), 0u);
+    for (Field::Elem b = 0; b < q; ++b) {
+      EXPECT_EQ(f.add(a, b), f.add(b, a));
+      for (Field::Elem c = 0; c < q; ++c) {
+        EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicativeGroup) {
+  const Field f(GetParam());
+  const auto q = static_cast<Field::Elem>(f.order());
+  for (Field::Elem a = 0; a < q; ++a) {
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.mul(a, 0), 0u);
+    if (a != 0) {
+      EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+    }
+    for (Field::Elem b = 0; b < q; ++b) {
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    }
+  }
+}
+
+TEST_P(FieldAxioms, Distributivity) {
+  const Field f(GetParam());
+  const auto q = static_cast<Field::Elem>(f.order());
+  for (Field::Elem a = 0; a < q; ++a) {
+    for (Field::Elem b = 0; b < q; ++b) {
+      for (Field::Elem c = 0; c < q; ++c) {
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldAxioms, GeneratorSpansMultiplicativeGroup) {
+  const Field f(GetParam());
+  EXPECT_EQ(f.element_order(f.generator()), f.order() - 1);
+  std::vector<bool> seen(f.order(), false);
+  Field::Elem cur = 1;
+  for (std::uint64_t i = 0; i + 1 < f.order(); ++i) {
+    EXPECT_FALSE(seen[cur]);
+    seen[cur] = true;
+    cur = f.mul(cur, f.generator());
+  }
+  EXPECT_EQ(cur, 1u);
+}
+
+TEST_P(FieldAxioms, ExpLogRoundTrip) {
+  const Field f(GetParam());
+  for (Field::Elem a = 1; a < f.order(); ++a) {
+    EXPECT_EQ(f.exp(f.log(a)), a);
+  }
+}
+
+TEST_P(FieldAxioms, FrobeniusFixesPrimeSubfield) {
+  // a^p == a for a in the prime subfield {0, 1, ..., p-1}.
+  const Field f(GetParam());
+  for (std::uint64_t v = 0; v < f.characteristic(); ++v) {
+    const Field::Elem a = f.from_int(v);
+    EXPECT_EQ(f.pow(a, f.characteristic()), a);
+  }
+}
+
+TEST_P(FieldAxioms, CharacteristicAnnihilates) {
+  // Adding any element to itself p times gives 0.
+  const Field f(GetParam());
+  for (Field::Elem a = 0; a < f.order(); ++a) {
+    Field::Elem sum = 0;
+    for (std::uint64_t i = 0; i < f.characteristic(); ++i) sum = f.add(sum, a);
+    EXPECT_EQ(sum, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimePowers, FieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 32),
+                         [](const auto& pinfo) { return "GF" + std::to_string(pinfo.param); });
+
+TEST(Field, RejectsNonPrimePowers) {
+  EXPECT_THROW(Field(1), precondition_error);
+  EXPECT_THROW(Field(6), precondition_error);
+  EXPECT_THROW(Field(12), precondition_error);
+  EXPECT_THROW(Field(100), precondition_error);  // 2^2 * 5^2
+}
+
+TEST(Field, PrimeFieldIsModularArithmetic) {
+  const Field f(13);
+  for (Field::Elem a = 0; a < 13; ++a) {
+    for (Field::Elem b = 0; b < 13; ++b) {
+      EXPECT_EQ(f.add(a, b), (a + b) % 13);
+      EXPECT_EQ(f.mul(a, b), (a * b) % 13);
+    }
+  }
+}
+
+TEST(Field, GF4MatchesExample32Structure) {
+  // Example 3.2: GF(4) = {0, 1, z, z^2} with z a root of x^2 + x + 1 and
+  // 1 + z = z^2, 1 + z^2 = z, z + z^2 = 1, z^3 = 1.
+  const Field f(4);
+  const Field::Elem z = 2;   // polynomial "x" encodes as 2 in base 2
+  const Field::Elem z2 = 3;  // x + 1
+  EXPECT_EQ(f.mul(z, z), z2);
+  EXPECT_EQ(f.add(1, z), z2);
+  EXPECT_EQ(f.add(1, z2), z);
+  EXPECT_EQ(f.add(z, z2), 1u);
+  EXPECT_EQ(f.pow(z, 3), 1u);
+  EXPECT_EQ(f.characteristic(), 2u);
+  EXPECT_EQ(f.degree(), 2u);
+}
+
+TEST(Field, GF9Structure) {
+  const Field f(9);
+  EXPECT_EQ(f.characteristic(), 3u);
+  EXPECT_EQ(f.degree(), 2u);
+  // In characteristic 3, (a+b)^3 = a^3 + b^3 (freshman's dream).
+  for (Field::Elem a = 0; a < 9; ++a) {
+    for (Field::Elem b = 0; b < 9; ++b) {
+      EXPECT_EQ(f.pow(f.add(a, b), 3), f.add(f.pow(a, 3), f.pow(b, 3)));
+    }
+  }
+}
+
+TEST(Field, CoefficientsRoundTrip) {
+  const Field f(27);
+  for (Field::Elem a = 0; a < 27; ++a) {
+    const auto coeffs = f.coefficients(a);
+    ASSERT_EQ(coeffs.size(), 3u);
+    Field::Elem rebuilt = 0;
+    std::uint64_t place = 1;
+    for (unsigned i = 0; i < 3; ++i) {
+      rebuilt = static_cast<Field::Elem>(rebuilt + coeffs[i] * place);
+      place *= 3;
+    }
+    EXPECT_EQ(rebuilt, a);
+  }
+}
+
+TEST(Field, ElementOrderDividesGroupOrder) {
+  const Field f(16);
+  for (Field::Elem a = 1; a < 16; ++a) {
+    const auto ord = f.element_order(a);
+    EXPECT_EQ(15 % ord, 0u);
+    EXPECT_EQ(f.pow(a, ord), 1u);
+    if (ord > 1) {
+      EXPECT_NE(f.pow(a, ord / (ord % 2 == 0 ? 2 : ord)), 1u);
+    }
+  }
+}
+
+TEST(Field, InverseOfZeroThrows) {
+  const Field f(5);
+  EXPECT_THROW(f.inv(0), precondition_error);
+  EXPECT_THROW(f.add(5, 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbr::gf

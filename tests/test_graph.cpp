@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "graph/euler.hpp"
+#include "graph/longest_cycle.hpp"
+#include "graph/union_find.hpp"
+#include "util/require.hpp"
+
+namespace dbr {
+namespace {
+
+using Edge = std::pair<NodeId, NodeId>;
+
+Digraph cycle_graph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Digraph::from_edges(n, edges);
+}
+
+TEST(Digraph, CsrConstruction) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 2}, {2, 0}, {2, 2}};
+  const Digraph g = Digraph::from_edges(3, edges);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  const auto s0 = g.successors(0);
+  EXPECT_EQ(std::vector<NodeId>(s0.begin(), s0.end()), (std::vector<NodeId>{1, 2}));
+  const auto s2 = g.successors(2);
+  EXPECT_EQ(std::vector<NodeId>(s2.begin(), s2.end()), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(g.in_degrees(), (std::vector<std::uint64_t>{1, 1, 3}));
+  EXPECT_EQ(g.out_degrees(), (std::vector<std::uint64_t>{2, 1, 2}));
+}
+
+TEST(Digraph, ParallelEdgesPreserved) {
+  const std::vector<Edge> edges{{0, 1}, {0, 1}, {1, 0}};
+  const Digraph g = Digraph::from_edges(2, edges);
+  EXPECT_EQ(g.successors(0).size(), 2u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(Digraph, ReversedTransposesEdges) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}, {0, 2}};
+  const Digraph g = Digraph::from_edges(3, edges);
+  const Digraph r = g.reversed();
+  auto sorted = r.edge_list();
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<Edge>{{0, 2}, {1, 0}, {2, 0}, {2, 1}}));
+}
+
+TEST(Digraph, EdgeEndpointValidation) {
+  const std::vector<Edge> bad{{0, 5}};
+  EXPECT_THROW((void)Digraph::from_edges(3, bad), precondition_error);
+}
+
+TEST(Bfs, DistancesOnCycle) {
+  const Digraph g = cycle_graph(6);
+  const auto r = bfs(g, 2);
+  EXPECT_EQ(r.dist[2], 0u);
+  EXPECT_EQ(r.dist[3], 1u);
+  EXPECT_EQ(r.dist[1], 5u);
+  EXPECT_EQ(r.eccentricity(), 5u);
+  EXPECT_EQ(r.reached(), 6u);
+}
+
+TEST(Bfs, MinParentTieBreak) {
+  // Node 3 is reachable in one step from both 1 and 2; parent must be 1.
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const Digraph g = Digraph::from_edges(4, edges);
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.dist[3], 2u);
+  EXPECT_EQ(r.parent[3], 1u);
+  EXPECT_EQ(r.parent[0], kNoParent);
+}
+
+TEST(Bfs, ActiveMaskExcludesNodes) {
+  const Digraph g = cycle_graph(5);
+  const auto r = bfs(g, 0, [](NodeId v) { return v != 3; });
+  EXPECT_EQ(r.dist[2], 2u);
+  EXPECT_EQ(r.dist[3], kUnreached);
+  EXPECT_EQ(r.dist[4], kUnreached);  // only reachable through 3
+  EXPECT_EQ(r.reached(), 3u);
+}
+
+TEST(Bfs, LoopsIgnored) {
+  const std::vector<Edge> edges{{0, 0}, {0, 1}};
+  const Digraph g = Digraph::from_edges(2, edges);
+  const auto r = bfs(g, 0);
+  EXPECT_EQ(r.dist[1], 1u);
+}
+
+TEST(WeakComponents, LabelsAreMinimumIds) {
+  // Two components {0,1,2} and {3,4}; 5 isolated but active.
+  const std::vector<Edge> edges{{0, 1}, {2, 1}, {3, 4}};
+  const Digraph g = Digraph::from_edges(6, edges);
+  const auto label = weak_components(g, [](NodeId) { return true; });
+  EXPECT_EQ(label[0], 0u);
+  EXPECT_EQ(label[1], 0u);
+  EXPECT_EQ(label[2], 0u);
+  EXPECT_EQ(label[3], 3u);
+  EXPECT_EQ(label[4], 3u);
+  EXPECT_EQ(label[5], 5u);
+}
+
+TEST(WeakComponents, InactiveNodesCutPaths) {
+  const Digraph g = cycle_graph(6);
+  const auto label = weak_components(g, [](NodeId v) { return v != 0 && v != 3; });
+  EXPECT_EQ(label[0], kNoParent);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[4], label[5]);
+  EXPECT_NE(label[1], label[4]);
+}
+
+TEST(Balance, DetectsImbalance) {
+  EXPECT_TRUE(is_balanced(cycle_graph(4), [](NodeId) { return true; }));
+  const std::vector<Edge> edges{{0, 1}, {0, 2}};
+  const Digraph g = Digraph::from_edges(3, edges);
+  EXPECT_FALSE(is_balanced(g, [](NodeId) { return true; }));
+}
+
+TEST(Scc, CycleIsOneComponent) {
+  const auto r = strongly_connected_components(cycle_graph(5));
+  EXPECT_EQ(r.count, 1u);
+}
+
+TEST(Scc, DagIsAllSingletons) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {0, 2}};
+  const auto r = strongly_connected_components(Digraph::from_edges(3, edges));
+  EXPECT_EQ(r.count, 3u);
+}
+
+TEST(Scc, MixedComponents) {
+  // {0,1,2} strongly connected, {3} and {4} singletons with 3->4.
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}};
+  const auto r = strongly_connected_components(Digraph::from_edges(5, edges));
+  EXPECT_EQ(r.count, 3u);
+  EXPECT_EQ(r.component[0], r.component[1]);
+  EXPECT_EQ(r.component[1], r.component[2]);
+  EXPECT_NE(r.component[3], r.component[4]);
+}
+
+TEST(UnionFindTest, MergesAndSizes) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.set_size(2), 3u);
+  EXPECT_EQ(uf.set_size(3), 1u);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_NE(uf.find(0), uf.find(4));
+}
+
+TEST(Euler, CycleGraphCircuit) {
+  const Digraph g = cycle_graph(5);
+  EXPECT_TRUE(has_eulerian_circuit(g));
+  const auto circuit = eulerian_circuit(g);
+  EXPECT_EQ(circuit.size(), 5u);
+}
+
+TEST(Euler, FigureEightCircuit) {
+  // Two triangles sharing node 0: Eulerian, 6 edges.
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}};
+  const Digraph g = Digraph::from_edges(5, edges);
+  const auto circuit = eulerian_circuit(g);
+  ASSERT_EQ(circuit.size(), 6u);
+  // Verify the circuit actually traverses distinct edges of g.
+  std::vector<Edge> used;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    used.emplace_back(circuit[i], circuit[(i + 1) % circuit.size()]);
+  }
+  std::sort(used.begin(), used.end());
+  auto expect = edges;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(used, expect);
+}
+
+TEST(Euler, RejectsUnbalanced) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const Digraph g = Digraph::from_edges(3, edges);
+  EXPECT_FALSE(has_eulerian_circuit(g));
+  EXPECT_THROW((void)eulerian_circuit(g), precondition_error);
+}
+
+TEST(Euler, RejectsDisconnectedSupport) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  const Digraph g = Digraph::from_edges(4, edges);
+  EXPECT_FALSE(has_eulerian_circuit(g));
+}
+
+TEST(Euler, EmptyGraphHasEmptyCircuit) {
+  const Digraph g = Digraph::from_edges(3, std::vector<Edge>{});
+  EXPECT_TRUE(has_eulerian_circuit(g));
+  EXPECT_TRUE(eulerian_circuit(g).empty());
+}
+
+TEST(LineGraph, CycleIsSelfSimilar) {
+  // The line graph of a directed n-cycle is again a directed n-cycle.
+  const Digraph l = line_graph(cycle_graph(7));
+  EXPECT_EQ(l.num_nodes(), 7u);
+  EXPECT_EQ(l.num_edges(), 7u);
+  const auto r = strongly_connected_components(l);
+  EXPECT_EQ(r.count, 1u);
+}
+
+TEST(LineGraph, DegreeStructure) {
+  // In L(G), the out-degree of edge (u,v) equals outdeg_G(v).
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {1, 2}, {2, 0}};
+  const Digraph g = Digraph::from_edges(3, edges);
+  const Digraph l = line_graph(g);
+  EXPECT_EQ(l.num_nodes(), 4u);
+  const auto el = g.edge_list();
+  const auto out = g.out_degrees();
+  for (std::uint64_t k = 0; k < el.size(); ++k) {
+    EXPECT_EQ(l.successors(k).size(), out[el[k].second]);
+  }
+}
+
+TEST(LongestCycle, SimpleCases) {
+  EXPECT_EQ(longest_cycle_bruteforce(cycle_graph(6)), 6u);
+  // A DAG has no cycle.
+  const std::vector<Edge> dag{{0, 1}, {1, 2}};
+  EXPECT_EQ(longest_cycle_bruteforce(Digraph::from_edges(3, dag)), 0u);
+  // Loop counts as a 1-cycle.
+  const std::vector<Edge> loop{{0, 0}};
+  EXPECT_EQ(longest_cycle_bruteforce(Digraph::from_edges(1, loop)), 1u);
+}
+
+TEST(LongestCycle, RespectsActiveMask) {
+  const Digraph g = cycle_graph(5);
+  std::vector<bool> active(5, true);
+  active[2] = false;
+  EXPECT_EQ(longest_cycle_bruteforce(g, active), 0u);
+}
+
+TEST(LongestCycle, FindsLongerOfTwoCycles) {
+  // 3-cycle {0,1,2} and 4-cycle {3,4,5,6} sharing no nodes.
+  std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 6}, {6, 3}};
+  EXPECT_EQ(longest_cycle_bruteforce(Digraph::from_edges(7, edges)), 4u);
+}
+
+TEST(LongestCycle, CompleteDigraph) {
+  // K5 (no loops): Hamiltonian, longest = 5.
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  EXPECT_EQ(longest_cycle_bruteforce(Digraph::from_edges(5, edges)), 5u);
+}
+
+}  // namespace
+}  // namespace dbr

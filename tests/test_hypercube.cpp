@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hypercube/fault_free_cycle.hpp"
+#include "hypercube/hypercube.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dbr::hypercube {
+namespace {
+
+TEST(HypercubeGraph, Structure) {
+  const Hypercube q(12);
+  EXPECT_EQ(q.num_nodes(), 4096u);
+  EXPECT_EQ(q.num_links(), 24576u);  // the Chapter 2 comparison figure
+  EXPECT_TRUE(q.has_edge(0, 1));
+  EXPECT_TRUE(q.has_edge(5, 4));
+  EXPECT_FALSE(q.has_edge(0, 3));
+  EXPECT_FALSE(q.has_edge(7, 7));
+}
+
+TEST(GrayCycle, IsHamiltonian) {
+  for (unsigned n : {2u, 3u, 6u, 10u}) {
+    const auto cycle = gray_cycle(n);
+    EXPECT_EQ(cycle.size(), 1ull << n);
+    EXPECT_TRUE(is_hypercube_cycle(n, cycle));
+  }
+}
+
+TEST(HamPath, AllOppositeParityPairsSmall) {
+  // Q_n is Hamiltonian-laceable: exhaustive over Q_3 and Q_4 endpoint pairs.
+  for (unsigned n : {3u, 4u}) {
+    for (HNode a = 0; a < (1ull << n); ++a) {
+      for (HNode b = 0; b < (1ull << n); ++b) {
+        if (a == b || parity(a) == parity(b)) continue;
+        const auto path = hamiltonian_path(n, a, b);
+        EXPECT_EQ(path.size(), 1ull << n);
+        EXPECT_TRUE(is_hypercube_path(n, path));
+        EXPECT_EQ(path.front(), a);
+        EXPECT_EQ(path.back(), b);
+      }
+    }
+  }
+}
+
+TEST(HamPath, LargeInstance) {
+  const auto path = hamiltonian_path(10, 0, 1023 ^ 512);
+  EXPECT_EQ(path.size(), 1024u);
+  EXPECT_TRUE(is_hypercube_path(10, path));
+}
+
+TEST(HamPath, RejectsSameParity) {
+  EXPECT_THROW((void)hamiltonian_path(3, 0, 3), precondition_error);
+}
+
+TEST(NearHamPath, AllSameParityPairsSmall) {
+  for (unsigned n : {2u, 3u, 4u}) {
+    for (HNode a = 0; a < (1ull << n); ++a) {
+      for (HNode b = 0; b < (1ull << n); ++b) {
+        if (a == b || parity(a) != parity(b)) continue;
+        const auto path = near_hamiltonian_path(n, a, b);
+        EXPECT_EQ(path.size(), (1ull << n) - 1) << a << " " << b;
+        EXPECT_TRUE(is_hypercube_path(n, path));
+        EXPECT_EQ(path.front(), a);
+        EXPECT_EQ(path.back(), b);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// The fault-free cycle bound 2^n - 2f for f <= n-2 ([WC92, CL91a]).
+
+class FaultFreeCycle : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FaultFreeCycle, RandomFaultSetsMeetBound) {
+  const unsigned n = GetParam();
+  Rng rng(0xcafeULL + n);
+  for (unsigned trial = 0; trial < 30; ++trial) {
+    const unsigned f = static_cast<unsigned>(rng.below(n - 1));  // 0..n-2
+    const auto faults = rng.sample_distinct(1ull << n, f);
+    const auto cycle = fault_free_cycle(n, faults);
+    EXPECT_GE(cycle.size(), (1ull << n) - 2 * f) << "n=" << n << " f=" << f;
+    EXPECT_TRUE(is_hypercube_cycle(n, cycle));
+    const std::set<HNode> on_cycle(cycle.begin(), cycle.end());
+    for (HNode fault : faults) {
+      EXPECT_FALSE(on_cycle.contains(fault));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, FaultFreeCycle,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u, 10u),
+                         [](const auto& pinfo) {
+                           return "Q" + std::to_string(pinfo.param);
+                         });
+
+TEST(FaultFreeCycleEdge, AdjacentFaults) {
+  // Adjacent faults are the tight case for the 2^n - 2f bound.
+  const unsigned n = 6;
+  const std::vector<HNode> faults{0, 1, 3, 7};  // a chain of adjacent nodes
+  const auto cycle = fault_free_cycle(n, faults);
+  EXPECT_GE(cycle.size(), 64u - 8u);
+  EXPECT_TRUE(is_hypercube_cycle(n, cycle));
+}
+
+TEST(FaultFreeCycleEdge, MaxFaultsSmall) {
+  // Exhaustive fault pairs in Q_4 (f = n - 2 = 2).
+  const unsigned n = 4;
+  for (HNode a = 0; a < 16; ++a) {
+    for (HNode b = a + 1; b < 16; ++b) {
+      const std::vector<HNode> faults{a, b};
+      const auto cycle = fault_free_cycle(n, faults);
+      EXPECT_GE(cycle.size(), 12u) << a << "," << b;
+      EXPECT_TRUE(is_hypercube_cycle(n, cycle));
+    }
+  }
+}
+
+TEST(FaultFreeCycleEdge, Chapter2ComparisonInstance) {
+  // The paper's example: 4096-node hypercube with f = 2 gives a cycle of
+  // length 4092.
+  const auto cycle = fault_free_cycle(12, std::vector<HNode>{17, 2048});
+  EXPECT_GE(cycle.size(), 4092u);
+  EXPECT_TRUE(is_hypercube_cycle(12, cycle));
+}
+
+TEST(FaultFreeCycleEdge, Preconditions) {
+  EXPECT_THROW((void)fault_free_cycle(2, std::vector<HNode>{}), precondition_error);
+  const std::vector<HNode> too_many{0, 1, 2, 3};
+  EXPECT_THROW((void)fault_free_cycle(5, too_many), precondition_error);
+  const std::vector<HNode> out_of_range{1ull << 40};
+  EXPECT_THROW((void)fault_free_cycle(5, out_of_range), precondition_error);
+}
+
+// --------------------------------------------------------------------------
+// Fault-free paths.
+
+TEST(FaultFreePath, MeetsTargetsRandomly) {
+  Rng rng(0x9999);
+  for (unsigned n : {4u, 5u, 6u, 8u}) {
+    for (unsigned trial = 0; trial < 20; ++trial) {
+      const unsigned f = static_cast<unsigned>(rng.below(n - 1));
+      const auto faults = rng.sample_distinct(1ull << n, f);
+      const std::set<HNode> fault_set(faults.begin(), faults.end());
+      HNode a = rng.below(1ull << n), b = rng.below(1ull << n);
+      if (a == b || fault_set.contains(a) || fault_set.contains(b)) continue;
+      const auto path = fault_free_path(n, a, b, faults);
+      EXPECT_TRUE(is_hypercube_path(n, path));
+      EXPECT_EQ(path.front(), a);
+      EXPECT_EQ(path.back(), b);
+      const std::uint64_t penalty = 2 * f + (parity(a) == parity(b) ? 1 : 0);
+      EXPECT_GE(path.size(), (1ull << n) - penalty);
+      for (HNode v : path) EXPECT_FALSE(fault_set.contains(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbr::hypercube

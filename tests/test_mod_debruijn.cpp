@@ -1,0 +1,160 @@
+#include "core/mod_debruijn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "debruijn/debruijn.hpp"
+#include "util/require.hpp"
+
+namespace dbr::core {
+namespace {
+
+using EdgePair = std::pair<Word, Word>;
+
+std::set<EdgePair> cycle_edges(const NodeCycle& c) {
+  std::set<EdgePair> out;
+  for (std::size_t i = 0; i < c.nodes.size(); ++i) {
+    out.insert({c.nodes[i], c.nodes[(i + 1) % c.nodes.size()]});
+  }
+  return out;
+}
+
+class Decomposition : public ::testing::TestWithParam<std::pair<Digit, unsigned>> {
+ protected:
+  void verify(const ModifiedDeBruijn& mb) {
+    const Digit d = mb.radix;
+    const unsigned n = mb.tuple_length;
+    const WordSpace ws(d, n);
+    const DeBruijnDigraph g(d, n);
+
+    // (1) d Hamiltonian cycles (as node sequences over all d^n nodes).
+    ASSERT_EQ(mb.cycles.size(), d);
+    for (const NodeCycle& c : mb.cycles) {
+      ASSERT_EQ(c.nodes.size(), ws.size());
+      std::set<Word> distinct(c.nodes.begin(), c.nodes.end());
+      EXPECT_EQ(distinct.size(), ws.size());
+    }
+
+    // (2) the union of the cycles carries d * d^n edge slots. For n >= 3
+    // MB(d,n) is a simple graph and the cycles are set-edge-disjoint; for
+    // n = 2 a rerouted edge may duplicate an existing De Bruijn edge (the
+    // paper's multigraph footnote), so multiset semantics apply.
+    std::multiset<EdgePair> all_edges;
+    for (const NodeCycle& c : mb.cycles) {
+      for (const EdgePair& e : cycle_edges(c)) {
+        if (n >= 3) {
+          EXPECT_FALSE(all_edges.contains(e))
+              << "edge reused across cycles: " << ws.to_string(e.first) << "->"
+              << ws.to_string(e.second);
+        }
+        all_edges.insert(e);
+      }
+    }
+    EXPECT_EQ(all_edges.size(), static_cast<std::uint64_t>(d) * ws.size());
+
+    // (3) every node has in/out degree d in MB(d,n) (multiplicity counted).
+    std::map<Word, unsigned> outdeg, indeg;
+    for (const EdgePair& e : all_edges) {
+      ++outdeg[e.first];
+      ++indeg[e.second];
+    }
+    for (Word v = 0; v < ws.size(); ++v) {
+      EXPECT_EQ(outdeg[v], d);
+      EXPECT_EQ(indeg[v], d);
+    }
+
+    // (4) removed edges are non-loop De Bruijn edges absent from MB; added
+    // edges are present. For n >= 3 the added edges are genuinely new and
+    // the edge sets reconcile exactly; for n = 2 an added edge may coincide
+    // with an existing De Bruijn edge (the paper's footnote: UMB(d,2) is a
+    // multigraph), so only the weaker containment is checked.
+    for (const EdgePair& e : mb.added_edges) {
+      EXPECT_TRUE(all_edges.contains(e));
+      if (n >= 3) {
+        EXPECT_FALSE(g.has_edge(e.first, e.second) && e.first != e.second)
+            << "added edge already in B(d,n)";
+      }
+    }
+    for (const EdgePair& e : mb.removed_edges) {
+      EXPECT_TRUE(g.has_edge(e.first, e.second));
+      EXPECT_NE(e.first, e.second) << "only non-loop p-edges are removed";
+      EXPECT_FALSE(all_edges.contains(e));
+    }
+    if (n >= 3) {
+      std::uint64_t debruijn_nonloop_in_mb = 0;
+      for (Word u = 0; u < ws.size(); ++u) {
+        for (Digit a = 0; a < d; ++a) {
+          const Word v = ws.shift_append(u, a);
+          if (u == v) continue;
+          if (all_edges.contains({u, v})) ++debruijn_nonloop_in_mb;
+        }
+      }
+      EXPECT_EQ(debruijn_nonloop_in_mb + mb.removed_edges.size(),
+                g.num_nonloop_edges());
+    }
+
+    // (5) UMB contains UB: every undirected De Bruijn edge survives in at
+    // least one direction (at most one edge of each antiparallel pair was
+    // rerouted, Section 3.2.3).
+    const UndirectedDeBruijn ub(d, n);
+    for (Word v = 0; v < ws.size(); ++v) {
+      for (Word w : ub.neighbors(v)) {
+        EXPECT_TRUE(all_edges.contains({v, w}) || all_edges.contains({w, v}))
+            << "UB edge lost: " << ws.to_string(v) << " -- " << ws.to_string(w);
+      }
+    }
+  }
+};
+
+TEST_P(Decomposition, SatisfiesAllStructuralClaims) {
+  const auto [d, n] = GetParam();
+  verify(modified_debruijn_decomposition(d, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Decomposition,
+    ::testing::Values(std::pair<Digit, unsigned>{2, 3}, std::pair<Digit, unsigned>{2, 4},
+                      std::pair<Digit, unsigned>{2, 6}, std::pair<Digit, unsigned>{3, 2},
+                      std::pair<Digit, unsigned>{3, 3}, std::pair<Digit, unsigned>{3, 4},
+                      std::pair<Digit, unsigned>{5, 2}, std::pair<Digit, unsigned>{5, 3},
+                      std::pair<Digit, unsigned>{7, 2}, std::pair<Digit, unsigned>{9, 2},
+                      std::pair<Digit, unsigned>{9, 3}, std::pair<Digit, unsigned>{2, 7}),
+    [](const auto& pinfo) {
+      return "MB" + std::to_string(pinfo.param.first) + "_" +
+             std::to_string(pinfo.param.second);
+    });
+
+TEST(Example36, BinaryN3MatchesConstruction) {
+  // Example 3.6: C = [0,0,1,1,1,0,1] (c_{i+3} = c_{i+2} + c_i); C gains 000
+  // between 100 and 001; in 1+C node 000 is dropped and the p-edge
+  // (010, 101) is rerouted 010 -> 000 -> 111 -> 101 (Figure 3.3).
+  const auto mb = modified_debruijn_decomposition(2, 3);
+  ASSERT_EQ(mb.cycles.size(), 2u);
+  const WordSpace ws(2, 3);
+  // One cycle is the extended C (all De Bruijn edges); the other carries the
+  // three new edges.
+  ASSERT_EQ(mb.added_edges.size(), 3u);
+  ASSERT_EQ(mb.removed_edges.size(), 1u);
+  const auto [pu, pv] = mb.removed_edges[0];
+  // The rerouted p-edge joins the two alternating nodes 010 and 101.
+  const std::set<Word> alt{ws.alternating(0, 1), ws.alternating(1, 0)};
+  EXPECT_TRUE(alt.contains(pu));
+  EXPECT_TRUE(alt.contains(pv));
+  EXPECT_NE(pu, pv);
+  // The reroute path visits both constant nodes consecutively.
+  const Word zeros = 0, ones = 7;
+  std::set<EdgePair> added(mb.added_edges.begin(), mb.added_edges.end());
+  EXPECT_TRUE(added.contains({zeros, ones}) || added.contains({ones, zeros}));
+}
+
+TEST(ModifiedDeBruijnApi, RejectsUnsupportedRadix) {
+  EXPECT_THROW(modified_debruijn_decomposition(2, 2), precondition_error);  // n >= 3
+  EXPECT_THROW(modified_debruijn_decomposition(4, 3), precondition_error);  // even, != 2
+  EXPECT_THROW(modified_debruijn_decomposition(6, 3), precondition_error);  // composite
+  EXPECT_THROW(modified_debruijn_decomposition(3, 1), precondition_error);  // n >= 2
+}
+
+}  // namespace
+}  // namespace dbr::core

@@ -1,0 +1,175 @@
+#include "necklace/count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "debruijn/necklaces.hpp"
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+
+namespace dbr::necklace {
+namespace {
+
+TEST(CountByLength, PaperExampleLength6InB2_12) {
+  // Section 4.3: the number of necklaces of length 6 in B(2,12) is 9.
+  EXPECT_EQ(necklaces_by_length(2, 12, 6), 9u);
+}
+
+TEST(CountTotal, PaperExampleTotalInB2_12) {
+  // Section 4.3: the total number of necklaces in B(2,12) is 352.
+  EXPECT_EQ(necklaces_total(2, 12), 352u);
+}
+
+TEST(CountByWeight, PaperExampleWeight4Length6) {
+  // Section 4.3: necklaces of weight 4 and length 6 in B(2,12): 2.
+  EXPECT_EQ(binary_weight_necklaces_by_length(12, 4, 6), 2u);
+}
+
+TEST(CountByWeight, PaperExampleWeight4Total) {
+  // Section 4.3: total weight-4 necklaces in B(2,12): 43.
+  EXPECT_EQ(binary_weight_necklaces_total(12, 4), 43u);
+}
+
+TEST(CountByWeightDary, PaperExampleB3_4) {
+  // Section 4.3: necklaces of weight 4 and length 4 in B(3,4): 4.
+  EXPECT_EQ(weight_necklaces_by_length(3, 4, 4, 4), 4u);
+}
+
+TEST(CountByType, MultinomialExample) {
+  // Type [0,3,2,1] (the paper's example word 312211 has type [0,2,2,2]...
+  // we use the documented 4-ary example): number of 4-ary 6-tuples of type
+  // [0,3,2,1] is 6!/(0!3!2!1!) = 60.
+  const std::vector<u64> type{0, 3, 2, 1};
+  // Necklace count by Proposition 4.2 must match brute force below; here
+  // just sanity check it is positive and at most 60/6.
+  const u64 total = type_necklaces_total(4, 6, type);
+  EXPECT_GE(total, 60u / 6);
+  EXPECT_LE(total, 60u);
+}
+
+TEST(CountByLength, LengthMustDivideN) {
+  EXPECT_THROW(necklaces_by_length(2, 12, 5), precondition_error);
+}
+
+TEST(CountByLength, SumOverLengthsEqualsTotal) {
+  for (u64 d : {2ull, 3ull, 5ull}) {
+    for (u64 n : {4ull, 6ull, 12ull}) {
+      u64 sum = 0;
+      for (u64 t : nt::divisors(n)) sum += necklaces_by_length(d, n, t);
+      EXPECT_EQ(sum, necklaces_total(d, n));
+    }
+  }
+}
+
+TEST(CountByLength, WeightedSumRecoversAllNodes) {
+  // sum_t t * (#necklaces of length t) == d^n.
+  for (u64 d : {2ull, 3ull, 4ull}) {
+    for (u64 n : {6ull, 8ull, 10ull}) {
+      u64 sum = 0, total = 1;
+      for (u64 i = 0; i < n; ++i) total *= d;
+      for (u64 t : nt::divisors(n)) sum += t * necklaces_by_length(d, n, t);
+      EXPECT_EQ(sum, total);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force cross-validation over small (d, n).
+
+struct BruteParams {
+  u64 d;
+  u64 n;
+};
+
+class BruteForceCompare : public ::testing::TestWithParam<BruteParams> {};
+
+TEST_P(BruteForceCompare, ByLengthMatches) {
+  const auto [d, n] = GetParam();
+  const WordSpace ws(static_cast<Digit>(d), static_cast<unsigned>(n));
+  for (u64 t : nt::divisors(n)) {
+    EXPECT_EQ(necklaces_by_length(d, n, t),
+              brute_count_by_length(ws, static_cast<unsigned>(t),
+                                    [](Word) { return true; }))
+        << "d=" << d << " n=" << n << " t=" << t;
+  }
+}
+
+TEST_P(BruteForceCompare, TotalMatches) {
+  const auto [d, n] = GetParam();
+  const WordSpace ws(static_cast<Digit>(d), static_cast<unsigned>(n));
+  EXPECT_EQ(necklaces_total(d, n),
+            brute_count_total(ws, [](Word) { return true; }));
+}
+
+TEST_P(BruteForceCompare, ByWeightMatchesAllWeights) {
+  const auto [d, n] = GetParam();
+  const WordSpace ws(static_cast<Digit>(d), static_cast<unsigned>(n));
+  for (u64 k = 0; k <= n * (d - 1); ++k) {
+    const auto pred = [&ws, k](Word x) { return ws.weight(x) == k; };
+    EXPECT_EQ(weight_necklaces_total(d, n, k), brute_count_total(ws, pred))
+        << "d=" << d << " n=" << n << " k=" << k;
+    for (u64 t : nt::divisors(n)) {
+      EXPECT_EQ(weight_necklaces_by_length(d, n, k, t),
+                brute_count_by_length(ws, static_cast<unsigned>(t), pred))
+          << "d=" << d << " n=" << n << " k=" << k << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGraphs, BruteForceCompare,
+    ::testing::Values(BruteParams{2, 1}, BruteParams{2, 6}, BruteParams{2, 12},
+                      BruteParams{3, 4}, BruteParams{3, 6}, BruteParams{4, 4},
+                      BruteParams{4, 6}, BruteParams{5, 4}, BruteParams{6, 3},
+                      BruteParams{7, 3}),
+    [](const auto& pinfo) {
+      return "B" + std::to_string(pinfo.param.d) + "_" + std::to_string(pinfo.param.n);
+    });
+
+TEST(CountByType, BruteForceCrossCheck) {
+  // Every type of B(3,6) with entries summing to 6.
+  const WordSpace ws(3, 6);
+  for (u64 k0 = 0; k0 <= 6; ++k0) {
+    for (u64 k1 = 0; k0 + k1 <= 6; ++k1) {
+      const u64 k2 = 6 - k0 - k1;
+      const std::vector<u64> type{k0, k1, k2};
+      const auto pred = [&](Word x) {
+        return ws.count_digit(x, 0) == k0 && ws.count_digit(x, 1) == k1 &&
+               ws.count_digit(x, 2) == k2;
+      };
+      EXPECT_EQ(type_necklaces_total(3, 6, type), brute_count_total(ws, pred))
+          << k0 << "," << k1 << "," << k2;
+      for (u64 t : nt::divisors(6)) {
+        EXPECT_EQ(type_necklaces_by_length(3, 6, type, t),
+                  brute_count_by_length(ws, static_cast<unsigned>(t), pred))
+            << k0 << "," << k1 << "," << k2 << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(CountByType, BinaryTypeReducesToWeight) {
+  // In B(2,n), type [n-k, k] iff weight k (noted at the end of Chapter 4).
+  for (u64 n : {4ull, 6ull, 12ull}) {
+    for (u64 k = 0; k <= n; ++k) {
+      const std::vector<u64> type{n - k, k};
+      EXPECT_EQ(type_necklaces_total(2, n, type),
+                binary_weight_necklaces_total(n, k));
+    }
+  }
+}
+
+TEST(CountByType, TypeVectorValidation) {
+  const std::vector<u64> bad_sum{1, 2};  // sums to 3, n = 4
+  EXPECT_THROW(type_necklaces_total(2, 4, bad_sum), precondition_error);
+  const std::vector<u64> bad_size{1, 2, 1};
+  EXPECT_THROW(type_necklaces_total(2, 4, bad_size), precondition_error);
+}
+
+TEST(CountGeneric, AllNecklacesViaEnumeration) {
+  // all_necklaces() agrees with the closed formula for a mid-size graph.
+  const WordSpace ws(3, 7);
+  EXPECT_EQ(all_necklaces(ws).size(), necklaces_total(3, 7));
+}
+
+}  // namespace
+}  // namespace dbr::necklace

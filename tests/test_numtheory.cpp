@@ -1,0 +1,228 @@
+#include "nt/numtheory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/require.hpp"
+
+namespace dbr::nt {
+namespace {
+
+TEST(NumTheory, GcdLcm) {
+  EXPECT_EQ(gcd(12, 18), 6u);
+  EXPECT_EQ(gcd(7, 13), 1u);
+  EXPECT_EQ(gcd(0, 5), 5u);
+  EXPECT_EQ(lcm(4, 6), 12u);
+  EXPECT_EQ(lcm(4, 3), 12u);     // LCM(k,n) used by the butterfly lift
+  EXPECT_EQ(lcm(4096, 12), 12288u);
+}
+
+TEST(NumTheory, PowMod) {
+  EXPECT_EQ(pow_mod(2, 10, 1000), 24u);
+  EXPECT_EQ(pow_mod(7, 0, 13), 1u);
+  EXPECT_EQ(pow_mod(0, 5, 13), 0u);
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(pow_mod(3, 12, 13), 1u);
+  EXPECT_EQ(pow_mod(123456789, 1000000007ull - 1, 1000000007ull), 1u);
+}
+
+TEST(NumTheory, IsPrimeSmall) {
+  const std::vector<u64> primes{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
+  std::size_t idx = 0;
+  for (u64 n = 0; n <= 38; ++n) {
+    const bool expected = idx < primes.size() && primes[idx] == n;
+    EXPECT_EQ(is_prime(n), expected) << n;
+    if (expected) ++idx;
+  }
+}
+
+TEST(NumTheory, IsPrimeLarge) {
+  EXPECT_TRUE(is_prime(1000000007ull));
+  EXPECT_TRUE(is_prime((1ull << 61) - 1));  // Mersenne prime
+  EXPECT_FALSE(is_prime((1ull << 62) - 1));
+  EXPECT_FALSE(is_prime(3215031751ull));  // strong pseudoprime to bases 2,3,5,7
+}
+
+TEST(NumTheory, FactorRoundTrip) {
+  for (u64 n : {2ull, 12ull, 97ull, 1024ull, 59049ull, 1000000ull,
+                (1ull << 40) - 1, 999999999989ull}) {
+    u64 product = 1;
+    for (const auto& pp : factor(n)) {
+      EXPECT_TRUE(is_prime(pp.prime));
+      product *= pp.value();
+    }
+    EXPECT_EQ(product, n);
+  }
+}
+
+TEST(NumTheory, FactorKnownValues) {
+  const auto f = factor(360);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].prime, 2u);
+  EXPECT_EQ(f[0].exponent, 3u);
+  EXPECT_EQ(f[1].prime, 3u);
+  EXPECT_EQ(f[1].exponent, 2u);
+  EXPECT_EQ(f[2].prime, 5u);
+  EXPECT_EQ(f[2].exponent, 1u);
+}
+
+TEST(NumTheory, Divisors) {
+  EXPECT_EQ(divisors(12), (std::vector<u64>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(1), (std::vector<u64>{1}));
+  EXPECT_EQ(divisors(13), (std::vector<u64>{1, 13}));
+  // Divisor lattice is what the Chapter 4 Moebius sums range over.
+  EXPECT_EQ(divisors(6).size(), 4u);
+}
+
+TEST(NumTheory, MobiusValues) {
+  // mu table from the definition in Section 4.1.
+  const std::map<u64, int> expected{{1, 1},  {2, -1}, {3, -1}, {4, 0},
+                                    {5, -1}, {6, 1},  {7, -1}, {8, 0},
+                                    {9, 0},  {10, 1}, {12, 0}, {30, -1}};
+  for (const auto& [n, mu] : expected) EXPECT_EQ(mobius(n), mu) << n;
+}
+
+TEST(NumTheory, MobiusSumOverDivisorsIsZero) {
+  // sum_{d | n} mu(d) == [n == 1], the defining property used in inversion.
+  for (u64 n = 1; n <= 200; ++n) {
+    int sum = 0;
+    for (u64 d : divisors(n)) sum += mobius(d);
+    EXPECT_EQ(sum, n == 1 ? 1 : 0) << n;
+  }
+}
+
+TEST(NumTheory, EulerPhi) {
+  EXPECT_EQ(euler_phi(1), 1u);
+  EXPECT_EQ(euler_phi(12), 4u);
+  EXPECT_EQ(euler_phi(13), 12u);
+  EXPECT_EQ(euler_phi(36), 12u);
+  // phi is multiplicative on coprime parts.
+  EXPECT_EQ(euler_phi(35), euler_phi(5) * euler_phi(7));
+}
+
+TEST(NumTheory, PhiDivisorSumIdentity) {
+  // sum_{d|n} phi(d) == n (used in Proposition 4.2's simplification).
+  for (u64 n = 1; n <= 200; ++n) {
+    u64 sum = 0;
+    for (u64 d : divisors(n)) sum += euler_phi(d);
+    EXPECT_EQ(sum, n);
+  }
+}
+
+TEST(NumTheory, IsPrimePower) {
+  u64 p = 0;
+  unsigned e = 0;
+  EXPECT_TRUE(is_prime_power(8, &p, &e));
+  EXPECT_EQ(p, 2u);
+  EXPECT_EQ(e, 3u);
+  EXPECT_TRUE(is_prime_power(27, &p, &e));
+  EXPECT_EQ(p, 3u);
+  EXPECT_EQ(e, 3u);
+  EXPECT_TRUE(is_prime_power(13, &p, &e));
+  EXPECT_EQ(e, 1u);
+  EXPECT_FALSE(is_prime_power(1));
+  EXPECT_FALSE(is_prime_power(6));
+  EXPECT_FALSE(is_prime_power(12));
+  EXPECT_FALSE(is_prime_power(36));
+}
+
+TEST(NumTheory, PrimitiveRoot) {
+  // 7 is a primitive root of Z13 (used in Example 3.3); the smallest is 2.
+  EXPECT_EQ(primitive_root(13), 2u);
+  EXPECT_EQ(multiplicative_order(7, 13), 12u);
+  // Check the defining property for a range of primes.
+  for (u64 prime : {3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull}) {
+    const u64 g = primitive_root(prime);
+    EXPECT_EQ(multiplicative_order(g, prime), prime - 1) << prime;
+  }
+}
+
+TEST(NumTheory, MultiplicativeOrderDividesGroupOrder) {
+  for (u64 m : {9ull, 14ull, 15ull, 26ull}) {
+    for (u64 a = 1; a < m; ++a) {
+      if (gcd(a, m) != 1) continue;
+      const u64 ord = multiplicative_order(a, m);
+      EXPECT_EQ(euler_phi(m) % ord, 0u);
+      EXPECT_EQ(pow_mod(a, ord, m), 1u);
+    }
+  }
+}
+
+TEST(NumTheory, Binomial) {
+  EXPECT_EQ(binomial(12, 4), 495u);  // appears in the weight-4 B(2,12) count
+  EXPECT_EQ(binomial(6, 2), 15u);
+  EXPECT_EQ(binomial(6, 3), 20u);
+  EXPECT_EQ(binomial(3, 1), 3u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(4, 7), 0u);
+  // Pascal identity sweep.
+  for (u64 n = 1; n <= 40; ++n) {
+    for (u64 k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(NumTheory, BoundedCompositionsMatchesBinaryBinomial) {
+  // c_2(n,k) == C(n,k).
+  for (u64 n = 0; n <= 16; ++n) {
+    for (u64 k = 0; k <= n; ++k) {
+      EXPECT_EQ(bounded_compositions(2, n, k), binomial(n, k));
+    }
+  }
+}
+
+TEST(NumTheory, BoundedCompositionsPaperValue) {
+  // Section 4.3: c_3(4,4) = 19 (and c_3(2,2) = 3, c_3(1,1) = 1).
+  EXPECT_EQ(bounded_compositions(3, 4, 4), 19u);
+  EXPECT_EQ(bounded_compositions(3, 2, 2), 3u);
+  EXPECT_EQ(bounded_compositions(3, 1, 1), 1u);
+}
+
+TEST(NumTheory, BoundedCompositionsBruteForce) {
+  // Cross-check against direct enumeration of d-ary tuples by weight.
+  for (u64 d = 2; d <= 5; ++d) {
+    for (u64 n = 1; n <= 6; ++n) {
+      std::map<u64, u64> by_weight;
+      u64 total = 1;
+      for (u64 i = 0; i < n; ++i) total *= d;
+      for (u64 x = 0; x < total; ++x) {
+        u64 v = x, w = 0;
+        for (u64 i = 0; i < n; ++i) {
+          w += v % d;
+          v /= d;
+        }
+        ++by_weight[w];
+      }
+      for (u64 k = 0; k <= n * (d - 1); ++k) {
+        EXPECT_EQ(bounded_compositions(d, n, k), by_weight[k]) << d << " " << n << " " << k;
+      }
+    }
+  }
+}
+
+TEST(NumTheory, BoundedCompositionsRowSums) {
+  // Sum over k must equal d^n.
+  for (u64 d = 2; d <= 6; ++d) {
+    for (u64 n = 1; n <= 8; ++n) {
+      u64 sum = 0, total = 1;
+      for (u64 i = 0; i < n; ++i) total *= d;
+      for (u64 k = 0; k <= n * (d - 1); ++k) sum += bounded_compositions(d, n, k);
+      EXPECT_EQ(sum, total);
+    }
+  }
+}
+
+TEST(NumTheory, Preconditions) {
+  EXPECT_THROW(pow_mod(2, 3, 0), precondition_error);
+  EXPECT_THROW(factor(0), precondition_error);
+  EXPECT_THROW(mobius(0), precondition_error);
+  EXPECT_THROW(primitive_root(12), precondition_error);
+  EXPECT_THROW(multiplicative_order(2, 4), precondition_error);
+  EXPECT_THROW(lcm(0, 3), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbr::nt

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gf/field.hpp"
+#include "gf/lfsr.hpp"
+#include "gf/poly.hpp"
+#include "util/require.hpp"
+
+namespace dbr::gf {
+namespace {
+
+TEST(Poly, BasicArithmetic) {
+  const Field f(5);
+  const Poly a{{1, 2}};      // 2x + 1
+  const Poly b{{4, 3, 1}};   // x^2 + 3x + 4
+  EXPECT_EQ(poly_add(f, a, b), (Poly{{0, 0, 1}}));
+  EXPECT_EQ(poly_mul(f, a, b).coeffs, (std::vector<Field::Elem>{4, 1, 2, 2}));
+  EXPECT_EQ(poly_sub(f, b, b), Poly{});
+  EXPECT_EQ(poly_mul(f, a, Poly{}), Poly{});
+}
+
+TEST(Poly, EvalHorner) {
+  const Field f(7);
+  const Poly p{{3, 0, 1}};  // x^2 + 3
+  EXPECT_EQ(poly_eval(f, p, 0), 3u);
+  EXPECT_EQ(poly_eval(f, p, 2), 0u);  // 4 + 3 = 7 = 0
+  EXPECT_EQ(poly_eval(f, p, 3), 5u);  // 9 + 3 = 12 = 5
+}
+
+TEST(Poly, ModAndGcd) {
+  const Field f(5);
+  const Poly m{{2, 4, 1}};  // x^2 + 4x + 2 = x^2 - x - 3 (Example 3.1)
+  const Poly x3 = poly_powmod(f, poly_x(), 3, m);
+  // x^2 = x + 3 (mod m); x^3 = x^2 + 3x = 4x + 3.
+  EXPECT_EQ(x3.coeffs, (std::vector<Field::Elem>{3, 4}));
+  // gcd of m with a multiple of itself is m (monic-normalized).
+  const Poly mult = poly_mul(f, m, Poly{{1, 1}});
+  EXPECT_EQ(poly_gcd(f, m, mult), m);
+}
+
+TEST(Poly, IrreducibilityBinary) {
+  const Field f(2);
+  EXPECT_TRUE(is_irreducible(f, Poly{{1, 1, 1}}));        // x^2+x+1
+  EXPECT_FALSE(is_irreducible(f, Poly{{1, 0, 1}}));       // x^2+1 = (x+1)^2
+  EXPECT_TRUE(is_irreducible(f, Poly{{1, 1, 0, 1}}));     // x^3+x+1
+  EXPECT_TRUE(is_irreducible(f, Poly{{1, 0, 1, 1}}));     // x^3+x^2+1
+  EXPECT_FALSE(is_irreducible(f, Poly{{1, 0, 0, 1}}));    // x^3+1
+  EXPECT_TRUE(is_irreducible(f, Poly{{1, 1, 0, 0, 1}}));  // x^4+x+1
+  // x^4+x^3+x^2+x+1 is irreducible (5th cyclotomic) but has order 5 < 15,
+  // so it is not primitive: irreducibility does not imply primitivity.
+  EXPECT_TRUE(is_irreducible(f, Poly{{1, 1, 1, 1, 1}}));
+  EXPECT_FALSE(is_primitive(f, Poly{{1, 1, 1, 1, 1}}));
+}
+
+TEST(Poly, IrreducibleCountsMatchTheory) {
+  // The number of monic irreducible polynomials of degree n over GF(q) is
+  // (1/n) sum_{j|n} mu(n/j) q^j. Spot-check a few (q, n) pairs by scanning.
+  struct Case {
+    std::uint64_t q;
+    unsigned n;
+    std::uint64_t expected;
+  };
+  for (const Case& c : {Case{2, 2, 1}, Case{2, 3, 2}, Case{2, 4, 3}, Case{2, 5, 6},
+                        Case{3, 2, 3}, Case{3, 3, 8}, Case{5, 2, 10}, Case{4, 2, 6}}) {
+    const Field f(c.q);
+    std::uint64_t total = 1;
+    for (unsigned i = 0; i < c.n; ++i) total *= c.q;
+    std::uint64_t count = 0;
+    for (std::uint64_t code = 0; code < total; ++code) {
+      std::vector<Field::Elem> coeffs(c.n + 1, 0);
+      coeffs[c.n] = 1;
+      std::uint64_t v = code;
+      for (unsigned i = 0; i < c.n; ++i) {
+        coeffs[i] = static_cast<Field::Elem>(v % c.q);
+        v /= c.q;
+      }
+      if (is_irreducible(f, Poly{coeffs})) ++count;
+    }
+    EXPECT_EQ(count, c.expected) << "q=" << c.q << " n=" << c.n;
+  }
+}
+
+TEST(Poly, PrimitivityExample31) {
+  // Example 3.1: x^2 - x - 3 is primitive over GF(5).
+  const Field f(5);
+  const Poly p{{2, 4, 1}};  // -3 = 2, -1 = 4
+  EXPECT_TRUE(is_primitive(f, p));
+  // x^2 + 1 over GF(5): irreducible? x^2+1 has roots 2,3 mod 5 -> reducible.
+  EXPECT_FALSE(is_primitive(f, Poly{{1, 0, 1}}));
+  // x^2 + 2 is irreducible over GF(5) but has order 8 < 24: not primitive.
+  EXPECT_TRUE(is_irreducible(f, Poly{{2, 0, 1}}));
+  EXPECT_FALSE(is_primitive(f, Poly{{2, 0, 1}}));
+}
+
+TEST(Poly, PrimitivityExample32) {
+  // Example 3.2: x^2 - x - z is primitive over GF(4), where z = 2.
+  const Field f(4);
+  const Poly p{{2, 1, 1}};  // -z = z (char 2), -1 = 1
+  EXPECT_TRUE(is_primitive(f, p));
+}
+
+class PrimitiveSearch
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>> {};
+
+TEST_P(PrimitiveSearch, FindsPrimitiveOfRequestedDegree) {
+  const auto [q, n] = GetParam();
+  const Field f(q);
+  const Poly p = find_primitive_poly(f, n);
+  EXPECT_EQ(p.degree(), static_cast<int>(n));
+  EXPECT_TRUE(is_primitive(f, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, PrimitiveSearch,
+    ::testing::Values(std::pair<std::uint64_t, unsigned>{2, 3},
+                      std::pair<std::uint64_t, unsigned>{2, 10},
+                      std::pair<std::uint64_t, unsigned>{3, 5},
+                      std::pair<std::uint64_t, unsigned>{4, 3},
+                      std::pair<std::uint64_t, unsigned>{5, 2},
+                      std::pair<std::uint64_t, unsigned>{7, 2},
+                      std::pair<std::uint64_t, unsigned>{8, 2},
+                      std::pair<std::uint64_t, unsigned>{9, 2},
+                      std::pair<std::uint64_t, unsigned>{13, 2},
+                      std::pair<std::uint64_t, unsigned>{16, 2}),
+    [](const auto& pinfo) {
+      return "GF" + std::to_string(pinfo.param.first) + "deg" +
+             std::to_string(pinfo.param.second);
+    });
+
+TEST(Lfsr, Example31GoldenSequence) {
+  // Example 3.1: s_{2+i} = s_{1+i} + 3 s_i over GF(5), s0 = 0, s1 = 1 gives
+  // the maximal cycle [0,1,1,4,2,4,0,2,2,3,4,3,0,4,4,1,3,1,0,3,3,2,1,2].
+  const Field f(5);
+  const Lfsr lfsr(f, {3, 1});
+  const auto seq = lfsr.period_sequence({0, 1});
+  const std::vector<Field::Elem> expected{0, 1, 1, 4, 2, 4, 0, 2, 2, 3, 4, 3,
+                                          0, 4, 4, 1, 3, 1, 0, 3, 3, 2, 1, 2};
+  EXPECT_EQ(seq, expected);
+}
+
+TEST(Lfsr, Example31CharacteristicPolynomial) {
+  const Field f(5);
+  const Lfsr lfsr(f, {3, 1});
+  EXPECT_EQ(lfsr.characteristic_polynomial(), (Poly{{2, 4, 1}}));
+  EXPECT_EQ(lfsr.omega(), 4u);  // a0 + a1 = 3 + 1
+}
+
+TEST(Lfsr, Example32GF4Sequence) {
+  // Example 3.2: c_{2+i} = c_{1+i} + z c_i over GF(4) with z = 2 gives a
+  // period-15 sequence; verified against a hand-computed expansion.
+  const Field f(4);
+  const Field::Elem z = 2, z2 = 3;
+  const Lfsr lfsr(f, {z, 1});
+  const auto seq = lfsr.period_sequence({0, 1});
+  const std::vector<Field::Elem> expected{0, 1, 1, z2, 1, 0, z, z, 1, z, 0, z2, z2, z, z2};
+  EXPECT_EQ(seq, expected);
+}
+
+TEST(Lfsr, MaximalPeriodForPrimitivePolynomials) {
+  // A primitive characteristic polynomial of degree n over GF(q) yields
+  // period q^n - 1 from any nonzero start (Section 3.1).
+  for (std::uint64_t q : {2ull, 3ull, 4ull, 5ull, 7ull, 9ull}) {
+    const Field f(q);
+    for (unsigned n : {2u, 3u}) {
+      const Poly p = find_primitive_poly(f, n);
+      const Lfsr lfsr(f, taps_from_characteristic(f, p));
+      std::vector<Field::Elem> init(n, 0);
+      init[n - 1] = 1;
+      const auto seq = lfsr.period_sequence(init);
+      std::uint64_t expect = 1;
+      for (unsigned i = 0; i < n; ++i) expect *= q;
+      EXPECT_EQ(seq.size(), expect - 1) << "q=" << q << " n=" << n;
+    }
+  }
+}
+
+TEST(Lfsr, MaximalSequenceWindowsAreAllNonzeroTuples) {
+  // Every nonzero n-tuple appears exactly once as a window: the sequence is
+  // a cycle through all nodes of B(q,n) except 0^n.
+  const Field f(3);
+  const unsigned n = 4;
+  const Poly p = find_primitive_poly(f, n);
+  const Lfsr lfsr(f, taps_from_characteristic(f, p));
+  const auto seq = lfsr.period_sequence({0, 0, 0, 1});
+  ASSERT_EQ(seq.size(), 80u);
+  std::set<std::uint64_t> windows;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    std::uint64_t w = 0;
+    for (unsigned j = 0; j < n; ++j) w = w * 3 + seq[(i + j) % seq.size()];
+    windows.insert(w);
+  }
+  EXPECT_EQ(windows.size(), 80u);
+  EXPECT_FALSE(windows.contains(0));
+}
+
+TEST(Lfsr, AffineOffsetShiftsSequence) {
+  // Lemma 3.2: the shifted cycle s + C satisfies the affine recurrence with
+  // offset s(1 - omega). Generate both and compare elementwise.
+  const Field f(5);
+  const Lfsr base(f, {3, 1});
+  const auto c = base.period_sequence({0, 1});
+  for (Field::Elem s = 1; s < 5; ++s) {
+    const Field::Elem offset = f.mul(s, f.sub(1, base.omega()));
+    const Lfsr shifted(f, {3, 1}, offset);
+    const auto d = shifted.period_sequence({s, f.add(1, s)});
+    ASSERT_EQ(d.size(), c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(d[i], f.add(c[i], s));
+    }
+  }
+}
+
+TEST(Lfsr, RejectsZeroLowTap) {
+  const Field f(5);
+  EXPECT_THROW(Lfsr(f, {0, 1}), precondition_error);
+  EXPECT_THROW(Lfsr(f, {}), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbr::gf

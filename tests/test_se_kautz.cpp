@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "debruijn/kautz.hpp"
+#include "debruijn/necklaces.hpp"
+#include "debruijn/shuffle_exchange.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/euler.hpp"
+#include "necklace/count.hpp"
+#include "util/require.hpp"
+
+namespace dbr {
+namespace {
+
+// --------------------------------------------------------------------------
+// Shuffle-exchange (the Chapter 4 companion graph).
+
+TEST(ShuffleExchangeTest, EdgeKinds) {
+  const ShuffleExchange g(4);
+  const WordSpace& ws = g.words();
+  const Word v = ws.from_digits(std::vector<Digit>{0, 1, 1, 0});
+  EXPECT_EQ(g.shuffle(v), ws.from_digits(std::vector<Digit>{1, 1, 0, 0}));
+  EXPECT_EQ(g.unshuffle(v), ws.from_digits(std::vector<Digit>{0, 0, 1, 1}));
+  EXPECT_EQ(g.exchange(v), ws.from_digits(std::vector<Digit>{0, 1, 1, 1}));
+  EXPECT_EQ(g.unshuffle(g.shuffle(v)), v);
+}
+
+TEST(ShuffleExchangeTest, DegreesAtMostThree) {
+  const ShuffleExchange g(5);
+  std::map<unsigned, unsigned> census;
+  for (Word v = 0; v < g.num_nodes(); ++v) ++census[g.degree(v)];
+  // 0^n and 1^n shuffle to themselves: degree 1 (exchange only); the two
+  // alternating nodes have shuffle == unshuffle: degree 2; rest degree 3.
+  EXPECT_EQ(census[1], 2u);
+  EXPECT_GE(census[3], g.num_nodes() - 6);
+}
+
+TEST(ShuffleExchangeTest, SymmetricAndConnected) {
+  const ShuffleExchange g(6);
+  for (Word v = 0; v < g.num_nodes(); ++v) {
+    for (Word w : g.neighbors(v)) {
+      const auto back = g.neighbors(w);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end())
+          << "neighbor relation must be symmetric";
+    }
+  }
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 1u);
+}
+
+TEST(ShuffleExchangeTest, ShuffleEdgesStayOnNecklace) {
+  // [LMR88]'s levels: shuffles move along the necklace, exchanges leave it.
+  const ShuffleExchange g(6);
+  const WordSpace& ws = g.words();
+  for (Word v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(ws.min_rotation(g.shuffle(v)), ws.min_rotation(v));
+    EXPECT_EQ(ws.min_rotation(g.unshuffle(v)), ws.min_rotation(v));
+    if (g.exchange(v) != ws.rotate_left(v, 0)) {
+      // The exchange neighbor lies on a different necklace unless the flip
+      // happens to be a rotation of v (possible, e.g. 01 -> 00? no: check
+      // simply that exchange changes the word).
+      EXPECT_NE(g.exchange(v), v);
+    }
+  }
+}
+
+TEST(ShuffleExchangeTest, NecklaceCountMatchesChapter4) {
+  // The necklace census of SE(n) is the same as B(2,n)'s - the formula the
+  // paper derives in Chapter 4 and [LHC89] computed by recurrence.
+  for (unsigned n : {4u, 6u, 12u}) {
+    const ShuffleExchange g(n);
+    const auto necklaces = all_necklaces(g.words());
+    EXPECT_EQ(necklaces.size(), necklace::necklaces_total(2, n));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Kautz digraph (the Chapter 5 future-work relative).
+
+class KautzStructure : public ::testing::TestWithParam<std::pair<Digit, unsigned>> {};
+
+TEST_P(KautzStructure, CountsAndDegrees) {
+  const auto [d, n] = GetParam();
+  const KautzDigraph g(d, n);
+  const auto nodes = g.nodes();
+  std::uint64_t expect = d + 1ull;
+  for (unsigned i = 1; i < n; ++i) expect *= d;
+  EXPECT_EQ(nodes.size(), expect);
+  std::map<Word, unsigned> indeg;
+  for (Word v : nodes) {
+    const auto succ = g.successors(v);
+    EXPECT_EQ(succ.size(), d) << "out-degree";
+    for (Word w : succ) {
+      EXPECT_TRUE(g.is_node(w));
+      EXPECT_TRUE(g.has_edge(v, w));
+      EXPECT_NE(v, w) << "Kautz graphs have no loops";
+      ++indeg[w];
+    }
+  }
+  for (Word v : nodes) EXPECT_EQ(indeg[v], d) << "in-degree";
+}
+
+TEST_P(KautzStructure, StronglyConnectedWithDiameterAtMostNPlus1) {
+  const auto [d, n] = GetParam();
+  const KautzDigraph g(d, n);
+  const auto nodes = g.nodes();
+  for (Word v : {nodes.front(), nodes.back()}) {
+    const auto r = bfs(g, v, [&](NodeId w) { return g.is_node(w); });
+    std::uint64_t reached = 0;
+    std::uint32_t ecc = 0;
+    for (Word w : nodes) {
+      if (r.dist[w] != kUnreached) {
+        ++reached;
+        ecc = std::max(ecc, r.dist[w]);
+      }
+    }
+    EXPECT_EQ(reached, nodes.size());
+    EXPECT_LE(ecc, n + 1) << "Kautz diameter is n (n+1 as a loose check)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KautzStructure,
+    ::testing::Values(std::pair<Digit, unsigned>{2, 2}, std::pair<Digit, unsigned>{2, 4},
+                      std::pair<Digit, unsigned>{3, 3}, std::pair<Digit, unsigned>{4, 3},
+                      std::pair<Digit, unsigned>{5, 2}),
+    [](const auto& pinfo) {
+      return "K" + std::to_string(pinfo.param.first) + "_" +
+             std::to_string(pinfo.param.second);
+    });
+
+TEST(KautzTest, IsEulerianHenceNextOrderIsHamiltonian) {
+  // K(d,n) is balanced and strongly connected, so Eulerian; its Euler
+  // circuits are the Hamiltonian cycles of K(d,n+1) (line-graph identity,
+  // same as B(d,n) - the basis for ring embedding in Kautz networks).
+  const KautzDigraph g(2, 3);
+  const Digraph m = g.materialize();
+  EXPECT_TRUE(has_eulerian_circuit(m));
+  const auto circuit = eulerian_circuit(m);
+  EXPECT_EQ(circuit.size(), g.num_kautz_edges());
+  // Lift: consecutive circuit nodes overlap in n-1 digits, so windows of
+  // n+1 circuit symbols give distinct K(2,4) nodes.
+  const KautzDigraph big(2, 4);
+  const WordSpace& ws = big.words();
+  std::set<Word> lifted;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    // Window: digits of circuit[i] followed by the last digit of the next
+    // circuit node - a valid K(2,4) node since the hop is a Kautz edge.
+    const Word window = circuit[i] * ws.radix() +
+                        g.words().tail(circuit[(i + 1) % circuit.size()]);
+    EXPECT_TRUE(big.is_node(window));
+    lifted.insert(window);
+  }
+  EXPECT_EQ(lifted.size(), big.num_kautz_nodes());
+}
+
+TEST(KautzTest, RejectsInvalidNodes) {
+  const KautzDigraph g(2, 3);
+  const WordSpace& ws = g.words();
+  const Word bad = ws.from_digits(std::vector<Digit>{1, 1, 0});
+  EXPECT_FALSE(g.is_node(bad));
+  EXPECT_THROW((void)g.successors(bad), precondition_error);
+  EXPECT_FALSE(g.has_edge(bad, 0));
+}
+
+}  // namespace
+}  // namespace dbr

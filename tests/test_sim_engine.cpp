@@ -1,0 +1,118 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace dbr::sim {
+namespace {
+
+// Fully connected topology helper.
+Engine full_mesh(NodeId n) {
+  return Engine(n, [](NodeId, NodeId) { return true; });
+}
+
+TEST(Engine, DeliversNextRound) {
+  Engine e = full_mesh(3);
+  e.post(0, 1, {0, 7, {42}});
+  EXPECT_FALSE(e.idle());
+  std::vector<std::pair<NodeId, std::uint64_t>> got;
+  e.step([&](NodeId dest, std::vector<Message>& batch) {
+    for (const Message& m : batch) got.emplace_back(dest, m.payload[0]);
+  });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (std::pair<NodeId, std::uint64_t>{1, 42}));
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.rounds(), 1u);
+  EXPECT_EQ(e.messages_delivered(), 1u);
+}
+
+TEST(Engine, BatchesByDestination) {
+  Engine e = full_mesh(4);
+  e.post(0, 3, {0, 1, {}});
+  e.post(1, 3, {0, 1, {}});
+  e.post(2, 1, {0, 1, {}});
+  int calls = 0;
+  e.step([&](NodeId dest, std::vector<Message>& batch) {
+    ++calls;
+    if (dest == 3) EXPECT_EQ(batch.size(), 2u);
+    if (dest == 1) EXPECT_EQ(batch.size(), 1u);
+  });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Engine, SenderIdStamped) {
+  Engine e = full_mesh(2);
+  e.post(1, 0, {99, 1, {}});  // bogus from-field is overwritten
+  e.step([&](NodeId, std::vector<Message>& batch) {
+    EXPECT_EQ(batch[0].from, 1u);
+  });
+}
+
+TEST(Engine, DeadNodesDropTraffic) {
+  Engine e = full_mesh(3);
+  e.kill(1);
+  EXPECT_FALSE(e.alive(1));
+  e.post(0, 1, {0, 1, {}});  // to dead
+  e.post(1, 2, {0, 1, {}});  // from dead
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.messages_dropped(), 2u);
+  int calls = 0;
+  e.step([&](NodeId, std::vector<Message>&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Engine, TopologyEnforced) {
+  Engine e(4, [](NodeId u, NodeId v) { return v == (u + 1) % 4; });
+  EXPECT_NO_THROW(e.post(0, 1, {0, 1, {}}));
+  EXPECT_THROW(e.post(0, 2, {0, 1, {}}), precondition_error);
+}
+
+TEST(Engine, PostsDuringDeliveryArriveNextRound) {
+  // Relay 0 -> 1 -> 2 takes two rounds.
+  Engine e(3, [](NodeId u, NodeId v) { return v == u + 1; });
+  e.post(0, 1, {0, 5, {1}});
+  bool reached2 = false;
+  auto handler = [&](NodeId dest, std::vector<Message>& batch) {
+    if (dest == 1) e.post(1, 2, std::move(batch[0]));
+    if (dest == 2) reached2 = true;
+  };
+  e.step(handler);
+  EXPECT_FALSE(reached2);
+  e.step(handler);
+  EXPECT_TRUE(reached2);
+  EXPECT_EQ(e.rounds(), 2u);
+}
+
+TEST(Engine, RunUntilIdleCountsRounds) {
+  Engine e(5, [](NodeId u, NodeId v) { return v == u + 1; });
+  e.post(0, 1, {0, 5, {}});
+  const auto rounds = e.run_until_idle(
+      [&](NodeId dest, std::vector<Message>& batch) {
+        if (dest + 1 < 5) e.post(dest, dest + 1, std::move(batch[0]));
+      },
+      100);
+  EXPECT_EQ(rounds, 4u);
+}
+
+TEST(Engine, RunUntilIdleThrowsOnBudgetExhaustion) {
+  // Two nodes bouncing a message forever.
+  Engine e = full_mesh(2);
+  e.post(0, 1, {0, 1, {}});
+  EXPECT_THROW(e.run_until_idle(
+                   [&](NodeId dest, std::vector<Message>& batch) {
+                     e.post(dest, 1 - dest, std::move(batch[0]));
+                   },
+                   10),
+               invariant_error);
+}
+
+TEST(Engine, Preconditions) {
+  EXPECT_THROW(Engine(0, [](NodeId, NodeId) { return true; }), precondition_error);
+  Engine e = full_mesh(2);
+  EXPECT_THROW(e.post(0, 5, {0, 1, {}}), precondition_error);
+  EXPECT_THROW(e.kill(9), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbr::sim

@@ -1,0 +1,209 @@
+#include "util/word.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dbr {
+namespace {
+
+TEST(WordSpace, ConstructionValidation) {
+  EXPECT_THROW(WordSpace(1, 3), precondition_error);
+  EXPECT_THROW(WordSpace(0, 3), precondition_error);
+  EXPECT_THROW(WordSpace(2, 0), precondition_error);
+  EXPECT_THROW(WordSpace(2, 64), precondition_error);  // 2^65 edge words overflow
+  EXPECT_NO_THROW(WordSpace(2, 10));
+  EXPECT_NO_THROW(WordSpace(4, 5));
+}
+
+TEST(WordSpace, SizeAndRadix) {
+  const WordSpace ws(3, 4);
+  EXPECT_EQ(ws.radix(), 3u);
+  EXPECT_EQ(ws.length(), 4u);
+  EXPECT_EQ(ws.size(), 81u);
+  EXPECT_EQ(ws.edge_word_count(), 243u);
+}
+
+TEST(WordSpace, DigitRoundTrip) {
+  const WordSpace ws(3, 4);
+  // 1120 in base 3 = 1*27 + 1*9 + 2*3 + 0 = 42.
+  const Word x = 42;
+  EXPECT_EQ(ws.digit(x, 0), 1u);
+  EXPECT_EQ(ws.digit(x, 1), 1u);
+  EXPECT_EQ(ws.digit(x, 2), 2u);
+  EXPECT_EQ(ws.digit(x, 3), 0u);
+  const std::vector<Digit> d{1, 1, 2, 0};
+  EXPECT_EQ(ws.from_digits(d), x);
+  EXPECT_EQ(ws.digits(x), d);
+  EXPECT_EQ(ws.to_string(x), "1120");
+}
+
+TEST(WordSpace, WithDigit) {
+  const WordSpace ws(5, 3);
+  const Word x = ws.from_digits(std::vector<Digit>{4, 0, 2});
+  EXPECT_EQ(ws.with_digit(x, 0, 1), ws.from_digits(std::vector<Digit>{1, 0, 2}));
+  EXPECT_EQ(ws.with_digit(x, 1, 3), ws.from_digits(std::vector<Digit>{4, 3, 2}));
+  EXPECT_EQ(ws.with_digit(x, 2, 0), ws.from_digits(std::vector<Digit>{4, 0, 0}));
+  EXPECT_EQ(ws.with_digit(x, 2, 2), x);
+}
+
+TEST(WordSpace, RotationMatchesPaperExample) {
+  // Section 3.4: pi^3(1202) = pi^{-1}(1202) = 2120.
+  const WordSpace ws(3, 4);
+  const Word x = ws.from_digits(std::vector<Digit>{1, 2, 0, 2});
+  EXPECT_EQ(ws.rotate_left(x, 3), ws.from_digits(std::vector<Digit>{2, 1, 2, 0}));
+  EXPECT_EQ(ws.rotate_left(x, 0), x);
+  EXPECT_EQ(ws.rotate_left(x, 4), x);
+}
+
+TEST(WordSpace, RotationGroupProperties) {
+  const WordSpace ws(4, 6);
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Word x = rng.below(ws.size());
+    const unsigned i = static_cast<unsigned>(rng.below(10));
+    const unsigned j = static_cast<unsigned>(rng.below(10));
+    EXPECT_EQ(ws.rotate_left(ws.rotate_left(x, i), j), ws.rotate_left(x, i + j));
+    EXPECT_EQ(ws.rotate_left(x, 6), x);
+  }
+}
+
+TEST(WordSpace, MinRotationAndNecklaceExample) {
+  // Section 2.1: N(1120) = [0112] = (1120, 1201, 2011, 0112).
+  const WordSpace ws(3, 4);
+  const Word x = ws.from_digits(std::vector<Digit>{1, 1, 2, 0});
+  EXPECT_EQ(ws.min_rotation(x), ws.from_digits(std::vector<Digit>{0, 1, 1, 2}));
+  EXPECT_EQ(ws.period(x), 4u);
+  EXPECT_TRUE(ws.aperiodic(x));
+}
+
+TEST(WordSpace, PeriodDividesN) {
+  const WordSpace ws(2, 12);
+  for (Word x = 0; x < ws.size(); x += 17) {
+    EXPECT_EQ(12 % ws.period(x), 0u) << "period must divide n";
+  }
+  EXPECT_EQ(ws.period(0), 1u);
+  EXPECT_EQ(ws.period(ws.size() - 1), 1u);
+  // 0101...01 has period 2.
+  EXPECT_EQ(ws.period(ws.alternating(0, 1)), 2u);
+}
+
+TEST(WordSpace, WeightsMatchPaperExample) {
+  // Section 2.1: x = 1120 has wt 4, wt0 = 1, wt1 = 2, wt2 = 1.
+  const WordSpace ws(3, 4);
+  const Word x = ws.from_digits(std::vector<Digit>{1, 1, 2, 0});
+  EXPECT_EQ(ws.weight(x), 4u);
+  EXPECT_EQ(ws.count_digit(x, 0), 1u);
+  EXPECT_EQ(ws.count_digit(x, 1), 2u);
+  EXPECT_EQ(ws.count_digit(x, 2), 1u);
+}
+
+TEST(WordSpace, WeightInvariantUnderRotation) {
+  const WordSpace ws(3, 5);
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Word x = rng.below(ws.size());
+    const Word y = ws.rotate_left(x, 1 + static_cast<unsigned>(rng.below(4)));
+    EXPECT_EQ(ws.weight(x), ws.weight(y));
+    for (Digit a = 0; a < 3; ++a) {
+      EXPECT_EQ(ws.count_digit(x, a), ws.count_digit(y, a));
+    }
+  }
+}
+
+TEST(WordSpace, ShiftOperations) {
+  const WordSpace ws(3, 3);
+  const Word x = ws.from_digits(std::vector<Digit>{0, 2, 0});
+  EXPECT_EQ(ws.shift_append(x, 1), ws.from_digits(std::vector<Digit>{2, 0, 1}));
+  EXPECT_EQ(ws.shift_prepend(x, 1), ws.from_digits(std::vector<Digit>{1, 0, 2}));
+  EXPECT_EQ(ws.head(x), 0u);
+  EXPECT_EQ(ws.tail(x), 0u);
+  EXPECT_EQ(ws.prefix(x), 2u);  // "02" base 3 = 2
+  EXPECT_EQ(ws.suffix(x), 6u);  // "20" base 3 = 6
+}
+
+TEST(WordSpace, ShiftInverses) {
+  const WordSpace ws(5, 4);
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Word x = rng.below(ws.size());
+    const Digit a = static_cast<Digit>(rng.below(5));
+    // shift_prepend undoes shift_append when fed the dropped digit.
+    EXPECT_EQ(ws.shift_prepend(ws.shift_append(x, a), ws.head(x)), x);
+    EXPECT_EQ(ws.shift_append(ws.shift_prepend(x, a), ws.tail(x)), x);
+  }
+}
+
+TEST(WordSpace, ComposeAccessors) {
+  const WordSpace ws(4, 5);
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Word x = rng.below(ws.size());
+    EXPECT_EQ(ws.compose_prefix(ws.head(x), ws.suffix(x)), x);
+    EXPECT_EQ(ws.compose_suffix(ws.prefix(x), ws.tail(x)), x);
+  }
+}
+
+TEST(WordSpace, RepeatedAndAlternating) {
+  const WordSpace ws(3, 5);
+  EXPECT_EQ(ws.to_string(ws.repeated(2)), "22222");
+  EXPECT_EQ(ws.to_string(ws.alternating(1, 2)), "12121");  // odd n ends with first
+  const WordSpace even(3, 4);
+  EXPECT_EQ(even.to_string(even.alternating(1, 2)), "1212");
+}
+
+TEST(WordSpace, EdgeWordCodec) {
+  const WordSpace ws(3, 3);
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Word u = rng.below(ws.size());
+    const Digit a = static_cast<Digit>(rng.below(3));
+    const Word e = ws.edge_word(u, a);
+    const auto [tail, head] = ws.edge_endpoints(e);
+    EXPECT_EQ(tail, u);
+    EXPECT_EQ(head, ws.shift_append(u, a));
+  }
+}
+
+TEST(WordSpace, WideRadixToString) {
+  const WordSpace ws(13, 2);
+  const Word x = ws.from_digits(std::vector<Digit>{12, 7});
+  EXPECT_EQ(ws.to_string(x), "12.7");
+}
+
+TEST(WordSpace, PreconditionChecks) {
+  const WordSpace ws(3, 3);
+  EXPECT_THROW(ws.digit(0, 3), precondition_error);
+  EXPECT_THROW(ws.shift_append(0, 3), precondition_error);
+  EXPECT_THROW(ws.with_digit(0, 0, 5), precondition_error);
+  EXPECT_THROW((void)ws.from_digits(std::vector<Digit>{1, 2}), precondition_error);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValues) {
+  Rng rng(99);
+  const auto sample = rng.sample_distinct(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::vector<std::uint64_t> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  for (auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleDistinctFullPopulation) {
+  Rng rng(1);
+  auto sample = rng.sample_distinct(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+  EXPECT_THROW(rng.below(0), precondition_error);
+}
+
+}  // namespace
+}  // namespace dbr
