@@ -9,10 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace dbr::bench {
 
@@ -47,6 +52,96 @@ void emit(const Table& table) {
     std::cout << table.to_string();
   }
 }
+
+/// Minimal streaming JSON emitter for the machine-readable `BENCH_*.json`
+/// artifacts every bench can produce alongside its human-readable tables.
+/// Caller is responsible for well-formed nesting (begin/end pairs and a key
+/// before every value inside an object); commas and escaping are handled.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { separate(); out_ += '{'; has_items_.push_back(false); return *this; }
+  JsonWriter& end_object() { out_ += '}'; has_items_.pop_back(); return *this; }
+  JsonWriter& begin_array() { separate(); out_ += '['; has_items_.push_back(false); return *this; }
+  JsonWriter& end_array() { out_ += ']'; has_items_.pop_back(); return *this; }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    append_string(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) { separate(); append_string(v); return *this; }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) { separate(); out_ += v ? "true" : "false"; return *this; }
+  JsonWriter& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) { separate(); out_ += std::to_string(v); return *this; }
+  JsonWriter& value(std::int64_t v) { separate(); out_ += std::to_string(v); return *this; }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) { return key(k).value(v); }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document (plus trailing newline) to `path`; returns success.
+  bool write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << out_ << '\n';
+    return static_cast<bool>(f);
+  }
+
+ private:
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!has_items_.empty()) {
+      if (has_items_.back()) out_ += ',';
+      has_items_.back() = true;
+    }
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> has_items_;
+  bool pending_value_ = false;
+};
 
 /// Prints the table section, then hands over to google-benchmark. Call from
 /// main() after registering benchmarks.

@@ -23,7 +23,6 @@ void print_tables() {
   heading("Figure 3.2 - predicted conflicts of {H_x} in B(13,n), f(x) = 7x");
   // 2 = 7 + 7^9 (mod 13): A = 1, B = 9, both odd (Example 3.3).
   const std::uint64_t p = 13;
-  const std::uint64_t A = 7;                       // 7^1
   const std::uint64_t B = nt::pow_mod(7, 9, p);    // 7^9 = 2 - 7 mod 13 = 8
   std::cout << "2 = 7^1 + 7^9 (mod 13): 7 + " << B << " = " << (7 + B) % 13
             << "\n";

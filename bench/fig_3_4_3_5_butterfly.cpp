@@ -17,8 +17,12 @@ using namespace dbr;
 using namespace dbr::bench;
 
 std::string bf_node(const ButterflyDigraph& bf, NodeId v) {
-  return "(" + std::to_string(bf.level_of(v)) + "," +
-         bf.columns().to_string(bf.column_of(v)) + ")";
+  std::string out = "(";
+  out += std::to_string(bf.level_of(v));
+  out += ',';
+  out += bf.columns().to_string(bf.column_of(v));
+  out += ')';
+  return out;
 }
 
 void print_tables() {

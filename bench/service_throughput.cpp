@@ -1,0 +1,272 @@
+// Load generator for the src/service embedding query engine.
+//
+// Drives a mixed workload of repeated and fresh (base, n, fault-set) queries
+// - node faults (FFC), edge faults (psi-scan / phi-construction) and
+// butterfly lifts - through EmbedEngine::query_batch twice: once with the
+// sharded result cache enabled and once without. Prints a human-readable
+// summary and writes the machine-readable BENCH_service_throughput.json.
+//
+// Knobs (env):   DBR_SEED, DBR_THREADS
+// Knobs (argv):  --requests N          stream length            (default 1200)
+//                --unique N            hot scenario pool size   (default 24)
+//                --repeat-fraction F   P(query drawn from pool) (default 0.9)
+//                --no-cache            run only the uncached mode
+//                --cache-only          run only the cached mode
+//                --out PATH            JSON path (default BENCH_service_throughput.json)
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/engine.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using dbr::Rng;
+using dbr::Word;
+using dbr::service::BatchStats;
+using dbr::service::EmbedEngine;
+using dbr::service::EmbedRequest;
+using dbr::service::EmbedResponse;
+using dbr::service::EmbedStatus;
+using dbr::service::EngineOptions;
+using dbr::service::FaultKind;
+using dbr::service::Strategy;
+
+std::uint64_t pow_u64(std::uint64_t b, unsigned e) {
+  std::uint64_t r = 1;
+  while (e--) r *= b;
+  return r;
+}
+
+/// One random scenario; `variant` cycles through the three workload families.
+EmbedRequest random_scenario(Rng& rng, std::uint64_t variant) {
+  EmbedRequest req;
+  switch (variant % 3) {
+    case 0: {  // node faults -> FFC
+      static constexpr struct { dbr::Digit d; unsigned n; } kGraphs[] = {
+          {2, 11}, {2, 12}, {3, 7}, {2, 13}};
+      const auto& g = kGraphs[rng.below(std::size(kGraphs))];
+      req.base = g.d;
+      req.n = g.n;
+      req.fault_kind = FaultKind::kNode;
+      const std::uint64_t f = 1 + rng.below(3);
+      for (std::uint64_t v : rng.sample_distinct(pow_u64(g.d, g.n), f))
+        req.faults.push_back(v);
+      break;
+    }
+    case 1: {  // edge faults -> psi-scan / phi-construction
+      static constexpr struct { dbr::Digit d; unsigned n; } kGraphs[] = {
+          {3, 7}, {4, 6}, {5, 5}};
+      const auto& g = kGraphs[rng.below(std::size(kGraphs))];
+      req.base = g.d;
+      req.n = g.n;
+      req.fault_kind = FaultKind::kEdge;
+      const std::uint64_t f = 1 + rng.below(2);
+      for (std::uint64_t v : rng.sample_distinct(pow_u64(g.d, g.n + 1), f))
+        req.faults.push_back(v);
+      break;
+    }
+    default: {  // butterfly lift (gcd(d, n) = 1)
+      static constexpr struct { dbr::Digit d; unsigned n; } kGraphs[] = {
+          {3, 7}, {4, 5}, {5, 4}};
+      const auto& g = kGraphs[rng.below(std::size(kGraphs))];
+      req.base = g.d;
+      req.n = g.n;
+      req.fault_kind = FaultKind::kEdge;
+      req.strategy = Strategy::kButterfly;
+      req.faults.push_back(rng.below(pow_u64(g.d, g.n + 1)));
+      break;
+    }
+  }
+  return req;
+}
+
+std::vector<EmbedRequest> make_stream(Rng& rng, std::size_t requests,
+                                      std::size_t unique, double repeat_fraction) {
+  std::vector<EmbedRequest> pool;
+  pool.reserve(unique);
+  for (std::size_t i = 0; i < unique; ++i)
+    pool.push_back(random_scenario(rng, i));
+
+  std::vector<EmbedRequest> stream;
+  stream.reserve(requests);
+  std::uint64_t fresh_variant = unique;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const bool repeat =
+        static_cast<double>(rng.below(1u << 20)) / (1u << 20) < repeat_fraction;
+    if (repeat && !pool.empty()) {
+      stream.push_back(pool[rng.below(pool.size())]);
+    } else {
+      stream.push_back(random_scenario(rng, fresh_variant++));
+    }
+  }
+  return stream;
+}
+
+struct ModeOutcome {
+  BatchStats stats;
+  std::vector<EmbedResponse> responses;
+};
+
+ModeOutcome run_mode(const std::vector<EmbedRequest>& stream, bool cached) {
+  EngineOptions options;
+  options.enable_cache = cached;
+  EmbedEngine engine(options);
+  ModeOutcome out;
+  out.responses = engine.query_batch(stream, &out.stats);
+  return out;
+}
+
+void emit_mode_json(dbr::bench::JsonWriter& json, const ModeOutcome& mode) {
+  const auto latency = mode.stats.merged_latency();
+  std::uint64_t ok = 0, no_embedding = 0, bad_request = 0, internal_error = 0;
+  for (const EmbedResponse& r : mode.responses) {
+    switch (r.result->status) {
+      case EmbedStatus::kOk: ++ok; break;
+      case EmbedStatus::kNoEmbedding: ++no_embedding; break;
+      case EmbedStatus::kBadRequest: ++bad_request; break;
+      case EmbedStatus::kInternalError: ++internal_error; break;
+    }
+  }
+  json.begin_object()
+      .field("processed", mode.stats.processed())
+      .field("wall_micros", mode.stats.wall_micros)
+      .field("throughput_qps", mode.stats.throughput_qps())
+      .field("cache_hits", mode.stats.cache_hits())
+      .field("hit_rate", mode.stats.hit_rate())
+      .field("ok", ok)
+      .field("no_embedding", no_embedding)
+      .field("bad_request", bad_request)
+      .field("internal_error", internal_error);
+  json.key("latency_micros")
+      .begin_object()
+      .field("mean", latency.mean())
+      .field("p50", latency.percentile(50))
+      .field("p90", latency.percentile(90))
+      .field("p99", latency.percentile(99))
+      .end_object();
+  json.key("workers").begin_array();
+  for (const auto& w : mode.stats.workers) {
+    json.begin_object()
+        .field("worker", static_cast<std::uint64_t>(w.worker))
+        .field("processed", w.processed)
+        .field("cache_hits", w.cache_hits)
+        .field("busy_micros", w.busy_micros)
+        .field("p50_micros", w.latency.percentile(50))
+        .field("p99_micros", w.latency.percentile(99))
+        .end_object();
+  }
+  json.end_array().end_object();
+}
+
+void print_mode(dbr::TextTable& table, const std::string& name,
+                const ModeOutcome& mode) {
+  const auto latency = mode.stats.merged_latency();
+  table.new_row()
+      .add(name)
+      .add(mode.stats.processed())
+      .add(mode.stats.throughput_qps(), 1)
+      .add(mode.stats.hit_rate(), 3)
+      .add(latency.percentile(50), 1)
+      .add(latency.percentile(99), 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 1200;
+  std::size_t unique = 24;
+  double repeat_fraction = 0.9;
+  bool run_cached = true;
+  bool run_uncached = true;
+  std::string out_path = "BENCH_service_throughput.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--requests") requests = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--unique") unique = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--repeat-fraction") repeat_fraction = std::strtod(next(), nullptr);
+    else if (arg == "--no-cache") run_cached = false;
+    else if (arg == "--cache-only") run_uncached = false;
+    else if (arg == "--out") out_path = next();
+    else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  Rng rng(dbr::bench::seed());
+  const std::vector<EmbedRequest> stream =
+      make_stream(rng, requests, unique, repeat_fraction);
+
+  dbr::bench::heading("service throughput: mixed embedding query workload");
+  std::cout << "requests=" << requests << " unique=" << unique
+            << " repeat_fraction=" << repeat_fraction
+            << " threads=" << dbr::worker_count() << "\n";
+
+  std::optional<ModeOutcome> cached, uncached;
+  if (run_uncached) uncached = run_mode(stream, /*cached=*/false);
+  if (run_cached) cached = run_mode(stream, /*cached=*/true);
+
+  bool identical = true;
+  if (cached && uncached) {
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (!cached->responses[i].result->same_embedding(
+              *uncached->responses[i].result)) {
+        identical = false;
+        break;
+      }
+    }
+  }
+
+  dbr::TextTable table(
+      {"mode", "requests", "qps", "hit_rate", "p50_us", "p99_us"});
+  if (uncached) print_mode(table, "uncached", *uncached);
+  if (cached) print_mode(table, "cached", *cached);
+  dbr::bench::emit(table);
+
+  dbr::bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", "service_throughput")
+      .field("seed", dbr::bench::seed())
+      .field("threads", dbr::worker_count());
+  json.key("config")
+      .begin_object()
+      .field("requests", static_cast<std::uint64_t>(requests))
+      .field("unique_scenarios", static_cast<std::uint64_t>(unique))
+      .field("repeat_fraction", repeat_fraction)
+      .end_object();
+  json.key("modes").begin_object();
+  if (uncached) { json.key("uncached"); emit_mode_json(json, *uncached); }
+  if (cached) { json.key("cached"); emit_mode_json(json, *cached); }
+  json.end_object();
+  if (cached && uncached) {
+    const double speedup = uncached->stats.throughput_qps() > 0
+        ? cached->stats.throughput_qps() / uncached->stats.throughput_qps()
+        : 0.0;
+    json.field("speedup_cached_vs_uncached", speedup)
+        .field("identical_responses", identical);
+    std::cout << "speedup (cached vs uncached): " << speedup
+              << "x, identical responses: " << (identical ? "yes" : "NO")
+              << "\n";
+  }
+  json.end_object();
+
+  if (!json.write_file(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return identical ? 0 : 1;
+}

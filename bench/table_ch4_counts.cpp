@@ -89,10 +89,14 @@ void print_tables() {
       for (std::uint64_t k1 = 0; k0 + k1 <= 4; ++k1) {
         const std::uint64_t k2 = 4 - k0 - k1;
         const std::vector<std::uint64_t> type{k0, k1, k2};
-        t.new_row()
-            .add("[" + std::to_string(k0) + "," + std::to_string(k1) + "," +
-                 std::to_string(k2) + "]")
-            .add(necklace::type_necklaces_total(3, 4, type));
+        std::string label = "[";
+        label += std::to_string(k0);
+        label += ',';
+        label += std::to_string(k1);
+        label += ',';
+        label += std::to_string(k2);
+        label += ']';
+        t.new_row().add(label).add(necklace::type_necklaces_total(3, 4, type));
       }
     }
     emit(t);

@@ -233,4 +233,22 @@ FfcResult FfcSolver::solve(std::span<const Word> faulty_nodes,
   return result;
 }
 
+std::pair<std::uint64_t, std::uint64_t> ffc_cycle_length_bounds(
+    Digit d, unsigned n, std::uint64_t fault_count) {
+  // WordSpace validates d >= 2, n >= 1 and d^(n+1) representable, so d^n
+  // below is exact (no silent wraparound for out-of-range instances).
+  const std::uint64_t size = WordSpace(d, n).size();
+  const std::uint64_t f = fault_count;
+  const std::uint64_t upper = f >= size ? 0 : size - f;
+  std::uint64_t lower = 0;
+  if (f <= d - 2) {
+    const std::uint64_t removed = static_cast<std::uint64_t>(n) * f;
+    lower = removed >= size ? 0 : size - removed;  // Proposition 2.2
+  } else if (d == 2 && f == 1) {
+    const std::uint64_t removed = static_cast<std::uint64_t>(n) + 1;
+    lower = removed >= size ? 0 : size - removed;  // Proposition 2.3
+  }
+  return {lower, upper};
+}
+
 }  // namespace dbr::core

@@ -4,6 +4,7 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "debruijn/cycle.hpp"
@@ -62,6 +63,15 @@ struct FfcOptions {
   /// roots at that component's smallest node.
   std::optional<Word> root;
 };
+
+/// The paper's guarantee envelope on |H| for `fault_count` distinct faulty
+/// nodes in B(d,n): Proposition 2.2 gives |H| >= d^n - n*f when f <= d - 2,
+/// Proposition 2.3 gives |H| >= 2^n - (n+1) for a single fault in B(2,n);
+/// outside both regimes the lower bound degrades to 0 (the surviving
+/// component can be arbitrarily small). The upper bound is d^n - f: each
+/// faulty node removes at least itself. Returns {lower, upper}.
+std::pair<std::uint64_t, std::uint64_t> ffc_cycle_length_bounds(
+    Digit d, unsigned n, std::uint64_t fault_count);
 
 /// Node-fault-tolerant ring embedding: the FFC algorithm of Chapter 2.
 ///

@@ -1,0 +1,135 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dbr::service {
+
+Strategy resolve_strategy(const EmbedRequest& request) {
+  if (request.strategy != Strategy::kAuto) return request.strategy;
+  return request.fault_kind == FaultKind::kNode ? Strategy::kFfc
+                                                : Strategy::kEdgeAuto;
+}
+
+CacheKey canonical_key(const EmbedRequest& request) {
+  CacheKey key;
+  key.base = request.base;
+  key.n = request.n;
+  key.fault_kind = request.fault_kind;
+  key.strategy = resolve_strategy(request);
+  key.faults = request.faults;
+  std::sort(key.faults.begin(), key.faults.end());
+  key.faults.erase(std::unique(key.faults.begin(), key.faults.end()),
+                   key.faults.end());
+  return key;
+}
+
+namespace {
+
+// SplitMix64 finalizer; strong enough to spread sequential words across
+// shards and hash buckets.
+inline std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t combine(std::uint64_t seed, std::uint64_t v) {
+  return mix(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace
+
+std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  std::uint64_t h = combine(0x8f1bbcdcu, key.base);
+  h = combine(h, key.n);
+  h = combine(h, static_cast<std::uint64_t>(key.fault_kind));
+  h = combine(h, static_cast<std::uint64_t>(key.strategy));
+  for (Word w : key.faults) h = combine(h, w);
+  return static_cast<std::size_t>(h);
+}
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shard_count)
+    : capacity_(capacity) {
+  require(shard_count >= 1, "ShardedLruCache requires at least one shard");
+  require(capacity >= 1, "ShardedLruCache requires capacity >= 1");
+  shard_count = std::min(shard_count, capacity);
+  shards_.reserve(shard_count);
+  // Distribute the budget exactly: the first (capacity % shard_count) shards
+  // take one extra entry, so shard capacities sum to `capacity`.
+  const std::size_t per_shard = capacity / shard_count;
+  const std::size_t remainder = capacity % shard_count;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = per_shard + (i < remainder ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedLruCache::Shard& ShardedLruCache::shard_for(const CacheKey& key) {
+  return *shards_[CacheKeyHash()(key) % shards_.size()];
+}
+
+std::shared_ptr<const EmbedResult> ShardedLruCache::get(const CacheKey& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ShardedLruCache::put(const CacheKey& key,
+                          std::shared_ptr<const EmbedResult> value) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.index.size() > shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ShardedLruCache::clear() {
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+std::size_t ShardedLruCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->index.size();
+  }
+  return total;
+}
+
+CacheStats ShardedLruCache::stats() const {
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->index.size();
+  }
+  return out;
+}
+
+}  // namespace dbr::service

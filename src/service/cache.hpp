@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/types.hpp"
+
+namespace dbr::service {
+
+/// Canonical cache identity of an EmbedRequest. Fault words are sorted and
+/// deduplicated, so the same fault set presented in any order (with or
+/// without repeats) maps to the same key. kAuto is resolved to the concrete
+/// strategy before keying, so `{kAuto}` and the strategy it resolves to share
+/// cache entries.
+struct CacheKey {
+  Digit base = 0;
+  unsigned n = 0;
+  FaultKind fault_kind = FaultKind::kNode;
+  Strategy strategy = Strategy::kAuto;
+  std::vector<Word> faults;  // sorted, unique
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Resolves kAuto to the concrete strategy implied by the fault kind.
+Strategy resolve_strategy(const EmbedRequest& request);
+
+/// Builds the canonical key: resolved strategy + sorted/deduplicated faults.
+CacheKey canonical_key(const EmbedRequest& request);
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& key) const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Sharded LRU map from canonical request keys to computed embeddings.
+/// Keys are distributed across shards by hash; each shard owns its mutex,
+/// LRU list and index, so concurrent workers contend only when they land on
+/// the same shard. Values are immutable shared_ptrs: a get() returns the
+/// exact object a put() stored, so cached answers are bit-identical to the
+/// original computation.
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across shards
+  /// (at least one entry per shard). `shard_count` >= 1.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shard_count = 16);
+
+  /// Returns the cached value and refreshes its LRU position, or nullptr.
+  std::shared_ptr<const EmbedResult> get(const CacheKey& key);
+
+  /// Inserts or refreshes `key`, evicting the shard's LRU tail if full.
+  void put(const CacheKey& key, std::shared_ptr<const EmbedResult> value);
+
+  void clear();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t size() const;
+
+  /// Aggregated over shards; a consistent snapshot per shard, not globally.
+  CacheStats stats() const;
+
+ private:
+  struct Shard {
+    using LruList = std::list<std::pair<CacheKey, std::shared_ptr<const EmbedResult>>>;
+
+    mutable std::mutex mu;
+    LruList lru;  // front = most recently used
+    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_for(const CacheKey& key);
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dbr::service

@@ -1,0 +1,190 @@
+#include "service/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "butterfly/butterfly.hpp"
+#include "butterfly/lift.hpp"
+#include "core/edge_fault.hpp"
+#include "core/ffc.hpp"
+#include "debruijn/cycle.hpp"
+#include "debruijn/debruijn.hpp"
+#include "util/parallel.hpp"
+#include "util/require.hpp"
+
+namespace dbr::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+EmbedResult compute_result(const CacheKey& key) {
+  EmbedResult out;
+  out.strategy_used = key.strategy;
+  const Clock::time_point start = Clock::now();
+  try {
+    const WordSpace ws(key.base, key.n);
+    const bool node_faults = key.fault_kind == FaultKind::kNode;
+    const Word limit = node_faults ? ws.size() : ws.edge_word_count();
+    for (Word f : key.faults) {
+      require(f < limit, "fault word out of range for B(" +
+                             std::to_string(key.base) + "," +
+                             std::to_string(key.n) + ")");
+    }
+
+    switch (key.strategy) {
+      case Strategy::kFfc: {
+        require(node_faults, "ffc strategy requires node faults");
+        const core::FfcSolver solver{DeBruijnDigraph(ws)};
+        core::FfcResult r = solver.solve(key.faults);
+        out.ring = std::move(r.cycle);
+        out.ring_length = out.ring.length();
+        const auto [lo, hi] =
+            core::ffc_cycle_length_bounds(key.base, key.n, key.faults.size());
+        out.lower_bound = lo;
+        out.upper_bound = hi;
+        break;
+      }
+      case Strategy::kEdgeAuto:
+      case Strategy::kEdgeScan:
+      case Strategy::kEdgePhi: {
+        require(!node_faults, "edge strategies require edge faults");
+        std::optional<SymbolCycle> hc;
+        if (key.strategy == Strategy::kEdgeScan) {
+          hc = core::fault_free_hc_family_scan(key.base, key.n, key.faults);
+        } else if (key.strategy == Strategy::kEdgePhi) {
+          hc = core::fault_free_hc_phi_construction(key.base, key.n, key.faults);
+        } else {
+          hc = core::fault_free_hamiltonian_cycle(key.base, key.n, key.faults);
+        }
+        if (!hc) {
+          out.status = EmbedStatus::kNoEmbedding;
+          out.error = "no fault-free Hamiltonian cycle found (fault set beyond "
+                      "the strategy's guarantee)";
+          break;
+        }
+        out.ring = to_node_cycle(ws, *hc);
+        out.ring_length = out.ring.length();
+        out.lower_bound = ws.size();
+        out.upper_bound = ws.size();
+        break;
+      }
+      case Strategy::kButterfly: {
+        require(!node_faults,
+                "butterfly strategy takes De Bruijn edge-word faults");
+        require(std::gcd<std::uint64_t, std::uint64_t>(key.base, key.n) == 1,
+                "butterfly lift requires gcd(d, n) = 1");
+        const std::optional<SymbolCycle> hc =
+            core::fault_free_hamiltonian_cycle(key.base, key.n, key.faults);
+        if (!hc) {
+          out.status = EmbedStatus::kNoEmbedding;
+          out.error = "no fault-free Hamiltonian cycle found (fault set beyond "
+                      "the strategy's guarantee)";
+          break;
+        }
+        const ButterflyDigraph bf(key.base, key.n);
+        out.ring.nodes = butterfly::lift_cycle(bf, to_node_cycle(ws, *hc));
+        out.ring_length = out.ring.length();
+        out.lower_bound = static_cast<std::uint64_t>(key.n) * ws.size();
+        out.upper_bound = out.lower_bound;
+        break;
+      }
+      case Strategy::kAuto:
+        ensure(false, "kAuto must be resolved before dispatch");
+    }
+  } catch (const precondition_error& e) {
+    out = EmbedResult{};
+    out.strategy_used = key.strategy;
+    out.status = EmbedStatus::kBadRequest;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    // Invariant failures and transient conditions (e.g. bad_alloc) are not
+    // deterministic answers; kInternalError keeps them out of the cache.
+    out = EmbedResult{};
+    out.strategy_used = key.strategy;
+    out.status = EmbedStatus::kInternalError;
+    out.error = e.what();
+  }
+  out.compute_micros = micros_since(start);
+  return out;
+}
+
+}  // namespace
+
+EmbedEngine::EmbedEngine(EngineOptions options)
+    : options_(options),
+      cache_(std::make_unique<ShardedLruCache>(
+          std::max<std::size_t>(1, options.cache_capacity),
+          std::max<std::size_t>(1, options.cache_shards))) {}
+
+std::shared_ptr<const EmbedResult> EmbedEngine::compute(const CacheKey& key) const {
+  return std::make_shared<const EmbedResult>(compute_result(key));
+}
+
+std::shared_ptr<const EmbedResult> EmbedEngine::compute_uncached(
+    const EmbedRequest& request) const {
+  return compute(canonical_key(request));
+}
+
+EmbedResponse EmbedEngine::query(const EmbedRequest& request) {
+  const Clock::time_point start = Clock::now();
+  const CacheKey key = canonical_key(request);
+  EmbedResponse response;
+  if (options_.enable_cache) {
+    if (std::shared_ptr<const EmbedResult> hit = cache_->get(key)) {
+      response.result = std::move(hit);
+      response.cache_hit = true;
+      response.latency_micros = micros_since(start);
+      return response;
+    }
+  }
+  std::shared_ptr<const EmbedResult> computed = compute(key);
+  // Only deterministic answers are cacheable: bad requests fail fast and
+  // internal errors may be transient (memory pressure, library bugs).
+  if (options_.enable_cache && (computed->status == EmbedStatus::kOk ||
+                                computed->status == EmbedStatus::kNoEmbedding)) {
+    cache_->put(key, computed);
+  }
+  response.result = std::move(computed);
+  response.latency_micros = micros_since(start);
+  return response;
+}
+
+std::vector<EmbedResponse> EmbedEngine::query_batch(
+    std::span<const EmbedRequest> requests, BatchStats* stats) {
+  std::vector<EmbedResponse> responses(requests.size());
+  const std::size_t worker_slots = std::max<std::size_t>(
+      1, std::min<std::size_t>(worker_count(), requests.size()));
+  std::vector<WorkerStats> workers(worker_slots);
+
+  const Clock::time_point start = Clock::now();
+  parallel_blocks(requests.size(), [&](std::size_t worker, std::size_t begin,
+                                       std::size_t end) {
+    WorkerStats& w = workers[worker];
+    w.worker = worker;
+    const Clock::time_point busy_start = Clock::now();
+    for (std::size_t i = begin; i < end; ++i) {
+      responses[i] = query(requests[i]);
+      ++w.processed;
+      if (responses[i].cache_hit) ++w.cache_hits;
+      w.latency.record(responses[i].latency_micros);
+    }
+    w.busy_micros = micros_since(busy_start);
+  });
+  const double wall = micros_since(start);
+
+  if (stats != nullptr) {
+    stats->workers = std::move(workers);
+    stats->wall_micros = wall;
+  }
+  return responses;
+}
+
+}  // namespace dbr::service

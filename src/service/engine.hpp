@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/stats.hpp"
+#include "service/types.hpp"
+
+namespace dbr::service {
+
+struct EngineOptions {
+  bool enable_cache = true;
+  std::size_t cache_capacity = 4096;  ///< total entries across shards
+  std::size_t cache_shards = 16;
+};
+
+/// Thread-safe ring-embedding query engine over the paper's constructions.
+///
+/// A query names an instance (base, n, fault set, strategy); the engine
+/// canonicalizes the fault set (sort + dedup, so answers are independent of
+/// presentation order), serves repeats from a sharded LRU result cache, and
+/// otherwise dispatches to the matching core construction:
+///
+///   kFfc        node faults   -> core::FfcSolver (Chapter 2)
+///   kEdgeAuto   edge faults   -> core::fault_free_hamiltonian_cycle
+///   kEdgeScan   edge faults   -> core::fault_free_hc_family_scan
+///   kEdgePhi    edge faults   -> core::fault_free_hc_phi_construction
+///   kButterfly  edge faults   -> edge-fault-free HC lifted to F(d,n)
+///                                (requires gcd(d, n) = 1, Proposition 3.5)
+///
+/// Results are immutable and shared with the cache, so a hit returns the
+/// exact bytes of the original computation. Two threads missing on the same
+/// key may both compute (last put wins); the computation is deterministic,
+/// so they produce identical results.
+class EmbedEngine {
+ public:
+  explicit EmbedEngine(EngineOptions options = {});
+
+  /// Serves one query. Thread-safe; the hot (hit) path is one hash plus one
+  /// shard lock.
+  EmbedResponse query(const EmbedRequest& request);
+
+  /// Serves a batch concurrently on util/parallel workers. Responses come
+  /// back in request order. When `stats` is non-null it receives per-worker
+  /// counters and the batch wall clock.
+  std::vector<EmbedResponse> query_batch(std::span<const EmbedRequest> requests,
+                                         BatchStats* stats = nullptr);
+
+  /// Computes an answer without consulting or filling the cache; the
+  /// baseline the cache path must be bit-identical to.
+  std::shared_ptr<const EmbedResult> compute_uncached(const EmbedRequest& request) const;
+
+  const EngineOptions& options() const { return options_; }
+  CacheStats cache_stats() const { return cache_->stats(); }
+  void clear_cache() { cache_->clear(); }
+
+ private:
+  std::shared_ptr<const EmbedResult> compute(const CacheKey& key) const;
+
+  EngineOptions options_;
+  std::unique_ptr<ShardedLruCache> cache_;
+};
+
+}  // namespace dbr::service

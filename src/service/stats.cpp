@@ -1,0 +1,59 @@
+#include "service/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dbr::service {
+
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+}
+
+double LatencyRecorder::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: ceil(p/100 * N), 1-indexed.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::uint64_t BatchStats::processed() const {
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : workers) total += w.processed;
+  return total;
+}
+
+std::uint64_t BatchStats::cache_hits() const {
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : workers) total += w.cache_hits;
+  return total;
+}
+
+double BatchStats::hit_rate() const {
+  const std::uint64_t total = processed();
+  return total == 0 ? 0.0
+                    : static_cast<double>(cache_hits()) / static_cast<double>(total);
+}
+
+double BatchStats::throughput_qps() const {
+  if (wall_micros <= 0.0) return 0.0;
+  return static_cast<double>(processed()) / (wall_micros * 1e-6);
+}
+
+LatencyRecorder BatchStats::merged_latency() const {
+  LatencyRecorder merged;
+  for (const WorkerStats& w : workers) merged.merge(w.latency);
+  return merged;
+}
+
+}  // namespace dbr::service

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbr::service {
+
+/// Latency samples in microseconds with percentile extraction. Not
+/// thread-safe: each worker records into its own instance; merge afterwards.
+class LatencyRecorder {
+ public:
+  void record(double micros) { samples_.push_back(micros); }
+  void merge(const LatencyRecorder& other);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// p in [0, 100]; nearest-rank on the sorted samples. 0 when empty.
+  double percentile(double p) const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// What one batch worker did: queries served, cache hits among them, and
+/// the time it spent serving (busy, excluding thread startup/join).
+struct WorkerStats {
+  std::size_t worker = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t cache_hits = 0;
+  double busy_micros = 0.0;
+  LatencyRecorder latency;
+};
+
+/// Aggregate view of one EmbedEngine::query_batch call.
+struct BatchStats {
+  std::vector<WorkerStats> workers;
+  double wall_micros = 0.0;
+
+  std::uint64_t processed() const;
+  std::uint64_t cache_hits() const;
+  double hit_rate() const;
+  /// Queries per second against the batch wall clock.
+  double throughput_qps() const;
+  LatencyRecorder merged_latency() const;
+};
+
+}  // namespace dbr::service

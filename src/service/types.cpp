@@ -1,0 +1,35 @@
+#include "service/types.hpp"
+
+namespace dbr::service {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kAuto: return "auto";
+    case Strategy::kFfc: return "ffc";
+    case Strategy::kEdgeAuto: return "edge_auto";
+    case Strategy::kEdgeScan: return "edge_scan";
+    case Strategy::kEdgePhi: return "edge_phi";
+    case Strategy::kButterfly: return "butterfly";
+  }
+  return "unknown";
+}
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNode: return "node";
+    case FaultKind::kEdge: return "edge";
+  }
+  return "unknown";
+}
+
+const char* to_string(EmbedStatus s) {
+  switch (s) {
+    case EmbedStatus::kOk: return "ok";
+    case EmbedStatus::kNoEmbedding: return "no_embedding";
+    case EmbedStatus::kBadRequest: return "bad_request";
+    case EmbedStatus::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+}  // namespace dbr::service

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "debruijn/cycle.hpp"
+#include "util/word.hpp"
+
+namespace dbr::service {
+
+/// Which of the paper's constructions answers the query.
+enum class Strategy : std::uint8_t {
+  kAuto = 0,   ///< node faults -> kFfc; edge faults -> kEdgeAuto.
+  kFfc,        ///< necklace FFC construction (Chapter 2, node faults).
+  kEdgeAuto,   ///< psi-family scan then phi-construction (Proposition 3.4).
+  kEdgeScan,   ///< psi(d)-family scan only (Proposition 3.2).
+  kEdgePhi,    ///< recursive phi(d)-construction only (Proposition 3.3).
+  kButterfly,  ///< edge-fault-free HC lifted to F(d,n) (Proposition 3.5).
+};
+
+/// How the request's fault words are interpreted.
+enum class FaultKind : std::uint8_t {
+  kNode = 0,  ///< n-digit node words of B(d,n).
+  kEdge = 1,  ///< (n+1)-digit edge words (WordSpace::edge_word).
+};
+
+enum class EmbedStatus : std::uint8_t {
+  kOk = 0,
+  kNoEmbedding,  ///< the strategy ran out of candidates (beyond-guarantee fault set).
+  kBadRequest,   ///< the request violates a documented precondition.
+  kInternalError,  ///< a library invariant failed; possibly transient, never cached.
+};
+
+const char* to_string(Strategy s);
+const char* to_string(FaultKind k);
+const char* to_string(EmbedStatus s);
+
+/// One embedding query: find a fault-avoiding ring in B(base, n) (or, for
+/// kButterfly, in F(base, n) by lifting) given a set of faulty nodes or edges.
+struct EmbedRequest {
+  Digit base = 2;
+  unsigned n = 3;
+  FaultKind fault_kind = FaultKind::kNode;
+  /// Faulty node words or edge words; order and repeats are irrelevant
+  /// (the engine canonicalizes before dispatch and caching).
+  std::vector<Word> faults;
+  Strategy strategy = Strategy::kAuto;
+};
+
+/// The cacheable payload of an answer: a pure function of the canonicalized
+/// request, so cached copies are bit-identical to fresh computations.
+/// Serve-time fields (cache status, serve latency) live on EmbedResponse.
+struct EmbedResult {
+  EmbedStatus status = EmbedStatus::kOk;
+  Strategy strategy_used = Strategy::kAuto;
+  /// The ring: node words of B(d,n), or butterfly node ids for kButterfly.
+  NodeCycle ring;
+  std::uint64_t ring_length = 0;
+  /// The paper's guarantee envelope on |ring| for this instance (see
+  /// ffc_cycle_length_bounds and the dispatch notes in engine.hpp).
+  std::uint64_t lower_bound = 0;
+  std::uint64_t upper_bound = 0;
+  /// Wall time of the original (uncached) construction.
+  double compute_micros = 0.0;
+  std::string error;  ///< set when status != kOk
+
+  /// Equality of everything deterministic, ignoring compute_micros.
+  bool same_embedding(const EmbedResult& o) const {
+    return status == o.status && strategy_used == o.strategy_used &&
+           ring == o.ring && ring_length == o.ring_length &&
+           lower_bound == o.lower_bound && upper_bound == o.upper_bound &&
+           error == o.error;
+  }
+};
+
+/// One served answer. `result` is shared with the cache, never mutated.
+struct EmbedResponse {
+  std::shared_ptr<const EmbedResult> result;
+  bool cache_hit = false;
+  double latency_micros = 0.0;  ///< end-to-end serve time of this query
+
+  bool ok() const { return result && result->status == EmbedStatus::kOk; }
+};
+
+}  // namespace dbr::service

@@ -49,7 +49,11 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{5, 3}, Case{7, 2}, Case{8, 2}, Case{9, 2}, Case{6, 2},
                       Case{6, 3}, Case{10, 2}, Case{12, 2}, Case{15, 2}, Case{13, 2}),
     [](const auto& pinfo) {
-      return "B" + std::to_string(pinfo.param.d) + "_" + std::to_string(pinfo.param.n);
+      std::string name = "B";
+      name += std::to_string(pinfo.param.d);
+      name += '_';
+      name += std::to_string(pinfo.param.n);
+      return name;
     });
 
 TEST(EdgeFault, AdversarialFaultsOnOneShiftedCycle) {

@@ -122,7 +122,11 @@ INSTANTIATE_TEST_SUITE_P(
                       BruteParams{4, 6}, BruteParams{5, 4}, BruteParams{6, 3},
                       BruteParams{7, 3}),
     [](const auto& pinfo) {
-      return "B" + std::to_string(pinfo.param.d) + "_" + std::to_string(pinfo.param.n);
+      std::string name = "B";
+      name += std::to_string(pinfo.param.d);
+      name += '_';
+      name += std::to_string(pinfo.param.n);
+      return name;
     });
 
 TEST(CountByType, BruteForceCrossCheck) {

@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/ffc.hpp"
+#include "butterfly/butterfly.hpp"
+#include "butterfly/lift.hpp"
+#include "debruijn/cycle.hpp"
+#include "debruijn/debruijn.hpp"
+#include "service/cache.hpp"
+#include "service/engine.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dbr::service {
+namespace {
+
+std::shared_ptr<const EmbedResult> make_result(std::uint64_t tag) {
+  auto r = std::make_shared<EmbedResult>();
+  r->ring_length = tag;
+  return r;
+}
+
+EmbedRequest node_request(Digit d, unsigned n, std::vector<Word> faults,
+                          Strategy strategy = Strategy::kAuto) {
+  EmbedRequest req;
+  req.base = d;
+  req.n = n;
+  req.fault_kind = FaultKind::kNode;
+  req.faults = std::move(faults);
+  req.strategy = strategy;
+  return req;
+}
+
+EmbedRequest edge_request(Digit d, unsigned n, std::vector<Word> faults,
+                          Strategy strategy = Strategy::kAuto) {
+  EmbedRequest req;
+  req.base = d;
+  req.n = n;
+  req.fault_kind = FaultKind::kEdge;
+  req.faults = std::move(faults);
+  req.strategy = strategy;
+  return req;
+}
+
+// --------------------------------------------------------------------------
+// Fault-set canonicalization.
+
+TEST(CanonicalKeyTest, FaultOrderAndRepeatsDoNotMatter) {
+  const CacheKey a = canonical_key(node_request(3, 4, {7, 3, 11}));
+  const CacheKey b = canonical_key(node_request(3, 4, {11, 7, 3}));
+  const CacheKey c = canonical_key(node_request(3, 4, {3, 3, 11, 7, 7}));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(CacheKeyHash()(a), CacheKeyHash()(b));
+  EXPECT_EQ(a.faults, (std::vector<Word>{3, 7, 11}));
+}
+
+TEST(CanonicalKeyTest, DistinctInstancesGetDistinctKeys) {
+  const CacheKey base = canonical_key(node_request(3, 4, {7, 3}));
+  EXPECT_NE(base, canonical_key(node_request(3, 4, {7, 4})));
+  EXPECT_NE(base, canonical_key(node_request(3, 5, {7, 3})));
+  EXPECT_NE(base, canonical_key(node_request(2, 4, {7, 3})));
+  EXPECT_NE(base, canonical_key(edge_request(3, 4, {7, 3})));
+}
+
+TEST(CanonicalKeyTest, AutoResolvesByFaultKind) {
+  EXPECT_EQ(canonical_key(node_request(3, 4, {1})).strategy, Strategy::kFfc);
+  EXPECT_EQ(canonical_key(edge_request(3, 4, {1})).strategy, Strategy::kEdgeAuto);
+  // An explicit strategy and the kAuto that resolves to it share a key.
+  EXPECT_EQ(canonical_key(node_request(3, 4, {1})),
+            canonical_key(node_request(3, 4, {1}, Strategy::kFfc)));
+}
+
+// --------------------------------------------------------------------------
+// Sharded LRU cache.
+
+TEST(ShardedLruCacheTest, HitMissAndStats) {
+  ShardedLruCache cache(/*capacity=*/8, /*shard_count=*/4);
+  const CacheKey key = canonical_key(node_request(2, 5, {1, 2}));
+  EXPECT_EQ(cache.get(key), nullptr);
+  const auto value = make_result(42);
+  cache.put(key, value);
+  EXPECT_EQ(cache.get(key), value);
+  EXPECT_EQ(cache.size(), 1u);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard makes the LRU order deterministic.
+  ShardedLruCache cache(/*capacity=*/2, /*shard_count=*/1);
+  const CacheKey a = canonical_key(node_request(2, 5, {1}));
+  const CacheKey b = canonical_key(node_request(2, 5, {2}));
+  const CacheKey c = canonical_key(node_request(2, 5, {3}));
+  cache.put(a, make_result(1));
+  cache.put(b, make_result(2));
+  ASSERT_NE(cache.get(a), nullptr);  // refresh a; b becomes LRU
+  cache.put(c, make_result(3));      // evicts b
+  EXPECT_EQ(cache.get(b), nullptr);
+  EXPECT_NE(cache.get(a), nullptr);
+  EXPECT_NE(cache.get(c), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedLruCacheTest, CapacitySplitsAcrossShards) {
+  ShardedLruCache cache(/*capacity=*/64, /*shard_count=*/8);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  for (Word f = 0; f < 32; ++f)
+    cache.put(canonical_key(node_request(2, 6, {f})), make_result(f));
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.size(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Engine: caching behavior.
+
+TEST(EmbedEngineTest, SecondQueryIsACacheHitWithTheSameResultObject) {
+  EmbedEngine engine;
+  const EmbedRequest req = node_request(3, 3, {5, 14});
+  const EmbedResponse first = engine.query(req);
+  const EmbedResponse second = engine.query(req);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.result, second.result);  // shared, not recomputed
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+}
+
+TEST(EmbedEngineTest, PermutedFaultSetHitsTheSameEntry) {
+  EmbedEngine engine;
+  const EmbedResponse first = engine.query(node_request(3, 3, {5, 14, 9}));
+  const EmbedResponse second = engine.query(node_request(3, 3, {9, 5, 14, 5}));
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.result, second.result);
+}
+
+TEST(EmbedEngineTest, CachedResponseIsBitIdenticalToUncached) {
+  const std::vector<EmbedRequest> scenarios = {
+      node_request(3, 3, {5, 14}),
+      node_request(2, 7, {3}),
+      edge_request(4, 4, {17, 200}),
+      edge_request(3, 5, {7}, Strategy::kEdgeScan),
+      edge_request(3, 5, {7}, Strategy::kEdgePhi),
+      edge_request(3, 4, {25}, Strategy::kButterfly),
+  };
+  for (const EmbedRequest& req : scenarios) {
+    EmbedEngine engine;
+    engine.query(req);                                // populate
+    const EmbedResponse cached = engine.query(req);   // served from cache
+    ASSERT_TRUE(cached.cache_hit);
+    EmbedEngine cold(EngineOptions{.enable_cache = false});
+    const auto baseline = cold.compute_uncached(req);
+    EXPECT_TRUE(cached.result->same_embedding(*baseline))
+        << "strategy " << to_string(req.strategy);
+  }
+}
+
+TEST(EmbedEngineTest, DisabledCacheNeverHits) {
+  EmbedEngine engine(EngineOptions{.enable_cache = false});
+  const EmbedRequest req = node_request(3, 3, {5});
+  EXPECT_FALSE(engine.query(req).cache_hit);
+  EXPECT_FALSE(engine.query(req).cache_hit);
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+TEST(EmbedEngineTest, EvictionForcesRecompute) {
+  EngineOptions options;
+  options.cache_capacity = 2;
+  options.cache_shards = 1;
+  EmbedEngine engine(options);
+  const EmbedRequest a = node_request(3, 3, {1});
+  const EmbedRequest b = node_request(3, 3, {2});
+  const EmbedRequest c = node_request(3, 3, {4});
+  engine.query(a);
+  engine.query(b);
+  engine.query(c);                            // evicts a
+  EXPECT_FALSE(engine.query(a).cache_hit);    // recomputed
+  EXPECT_GE(engine.cache_stats().evictions, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Engine: strategy dispatch.
+
+TEST(EmbedEngineTest, NodeFaultsDispatchToFfc) {
+  EmbedEngine engine;
+  const WordSpace ws(3, 3);
+  const std::vector<Word> faults = {ws.from_digits(std::vector<Digit>{0, 2, 0}),
+                                    ws.from_digits(std::vector<Digit>{1, 1, 2})};
+  const EmbedResponse resp = engine.query(node_request(3, 3, faults));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.result->strategy_used, Strategy::kFfc);
+  // Example 2.1: B* has 21 nodes and the ring is exactly the FFC cycle.
+  EXPECT_EQ(resp.result->ring_length, 21u);
+  const core::FfcSolver solver{DeBruijnDigraph(3, 3)};
+  EXPECT_EQ(resp.result->ring, solver.solve(faults).cycle);
+  EXPECT_TRUE(is_cycle(ws, resp.result->ring));
+  // Bounds: f = 2 > d - 2 = 1, so the guarantee degrades to [0, 25].
+  EXPECT_EQ(resp.result->lower_bound, 0u);
+  EXPECT_EQ(resp.result->upper_bound, 25u);
+  EXPECT_GE(resp.result->ring_length, resp.result->lower_bound);
+  EXPECT_LE(resp.result->ring_length, resp.result->upper_bound);
+}
+
+TEST(EmbedEngineTest, SingleNodeFaultBinaryBoundsMatchProposition23) {
+  EmbedEngine engine;
+  const EmbedResponse resp = engine.query(node_request(2, 7, {5}));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.result->lower_bound, 128u - 8u);  // 2^n - (n+1)
+  EXPECT_EQ(resp.result->upper_bound, 127u);
+  EXPECT_GE(resp.result->ring_length, resp.result->lower_bound);
+  EXPECT_LE(resp.result->ring_length, resp.result->upper_bound);
+}
+
+TEST(EmbedEngineTest, EdgeFaultsProduceAFaultAvoidingHamiltonianCycle) {
+  EmbedEngine engine;
+  const std::vector<Word> faults = {17, 200, 301};
+  const EmbedResponse resp = engine.query(edge_request(4, 4, faults));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.result->strategy_used, Strategy::kEdgeAuto);
+  const WordSpace ws(4, 4);
+  EXPECT_TRUE(is_hamiltonian(ws, resp.result->ring));
+  const std::vector<Word> used = edge_words(ws, resp.result->ring);
+  for (Word f : faults)
+    EXPECT_EQ(std::count(used.begin(), used.end(), f), 0) << "uses fault " << f;
+  EXPECT_EQ(resp.result->lower_bound, ws.size());
+  EXPECT_EQ(resp.result->upper_bound, ws.size());
+}
+
+TEST(EmbedEngineTest, ExplicitScanAndPhiStrategiesBothEmbed) {
+  // psi(3) = 1: the scan family has one cycle, so the fault must avoid it.
+  // Find a non-loop edge word outside the clean scan cycle; both strategies
+  // must then survive it (phi(3) = 1 covers any single fault).
+  const WordSpace ws(3, 5);
+  EmbedEngine probe;
+  const EmbedResponse clean = probe.query(edge_request(3, 5, {}, Strategy::kEdgeScan));
+  ASSERT_TRUE(clean.ok());
+  const std::vector<Word> clean_edges = edge_words(ws, clean.result->ring);
+  Word fault = 0;
+  const WordSpace edge_ws(3, 6);
+  for (Word e = 0; e < ws.edge_word_count(); ++e) {
+    const bool loop = edge_ws.period(e) == 1;
+    if (!loop && std::count(clean_edges.begin(), clean_edges.end(), e) == 0) {
+      fault = e;
+      break;
+    }
+  }
+  for (const Strategy strategy : {Strategy::kEdgeScan, Strategy::kEdgePhi}) {
+    EmbedEngine engine;
+    const EmbedResponse resp = engine.query(edge_request(3, 5, {fault}, strategy));
+    ASSERT_TRUE(resp.ok()) << to_string(strategy);
+    EXPECT_EQ(resp.result->strategy_used, strategy);
+    EXPECT_TRUE(is_hamiltonian(ws, resp.result->ring));
+    const std::vector<Word> used = edge_words(ws, resp.result->ring);
+    EXPECT_EQ(std::count(used.begin(), used.end(), fault), 0);
+  }
+}
+
+TEST(EmbedEngineTest, ButterflyStrategyLiftsToAButterflyHamiltonianCycle) {
+  EmbedEngine engine;
+  const EmbedResponse resp =
+      engine.query(edge_request(3, 4, {25}, Strategy::kButterfly));
+  ASSERT_TRUE(resp.ok());
+  const ButterflyDigraph bf(3, 4);
+  EXPECT_EQ(resp.result->ring_length, 4u * 81u);  // n * d^n = |F(3,4)|
+  EXPECT_TRUE(butterfly::is_butterfly_cycle(bf, resp.result->ring.nodes));
+}
+
+TEST(EmbedEngineTest, ScanBeyondItsGuaranteeReportsNoEmbedding) {
+  // psi(2) = 1: the scan family for B(2,n) has a single Hamiltonian cycle,
+  // so a fault on one of its edges exhausts the scan.
+  EmbedEngine engine;
+  const EmbedResponse clean =
+      engine.query(edge_request(2, 4, {}, Strategy::kEdgeScan));
+  ASSERT_TRUE(clean.ok());
+  const WordSpace ws(2, 4);
+  const Word blocking = edge_words(ws, clean.result->ring).front();
+  const EmbedResponse resp =
+      engine.query(edge_request(2, 4, {blocking}, Strategy::kEdgeScan));
+  EXPECT_EQ(resp.result->status, EmbedStatus::kNoEmbedding);
+  EXPECT_TRUE(resp.result->ring.nodes.empty());
+  EXPECT_FALSE(resp.result->error.empty());
+}
+
+TEST(EmbedEngineTest, InvalidRequestsReportBadRequest) {
+  EmbedEngine engine;
+  // Strategy/fault-kind mismatches.
+  EXPECT_EQ(engine.query(edge_request(3, 3, {1}, Strategy::kFfc)).result->status,
+            EmbedStatus::kBadRequest);
+  EXPECT_EQ(engine.query(node_request(3, 3, {1}, Strategy::kEdgeScan)).result->status,
+            EmbedStatus::kBadRequest);
+  // Butterfly lift needs gcd(d, n) = 1.
+  EXPECT_EQ(engine.query(edge_request(2, 4, {1}, Strategy::kButterfly)).result->status,
+            EmbedStatus::kBadRequest);
+  // Fault word out of range.
+  EXPECT_EQ(engine.query(node_request(2, 3, {8})).result->status,
+            EmbedStatus::kBadRequest);
+  // Bad requests are not cached.
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Engine: concurrent batches.
+
+TEST(EmbedEngineTest, ConcurrentBatchMatchesSequentialBaseline) {
+  Rng rng(2026);
+  std::vector<EmbedRequest> batch;
+  for (int i = 0; i < 72; ++i) {
+    switch (rng.below(3)) {
+      case 0:
+        batch.push_back(node_request(3, 4, {rng.below(81), rng.below(81)}));
+        break;
+      case 1:
+        batch.push_back(edge_request(3, 4, {rng.below(243)}));
+        break;
+      default:
+        batch.push_back(edge_request(3, 4, {rng.below(243)}, Strategy::kButterfly));
+        break;
+    }
+  }
+
+  EmbedEngine concurrent;
+  BatchStats stats;
+  const std::vector<EmbedResponse> responses = concurrent.query_batch(batch, &stats);
+  ASSERT_EQ(responses.size(), batch.size());
+
+  EmbedEngine sequential(EngineOptions{.enable_cache = false});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto baseline = sequential.compute_uncached(batch[i]);
+    EXPECT_TRUE(responses[i].result->same_embedding(*baseline)) << "request " << i;
+  }
+
+  EXPECT_EQ(stats.processed(), batch.size());
+  EXPECT_EQ(stats.merged_latency().count(), batch.size());
+  EXPECT_EQ(stats.cache_hits(), concurrent.cache_stats().hits);
+  EXPECT_GT(stats.wall_micros, 0.0);
+  EXPECT_GT(stats.throughput_qps(), 0.0);
+  std::uint64_t worker_hits = 0;
+  for (const WorkerStats& w : stats.workers) worker_hits += w.cache_hits;
+  EXPECT_EQ(worker_hits, stats.cache_hits());
+}
+
+TEST(EmbedEngineTest, RepeatHeavyBatchMostlyHitsTheCache) {
+  const EmbedRequest hot = node_request(3, 4, {11, 57});
+  std::vector<EmbedRequest> batch(200, hot);
+  EmbedEngine engine;
+  BatchStats stats;
+  const std::vector<EmbedResponse> responses = engine.query_batch(batch, &stats);
+  // Every worker computes the hot key at most once (racing first misses are
+  // allowed), so hits dominate.
+  EXPECT_GE(stats.cache_hits(), batch.size() - worker_count());
+  for (const EmbedResponse& r : responses)
+    EXPECT_TRUE(r.result->same_embedding(*responses.front().result));
+}
+
+// --------------------------------------------------------------------------
+// Stats plumbing.
+
+TEST(LatencyRecorderTest, PercentilesUseNearestRank) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(rec.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(rec.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(rec.mean(), 50.5);
+  LatencyRecorder other;
+  other.record(1000.0);
+  other.merge(rec);
+  EXPECT_EQ(other.count(), 101u);
+  EXPECT_DOUBLE_EQ(other.percentile(100), 1000.0);
+}
+
+}  // namespace
+}  // namespace dbr::service

@@ -35,8 +35,12 @@ TEST(Engine, BatchesByDestination) {
   int calls = 0;
   e.step([&](NodeId dest, std::vector<Message>& batch) {
     ++calls;
-    if (dest == 3) EXPECT_EQ(batch.size(), 2u);
-    if (dest == 1) EXPECT_EQ(batch.size(), 1u);
+    if (dest == 3) {
+      EXPECT_EQ(batch.size(), 2u);
+    }
+    if (dest == 1) {
+      EXPECT_EQ(batch.size(), 1u);
+    }
   });
   EXPECT_EQ(calls, 2);
 }
