@@ -26,90 +26,18 @@
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "workload.hpp"
 
 namespace {
 
 using dbr::Rng;
-using dbr::Word;
+using dbr::bench::make_stream;
 using dbr::service::BatchStats;
 using dbr::service::EmbedEngine;
 using dbr::service::EmbedRequest;
 using dbr::service::EmbedResponse;
 using dbr::service::EmbedStatus;
 using dbr::service::EngineOptions;
-using dbr::service::FaultKind;
-using dbr::service::Strategy;
-
-std::uint64_t pow_u64(std::uint64_t b, unsigned e) {
-  std::uint64_t r = 1;
-  while (e--) r *= b;
-  return r;
-}
-
-/// One random scenario; `variant` cycles through the three workload families.
-EmbedRequest random_scenario(Rng& rng, std::uint64_t variant) {
-  EmbedRequest req;
-  switch (variant % 3) {
-    case 0: {  // node faults -> FFC
-      static constexpr struct { dbr::Digit d; unsigned n; } kGraphs[] = {
-          {2, 11}, {2, 12}, {3, 7}, {2, 13}};
-      const auto& g = kGraphs[rng.below(std::size(kGraphs))];
-      req.base = g.d;
-      req.n = g.n;
-      req.fault_kind = FaultKind::kNode;
-      const std::uint64_t f = 1 + rng.below(3);
-      for (std::uint64_t v : rng.sample_distinct(pow_u64(g.d, g.n), f))
-        req.faults.push_back(v);
-      break;
-    }
-    case 1: {  // edge faults -> psi-scan / phi-construction
-      static constexpr struct { dbr::Digit d; unsigned n; } kGraphs[] = {
-          {3, 7}, {4, 6}, {5, 5}};
-      const auto& g = kGraphs[rng.below(std::size(kGraphs))];
-      req.base = g.d;
-      req.n = g.n;
-      req.fault_kind = FaultKind::kEdge;
-      const std::uint64_t f = 1 + rng.below(2);
-      for (std::uint64_t v : rng.sample_distinct(pow_u64(g.d, g.n + 1), f))
-        req.faults.push_back(v);
-      break;
-    }
-    default: {  // butterfly lift (gcd(d, n) = 1)
-      static constexpr struct { dbr::Digit d; unsigned n; } kGraphs[] = {
-          {3, 7}, {4, 5}, {5, 4}};
-      const auto& g = kGraphs[rng.below(std::size(kGraphs))];
-      req.base = g.d;
-      req.n = g.n;
-      req.fault_kind = FaultKind::kEdge;
-      req.strategy = Strategy::kButterfly;
-      req.faults.push_back(rng.below(pow_u64(g.d, g.n + 1)));
-      break;
-    }
-  }
-  return req;
-}
-
-std::vector<EmbedRequest> make_stream(Rng& rng, std::size_t requests,
-                                      std::size_t unique, double repeat_fraction) {
-  std::vector<EmbedRequest> pool;
-  pool.reserve(unique);
-  for (std::size_t i = 0; i < unique; ++i)
-    pool.push_back(random_scenario(rng, i));
-
-  std::vector<EmbedRequest> stream;
-  stream.reserve(requests);
-  std::uint64_t fresh_variant = unique;
-  for (std::size_t i = 0; i < requests; ++i) {
-    const bool repeat =
-        static_cast<double>(rng.below(1u << 20)) / (1u << 20) < repeat_fraction;
-    if (repeat && !pool.empty()) {
-      stream.push_back(pool[rng.below(pool.size())]);
-    } else {
-      stream.push_back(random_scenario(rng, fresh_variant++));
-    }
-  }
-  return stream;
-}
 
 struct ModeOutcome {
   BatchStats stats;

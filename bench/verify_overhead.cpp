@@ -1,0 +1,197 @@
+// Measures the cost of EngineOptions::validate_responses - the debug mode
+// that runs the independent verify/ oracle on every cache miss - on the
+// PR-1 mixed workload (bench/workload.hpp). Four modes: cache {off, on} x
+// validation {off, on}. Prints a human-readable table and writes the
+// machine-readable BENCH_verify_overhead.json with per-mode throughput and
+// the overhead ratios; exits nonzero if the oracle flags any violation or
+// validation changes any answer.
+//
+// Knobs (env):   DBR_SEED, DBR_THREADS
+// Knobs (argv):  --requests N          stream length            (default 1200)
+//                --unique N            hot scenario pool size   (default 24)
+//                --repeat-fraction F   P(query drawn from pool) (default 0.9)
+//                --out PATH            JSON path (default BENCH_verify_overhead.json)
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/engine.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload.hpp"
+
+namespace {
+
+using dbr::Rng;
+using dbr::bench::make_stream;
+using dbr::service::BatchStats;
+using dbr::service::EmbedEngine;
+using dbr::service::EmbedRequest;
+using dbr::service::EmbedResponse;
+using dbr::service::EngineOptions;
+using dbr::service::ValidationStats;
+
+struct ModeOutcome {
+  std::string name;
+  BatchStats stats;
+  ValidationStats validation;
+  std::vector<EmbedResponse> responses;
+};
+
+ModeOutcome run_mode(const std::vector<EmbedRequest>& stream, bool cached,
+                     bool validated) {
+  EngineOptions options;
+  options.enable_cache = cached;
+  options.validate_responses = validated;
+  EmbedEngine engine(options);
+  ModeOutcome out;
+  out.name = std::string(cached ? "cached" : "uncached") + "+" +
+             (validated ? "oracle" : "plain");
+  out.responses = engine.query_batch(stream, &out.stats);
+  out.validation = engine.validation_stats();
+  return out;
+}
+
+bool same_answers(const ModeOutcome& a, const ModeOutcome& b) {
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    if (!a.responses[i].result->same_embedding(*b.responses[i].result))
+      return false;
+  }
+  return true;
+}
+
+void emit_mode_json(dbr::bench::JsonWriter& json, const ModeOutcome& mode) {
+  const auto latency = mode.stats.merged_latency();
+  json.begin_object()
+      .field("processed", mode.stats.processed())
+      .field("wall_micros", mode.stats.wall_micros)
+      .field("throughput_qps", mode.stats.throughput_qps())
+      .field("cache_hits", mode.stats.cache_hits())
+      .field("hit_rate", mode.stats.hit_rate())
+      .field("oracle_checked", mode.validation.checked)
+      .field("oracle_violations", mode.validation.violations);
+  json.key("latency_micros")
+      .begin_object()
+      .field("mean", latency.mean())
+      .field("p50", latency.percentile(50))
+      .field("p90", latency.percentile(90))
+      .field("p99", latency.percentile(99))
+      .end_object();
+  json.end_object();
+}
+
+double overhead_ratio(const ModeOutcome& plain, const ModeOutcome& oracle) {
+  return oracle.stats.throughput_qps() > 0
+             ? plain.stats.throughput_qps() / oracle.stats.throughput_qps()
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 1200;
+  std::size_t unique = 24;
+  double repeat_fraction = 0.9;
+  std::string out_path = "BENCH_verify_overhead.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--requests") requests = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--unique") unique = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--repeat-fraction") repeat_fraction = std::strtod(next(), nullptr);
+    else if (arg == "--out") out_path = next();
+    else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (requests == 0) {
+    std::cerr << "--requests must be positive\n";
+    return 2;
+  }
+
+  Rng rng(dbr::bench::seed());
+  const std::vector<EmbedRequest> stream =
+      make_stream(rng, requests, unique, repeat_fraction);
+
+  dbr::bench::heading("verify overhead: oracle validation on the mixed workload");
+  std::cout << "requests=" << requests << " unique=" << unique
+            << " repeat_fraction=" << repeat_fraction
+            << " threads=" << dbr::worker_count() << "\n";
+
+  const ModeOutcome uncached_plain = run_mode(stream, false, false);
+  const ModeOutcome uncached_oracle = run_mode(stream, false, true);
+  const ModeOutcome cached_plain = run_mode(stream, true, false);
+  const ModeOutcome cached_oracle = run_mode(stream, true, true);
+  const ModeOutcome* modes[] = {&uncached_plain, &uncached_oracle,
+                                &cached_plain, &cached_oracle};
+
+  dbr::TextTable table({"mode", "qps", "hit_rate", "p50_us", "p99_us",
+                        "checked", "violations"});
+  for (const ModeOutcome* mode : modes) {
+    const auto latency = mode->stats.merged_latency();
+    table.new_row()
+        .add(mode->name)
+        .add(mode->stats.throughput_qps(), 1)
+        .add(mode->stats.hit_rate(), 3)
+        .add(latency.percentile(50), 1)
+        .add(latency.percentile(99), 1)
+        .add(mode->validation.checked)
+        .add(mode->validation.violations);
+  }
+  dbr::bench::emit(table);
+
+  std::uint64_t violations = 0;
+  for (const ModeOutcome* mode : modes) violations += mode->validation.violations;
+  const bool identical = same_answers(uncached_plain, uncached_oracle) &&
+                         same_answers(uncached_plain, cached_plain) &&
+                         same_answers(uncached_plain, cached_oracle);
+  const double uncached_overhead = overhead_ratio(uncached_plain, uncached_oracle);
+  const double cached_overhead = overhead_ratio(cached_plain, cached_oracle);
+  std::cout << "validation overhead: " << uncached_overhead
+            << "x uncached, " << cached_overhead << "x cached; violations: "
+            << violations << ", identical responses: "
+            << (identical ? "yes" : "NO") << "\n";
+
+  dbr::bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", "verify_overhead")
+      .field("seed", dbr::bench::seed())
+      .field("threads", dbr::worker_count());
+  json.key("config")
+      .begin_object()
+      .field("requests", static_cast<std::uint64_t>(requests))
+      .field("unique_scenarios", static_cast<std::uint64_t>(unique))
+      .field("repeat_fraction", repeat_fraction)
+      .end_object();
+  json.key("modes").begin_object();
+  for (const ModeOutcome* mode : modes) {
+    json.key(mode->name);
+    emit_mode_json(json, *mode);
+  }
+  json.end_object()
+      .field("overhead_uncached", uncached_overhead)
+      .field("overhead_cached", cached_overhead)
+      .field("oracle_violations", violations)
+      .field("identical_responses", identical)
+      .end_object();
+
+  if (!json.write_file(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return (identical && violations == 0) ? 0 : 1;
+}

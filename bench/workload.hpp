@@ -1,0 +1,89 @@
+#pragma once
+
+// The mixed embedding query workload introduced with the service engine
+// bench (PR 1): a seeded stream of node-fault (FFC), edge-fault
+// (psi-scan / phi-construction) and butterfly-lift scenarios, with a hot
+// pool of repeated queries. Shared by service_throughput and
+// verify_overhead so both measure the same traffic shape.
+
+#include <cstdint>
+#include <vector>
+
+#include "service/types.hpp"
+#include "util/rng.hpp"
+#include "util/word.hpp"
+
+namespace dbr::bench {
+
+/// One random scenario; `variant` cycles through the three workload families.
+/// WordSpace supplies the overflow-validated d^n / d^(n+1) sample spaces.
+inline service::EmbedRequest random_scenario(Rng& rng, std::uint64_t variant) {
+  service::EmbedRequest req;
+  switch (variant % 3) {
+    case 0: {  // node faults -> FFC
+      static constexpr struct { dbr::Digit d; unsigned n; } kGraphs[] = {
+          {2, 11}, {2, 12}, {3, 7}, {2, 13}};
+      const auto& g = kGraphs[rng.below(std::size(kGraphs))];
+      req.base = g.d;
+      req.n = g.n;
+      req.fault_kind = service::FaultKind::kNode;
+      const std::uint64_t f = 1 + rng.below(3);
+      for (std::uint64_t v : rng.sample_distinct(WordSpace(g.d, g.n).size(), f))
+        req.faults.push_back(v);
+      break;
+    }
+    case 1: {  // edge faults -> psi-scan / phi-construction
+      static constexpr struct { dbr::Digit d; unsigned n; } kGraphs[] = {
+          {3, 7}, {4, 6}, {5, 5}};
+      const auto& g = kGraphs[rng.below(std::size(kGraphs))];
+      req.base = g.d;
+      req.n = g.n;
+      req.fault_kind = service::FaultKind::kEdge;
+      const std::uint64_t f = 1 + rng.below(2);
+      for (std::uint64_t v :
+           rng.sample_distinct(WordSpace(g.d, g.n).edge_word_count(), f))
+        req.faults.push_back(v);
+      break;
+    }
+    default: {  // butterfly lift (gcd(d, n) = 1)
+      static constexpr struct { dbr::Digit d; unsigned n; } kGraphs[] = {
+          {3, 7}, {4, 5}, {5, 4}};
+      const auto& g = kGraphs[rng.below(std::size(kGraphs))];
+      req.base = g.d;
+      req.n = g.n;
+      req.fault_kind = service::FaultKind::kEdge;
+      req.strategy = service::Strategy::kButterfly;
+      req.faults.push_back(rng.below(WordSpace(g.d, g.n).edge_word_count()));
+      break;
+    }
+  }
+  return req;
+}
+
+/// A request stream of length `requests`: with probability `repeat_fraction`
+/// a draw from a hot pool of `unique` scenarios, otherwise a fresh one.
+inline std::vector<service::EmbedRequest> make_stream(Rng& rng,
+                                                      std::size_t requests,
+                                                      std::size_t unique,
+                                                      double repeat_fraction) {
+  std::vector<service::EmbedRequest> pool;
+  pool.reserve(unique);
+  for (std::size_t i = 0; i < unique; ++i)
+    pool.push_back(random_scenario(rng, i));
+
+  std::vector<service::EmbedRequest> stream;
+  stream.reserve(requests);
+  std::uint64_t fresh_variant = unique;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const bool repeat =
+        static_cast<double>(rng.below(1u << 20)) / (1u << 20) < repeat_fraction;
+    if (repeat && !pool.empty()) {
+      stream.push_back(pool[rng.below(pool.size())]);
+    } else {
+      stream.push_back(random_scenario(rng, fresh_variant++));
+    }
+  }
+  return stream;
+}
+
+}  // namespace dbr::bench

@@ -14,6 +14,7 @@
 #include "debruijn/debruijn.hpp"
 #include "util/parallel.hpp"
 #include "util/require.hpp"
+#include "verify/oracle.hpp"
 
 namespace dbr::service {
 
@@ -25,23 +26,51 @@ double micros_since(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
 }
 
+/// Fails fast on every documented precondition before any construction
+/// runs: strategy/fault-kind mismatch, n < 2 for the edge-fault
+/// constructions, gcd(d, n) != 1 for the butterfly lift, and fault words
+/// out of range for (base, n). Each message names the precondition so a
+/// kBadRequest response tells the caller exactly what to fix.
+void require_preconditions(const CacheKey& key, const WordSpace& ws) {
+  const bool node_faults = key.fault_kind == FaultKind::kNode;
+  switch (key.strategy) {
+    case Strategy::kFfc:
+      require(node_faults, "ffc strategy requires node faults");
+      break;
+    case Strategy::kEdgeAuto:
+    case Strategy::kEdgeScan:
+    case Strategy::kEdgePhi:
+      require(!node_faults, "edge strategies require edge faults");
+      require(key.n >= 2, "edge-fault strategies require n >= 2");
+      break;
+    case Strategy::kButterfly:
+      require(!node_faults,
+              "butterfly strategy takes De Bruijn edge-word faults");
+      require(key.n >= 2, "edge-fault strategies require n >= 2");
+      require(std::gcd<std::uint64_t, std::uint64_t>(key.base, key.n) == 1,
+              "butterfly lift requires gcd(d, n) = 1");
+      break;
+    case Strategy::kAuto:
+      ensure(false, "kAuto must be resolved before dispatch");
+  }
+  const Word limit = node_faults ? ws.size() : ws.edge_word_count();
+  for (Word f : key.faults) {
+    require(f < limit, "fault word " + std::to_string(f) +
+                           " out of range for B(" + std::to_string(key.base) +
+                           "," + std::to_string(key.n) + ")");
+  }
+}
+
 EmbedResult compute_result(const CacheKey& key) {
   EmbedResult out;
   out.strategy_used = key.strategy;
   const Clock::time_point start = Clock::now();
   try {
     const WordSpace ws(key.base, key.n);
-    const bool node_faults = key.fault_kind == FaultKind::kNode;
-    const Word limit = node_faults ? ws.size() : ws.edge_word_count();
-    for (Word f : key.faults) {
-      require(f < limit, "fault word out of range for B(" +
-                             std::to_string(key.base) + "," +
-                             std::to_string(key.n) + ")");
-    }
+    require_preconditions(key, ws);
 
     switch (key.strategy) {
       case Strategy::kFfc: {
-        require(node_faults, "ffc strategy requires node faults");
         const core::FfcSolver solver{DeBruijnDigraph(ws)};
         core::FfcResult r = solver.solve(key.faults);
         out.ring = std::move(r.cycle);
@@ -55,7 +84,6 @@ EmbedResult compute_result(const CacheKey& key) {
       case Strategy::kEdgeAuto:
       case Strategy::kEdgeScan:
       case Strategy::kEdgePhi: {
-        require(!node_faults, "edge strategies require edge faults");
         std::optional<SymbolCycle> hc;
         if (key.strategy == Strategy::kEdgeScan) {
           hc = core::fault_free_hc_family_scan(key.base, key.n, key.faults);
@@ -77,10 +105,6 @@ EmbedResult compute_result(const CacheKey& key) {
         break;
       }
       case Strategy::kButterfly: {
-        require(!node_faults,
-                "butterfly strategy takes De Bruijn edge-word faults");
-        require(std::gcd<std::uint64_t, std::uint64_t>(key.base, key.n) == 1,
-                "butterfly lift requires gcd(d, n) = 1");
         const std::optional<SymbolCycle> hc =
             core::fault_free_hamiltonian_cycle(key.base, key.n, key.faults);
         if (!hc) {
@@ -125,7 +149,34 @@ EmbedEngine::EmbedEngine(EngineOptions options)
           std::max<std::size_t>(1, options.cache_shards))) {}
 
 std::shared_ptr<const EmbedResult> EmbedEngine::compute(const CacheKey& key) const {
-  return std::make_shared<const EmbedResult>(compute_result(key));
+  auto result = std::make_shared<const EmbedResult>(compute_result(key));
+  if (!options_.validate_responses) return result;
+
+  // Debug mode: hand every computed answer to the independent oracle. The
+  // canonical key is a complete request, so the oracle sees exactly the
+  // instance that was dispatched.
+  EmbedRequest request;
+  request.base = key.base;
+  request.n = key.n;
+  request.fault_kind = key.fault_kind;
+  request.faults = key.faults;
+  request.strategy = key.strategy;
+  const verify::OracleReport report = verify::check_response(request, *result);
+  validations_.fetch_add(1, std::memory_order_relaxed);
+  if (report.ok()) return result;
+
+  violations_.fetch_add(1, std::memory_order_relaxed);
+  EmbedResult quarantined;
+  quarantined.status = EmbedStatus::kInternalError;  // never cached
+  quarantined.strategy_used = result->strategy_used;
+  quarantined.compute_micros = result->compute_micros;
+  quarantined.error = "oracle: " + report.to_string();
+  return std::make_shared<const EmbedResult>(std::move(quarantined));
+}
+
+ValidationStats EmbedEngine::validation_stats() const {
+  return {validations_.load(std::memory_order_relaxed),
+          violations_.load(std::memory_order_relaxed)};
 }
 
 std::shared_ptr<const EmbedResult> EmbedEngine::compute_uncached(

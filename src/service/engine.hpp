@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -15,6 +17,18 @@ struct EngineOptions {
   bool enable_cache = true;
   std::size_t cache_capacity = 4096;  ///< total entries across shards
   std::size_t cache_shards = 16;
+  /// Debug mode: run the independent verify/ oracle on every computed
+  /// answer (cache misses and compute_uncached). A violation is quarantined
+  /// as kInternalError carrying the oracle's findings, so it is never cached
+  /// or mistaken for a correct embedding. Cache hits are not re-checked:
+  /// they are bit-identical copies of an already-validated computation.
+  bool validate_responses = false;
+};
+
+/// Counters for the validate_responses debug mode.
+struct ValidationStats {
+  std::uint64_t checked = 0;     ///< oracle runs (== cache misses validated)
+  std::uint64_t violations = 0;  ///< answers the oracle rejected
 };
 
 /// Thread-safe ring-embedding query engine over the paper's constructions.
@@ -55,6 +69,7 @@ class EmbedEngine {
 
   const EngineOptions& options() const { return options_; }
   CacheStats cache_stats() const { return cache_->stats(); }
+  ValidationStats validation_stats() const;
   void clear_cache() { cache_->clear(); }
 
  private:
@@ -62,6 +77,8 @@ class EmbedEngine {
 
   EngineOptions options_;
   std::unique_ptr<ShardedLruCache> cache_;
+  mutable std::atomic<std::uint64_t> validations_{0};
+  mutable std::atomic<std::uint64_t> violations_{0};
 };
 
 }  // namespace dbr::service

@@ -1,0 +1,513 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "nt/numtheory.hpp"
+#include "util/require.hpp"
+
+namespace dbr::verify {
+
+using service::EmbedRequest;
+using service::EmbedResult;
+using service::EmbedStatus;
+using service::FaultKind;
+using service::Strategy;
+
+namespace {
+
+/// d^e with overflow detection; false when the power escapes 64 bits.
+bool checked_pow(std::uint64_t base, unsigned exp, std::uint64_t* out) {
+  std::uint64_t r = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    if (base != 0 && r > std::numeric_limits<std::uint64_t>::max() / base)
+      return false;
+    r *= base;
+  }
+  *out = r;
+  return true;
+}
+
+/// The oracle's own kAuto resolution (mirrors the documented dispatch:
+/// node faults -> kFfc, edge faults -> kEdgeAuto).
+Strategy resolved_strategy(const EmbedRequest& request) {
+  if (request.strategy != Strategy::kAuto) return request.strategy;
+  return request.fault_kind == FaultKind::kNode ? Strategy::kFfc
+                                                : Strategy::kEdgeAuto;
+}
+
+bool is_edge_strategy(Strategy s) {
+  return s == Strategy::kEdgeAuto || s == Strategy::kEdgeScan ||
+         s == Strategy::kEdgePhi || s == Strategy::kButterfly;
+}
+
+/// Lemma 3.5 condition (b): 2 = lambda^A + lambda^B for odd A, B. Answered
+/// by tabulating discrete-log parities over Z_p^* (core/disjoint_hc.cpp
+/// instead enumerates pairs of odd powers; the routes are independent).
+bool two_is_sum_of_odd_powers(std::uint64_t p) {
+  const std::uint64_t lambda = nt::primitive_root(p);
+  std::vector<signed char> parity(p, -1);  // parity[x] = dlog_lambda(x) mod 2
+  std::uint64_t v = 1;
+  for (std::uint64_t e = 0; e + 1 < p; ++e) {
+    parity[v] = static_cast<signed char>(e & 1);
+    v = nt::mul_mod(v, lambda, p);
+  }
+  for (std::uint64_t a = 1; a < p; ++a) {
+    if (parity[a] != 1) continue;            // a = lambda^A with A odd
+    const std::uint64_t b = (2 + p - a) % p; // need lambda^B = 2 - a, B odd
+    if (b != 0 && parity[b] == 1) return true;
+  }
+  return false;
+}
+
+std::uint64_t psi_prime_power(std::uint64_t p, unsigned e) {
+  std::uint64_t q = 1;
+  for (unsigned i = 0; i < e; ++i) q *= p;
+  if (p == 2) return q - 1;
+  if ((p - 1) / 2 % 2 == 0 && two_is_sum_of_odd_powers(p)) return (q + 1) / 2;
+  return (q - 1) / 2;
+}
+
+std::uint64_t count_non_loop(const WordSpace& ws, const std::vector<Word>& faults) {
+  std::uint64_t count = 0;
+  for (Word f : faults) {
+    if (!is_loop_edge_word(ws, f)) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+const char* to_string(Violation v) {
+  switch (v) {
+    case Violation::kWrongStrategy: return "wrong_strategy";
+    case Violation::kMissingError: return "missing_error";
+    case Violation::kGhostRing: return "ghost_ring";
+    case Violation::kEmptyRing: return "empty_ring";
+    case Violation::kLengthMismatch: return "length_mismatch";
+    case Violation::kNodeOutOfRange: return "node_out_of_range";
+    case Violation::kNotAnEdge: return "not_an_edge";
+    case Violation::kRepeatedNode: return "repeated_node";
+    case Violation::kTouchesFaultyNode: return "touches_faulty_node";
+    case Violation::kUsesFaultyEdge: return "uses_faulty_edge";
+    case Violation::kNotHamiltonian: return "not_hamiltonian";
+    case Violation::kBoundsMismatch: return "bounds_mismatch";
+    case Violation::kLengthOutsideBounds: return "length_outside_bounds";
+    case Violation::kGuaranteeBroken: return "guarantee_broken";
+    case Violation::kRequestNotRejected: return "request_not_rejected";
+    case Violation::kValidRequestRejected: return "valid_request_rejected";
+  }
+  return "unknown";
+}
+
+std::string OracleReport::to_string() const {
+  if (findings.empty()) return "ok";
+  std::string out;
+  for (const Finding& f : findings) {
+    if (!out.empty()) out += "; ";
+    out += verify::to_string(f.code);
+    out += ": ";
+    out += f.detail;
+  }
+  return out;
+}
+
+std::pair<std::uint64_t, std::uint64_t> node_ring_length_envelope(
+    Digit d, unsigned n, std::uint64_t distinct_faults) {
+  const std::uint64_t size = WordSpace(d, n).size();
+  const std::uint64_t f = distinct_faults;
+  const std::uint64_t upper = f >= size ? 0 : size - f;
+  std::uint64_t lower = 0;
+  if (f <= d - 2) {
+    const std::uint64_t removed = static_cast<std::uint64_t>(n) * f;
+    lower = removed >= size ? 0 : size - removed;  // Proposition 2.2
+  } else if (d == 2 && f == 1) {
+    const std::uint64_t removed = static_cast<std::uint64_t>(n) + 1;
+    lower = removed >= size ? 0 : size - removed;  // Proposition 2.3
+  }
+  return {lower, upper};
+}
+
+std::uint64_t psi_disjoint_cycles(std::uint64_t d) {
+  require(d >= 2, "psi(d) requires d >= 2");
+  std::uint64_t result = 1;
+  for (const auto& pp : nt::factor(d)) {
+    result *= psi_prime_power(pp.prime, pp.exponent);
+  }
+  return result;
+}
+
+std::uint64_t phi_fault_budget(std::uint64_t d) {
+  require(d >= 2, "phi(d) requires d >= 2");
+  const auto pf = nt::factor(d);
+  std::uint64_t sum = 0;
+  for (const auto& pp : pf) sum += pp.value();
+  return sum - 2 * pf.size();
+}
+
+std::uint64_t edge_fault_guarantee(Strategy strategy, std::uint64_t d) {
+  switch (strategy) {
+    case Strategy::kEdgeScan:
+      return psi_disjoint_cycles(d) - 1;
+    case Strategy::kEdgePhi:
+      return phi_fault_budget(d);
+    case Strategy::kEdgeAuto:
+    case Strategy::kButterfly:
+      return std::max(psi_disjoint_cycles(d) - 1, phi_fault_budget(d));
+    default:
+      require(false, "edge_fault_guarantee requires an edge strategy");
+      return 0;
+  }
+}
+
+bool is_loop_edge_word(const WordSpace& ws, Word edge_word) {
+  const Digit a = static_cast<Digit>(edge_word % ws.radix());
+  return edge_word / ws.radix() == ws.repeated(a);
+}
+
+std::vector<Word> distinct_faults(const std::vector<Word>& faults) {
+  std::vector<Word> out = faults;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string request_precondition_violation(const EmbedRequest& request) {
+  if (request.base < 2) return "base must be >= 2";
+  if (request.n < 1) return "n must be >= 1";
+  std::uint64_t edge_space = 0;
+  if (!checked_pow(request.base, request.n + 1, &edge_space))
+    return "d^(n+1) must be representable in 64 bits";
+  const std::uint64_t node_space = edge_space / request.base;
+  const Strategy strategy = resolved_strategy(request);
+  const bool node_faults = request.fault_kind == FaultKind::kNode;
+  if (strategy == Strategy::kFfc && !node_faults)
+    return "ffc strategy requires node faults";
+  if (is_edge_strategy(strategy) && node_faults)
+    return "edge strategies require edge faults";
+  if (is_edge_strategy(strategy) && request.n < 2)
+    return "edge-fault strategies require n >= 2";
+  if (strategy == Strategy::kButterfly &&
+      nt::gcd(request.base, request.n) != 1)
+    return "butterfly lift requires gcd(d, n) = 1";
+  const std::uint64_t limit = node_faults ? node_space : edge_space;
+  for (Word f : request.faults) {
+    if (f >= limit) {
+      return "fault word " + std::to_string(f) + " out of range for B(" +
+             std::to_string(request.base) + "," + std::to_string(request.n) +
+             ")";
+    }
+  }
+  if (node_faults) {
+    // The FFC algorithm removes whole necklaces; if the rotation closure of
+    // the fault set covers B(d,n) there is nothing left to embed in. The
+    // closure has at most n * |faults| nodes, so smaller sets cannot cover.
+    const std::vector<Word> faults = distinct_faults(request.faults);
+    if (static_cast<std::uint64_t>(request.n) * faults.size() >= node_space) {
+      const WordSpace ws(request.base, request.n);
+      std::vector<bool> covered(node_space, false);
+      std::uint64_t count = 0;
+      for (Word f : faults) {
+        for (unsigned k = 0; k < request.n; ++k) {
+          const Word r = ws.rotate_left(f, k);
+          if (!covered[r]) {
+            covered[r] = true;
+            ++count;
+          }
+        }
+      }
+      if (count == node_space) return "faulty necklaces cover every node of B(d,n)";
+    }
+  }
+  return "";
+}
+
+namespace {
+
+/// Shared simple-cycle checks on a De Bruijn node ring: range, adjacency
+/// (ws.suffix(u) == ws.prefix(v), the arithmetic definition of a B(d,n)
+/// edge), and node distinctness. Reports at most one finding per code.
+void check_debruijn_ring(const WordSpace& ws, const std::vector<Word>& nodes,
+                         OracleReport& report) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= ws.size()) {
+      report.findings.push_back(
+          {Violation::kNodeOutOfRange,
+           "ring node " + std::to_string(nodes[i]) + " at position " +
+               std::to_string(i) + " outside B(d,n)"});
+      return;  // adjacency arithmetic below assumes in-range words
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Word u = nodes[i];
+    const Word v = nodes[(i + 1) % nodes.size()];
+    if (ws.suffix(u) != ws.prefix(v)) {
+      report.findings.push_back(
+          {Violation::kNotAnEdge, ws.to_string(u) + " -> " + ws.to_string(v) +
+                                      " at position " + std::to_string(i) +
+                                      " is not a B(d,n) edge"});
+      break;
+    }
+  }
+  std::vector<Word> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  if (dup != sorted.end()) {
+    report.findings.push_back(
+        {Violation::kRepeatedNode,
+         "ring visits node " + ws.to_string(*dup) + " more than once"});
+  }
+}
+
+void check_claimed_bounds(const EmbedResult& result, std::uint64_t lower,
+                          std::uint64_t upper, OracleReport& report) {
+  if (result.lower_bound != lower || result.upper_bound != upper) {
+    report.findings.push_back(
+        {Violation::kBoundsMismatch,
+         "claimed [" + std::to_string(result.lower_bound) + ", " +
+             std::to_string(result.upper_bound) + "], paper envelope [" +
+             std::to_string(lower) + ", " + std::to_string(upper) + "]"});
+  }
+  if (result.ring_length < lower || result.ring_length > upper) {
+    report.findings.push_back(
+        {Violation::kLengthOutsideBounds,
+         "ring_length " + std::to_string(result.ring_length) +
+             " outside envelope [" + std::to_string(lower) + ", " +
+             std::to_string(upper) + "]"});
+  }
+}
+
+/// Node-fault (FFC) ring: simple cycle avoiding every faulty node, with the
+/// Proposition 2.2/2.3 envelope.
+void check_node_ring(const WordSpace& ws, const std::vector<Word>& faults,
+                     const EmbedResult& result, OracleReport& report) {
+  check_debruijn_ring(ws, result.ring.nodes, report);
+  const std::unordered_set<Word> faulty(faults.begin(), faults.end());
+  for (Word v : result.ring.nodes) {
+    if (faulty.contains(v)) {
+      report.findings.push_back(
+          {Violation::kTouchesFaultyNode,
+           "ring visits faulty node " + ws.to_string(v)});
+      break;
+    }
+  }
+  const auto [lower, upper] =
+      node_ring_length_envelope(ws.radix(), ws.length(), faults.size());
+  check_claimed_bounds(result, lower, upper, report);
+}
+
+/// Edge-fault ring: Hamiltonian cycle of B(d,n) traversing no faulty edge
+/// word.
+void check_edge_ring(const WordSpace& ws, const std::vector<Word>& faults,
+                     const EmbedResult& result, OracleReport& report) {
+  check_debruijn_ring(ws, result.ring.nodes, report);
+  if (result.ring.nodes.size() != ws.size()) {
+    report.findings.push_back(
+        {Violation::kNotHamiltonian,
+         "edge-strategy ring has " + std::to_string(result.ring.nodes.size()) +
+             " nodes, B(d,n) has " + std::to_string(ws.size())});
+  }
+  const std::unordered_set<Word> faulty(faults.begin(), faults.end());
+  for (std::size_t i = 0; i < result.ring.nodes.size(); ++i) {
+    const Word u = result.ring.nodes[i];
+    const Word v = result.ring.nodes[(i + 1) % result.ring.nodes.size()];
+    if (u >= ws.size() || v >= ws.size()) break;  // already reported
+    const Word e = ws.edge_word(u, ws.tail(v));
+    if (faulty.contains(e)) {
+      report.findings.push_back(
+          {Violation::kUsesFaultyEdge,
+           "ring traverses faulty edge word " + std::to_string(e) +
+               " at position " + std::to_string(i)});
+      break;
+    }
+  }
+  check_claimed_bounds(result, ws.size(), ws.size(), report);
+}
+
+/// Butterfly ring: Hamiltonian cycle of F(d,n) whose edges, pulled back to
+/// B(d,n) per Lemma 3.8, avoid every faulty De Bruijn edge word. Butterfly
+/// adjacency and the pull-back are re-derived here from the level/column
+/// encoding (id = level * d^n + column) and rotation algebra alone.
+void check_butterfly_ring(const WordSpace& ws, const std::vector<Word>& faults,
+                          const EmbedResult& result, OracleReport& report) {
+  const unsigned n = ws.length();
+  const Word columns = ws.size();
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * columns;
+  const std::vector<Word>& nodes = result.ring.nodes;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= total) {
+      report.findings.push_back(
+          {Violation::kNodeOutOfRange,
+           "ring node " + std::to_string(nodes[i]) + " at position " +
+               std::to_string(i) + " outside F(d,n)"});
+      return;
+    }
+  }
+  const std::unordered_set<Word> faulty(faults.begin(), faults.end());
+  bool edge_reported = false;
+  bool fault_reported = false;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const unsigned lu = static_cast<unsigned>(nodes[i] / columns);
+    const Word cu = nodes[i] % columns;
+    const Word next = nodes[(i + 1) % nodes.size()];
+    const unsigned lv = static_cast<unsigned>(next / columns);
+    const Word cv = next % columns;
+    // (lu, cu) -> (lv, cv) is a butterfly edge iff the level advances by one
+    // (mod n) and the columns agree outside digit lu.
+    const bool adjacent = lv == (lu + 1) % n &&
+                          ws.with_digit(cu, lu, ws.digit(cv, lu)) == cv;
+    if (!adjacent) {
+      if (!edge_reported) {
+        report.findings.push_back(
+            {Violation::kNotAnEdge,
+             "positions " + std::to_string(i) + " -> " +
+                 std::to_string((i + 1) % nodes.size()) +
+                 " are not a butterfly edge"});
+        edge_reported = true;
+      }
+      continue;
+    }
+    // Lemma 3.8 pull-back: S_U^j -> S_V^{j+1} implements the De Bruijn edge
+    // U -> V where U = pi^{lu}(cu), V = pi^{lv}(cv).
+    const Word u = ws.rotate_left(cu, lu);
+    const Word v = ws.rotate_left(cv, lv % n);
+    if (ws.suffix(u) != ws.prefix(v)) {
+      if (!edge_reported) {
+        report.findings.push_back(
+            {Violation::kNotAnEdge,
+             "butterfly edge at position " + std::to_string(i) +
+                 " does not project to a B(d,n) edge (Lemma 3.8)"});
+        edge_reported = true;
+      }
+      continue;
+    }
+    const Word e = ws.edge_word(u, ws.tail(v));
+    if (!fault_reported && faulty.contains(e)) {
+      report.findings.push_back(
+          {Violation::kUsesFaultyEdge,
+           "lifted ring implements faulty De Bruijn edge word " +
+               std::to_string(e) + " at position " + std::to_string(i)});
+      fault_reported = true;
+    }
+  }
+  std::vector<Word> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  if (dup != sorted.end()) {
+    report.findings.push_back(
+        {Violation::kRepeatedNode, "ring visits butterfly node " +
+                                       std::to_string(*dup) +
+                                       " more than once"});
+  }
+  if (nodes.size() != total) {
+    report.findings.push_back(
+        {Violation::kNotHamiltonian,
+         "butterfly ring has " + std::to_string(nodes.size()) +
+             " nodes, F(d,n) has " + std::to_string(total)});
+  }
+  check_claimed_bounds(result, total, total, report);
+}
+
+}  // namespace
+
+OracleReport check_response(const EmbedRequest& request,
+                            const EmbedResult& result) {
+  OracleReport report;
+  const auto add = [&report](Violation code, std::string detail) {
+    report.findings.push_back({code, std::move(detail)});
+  };
+
+  const std::string precondition = request_precondition_violation(request);
+  if (!precondition.empty()) {
+    if (result.status != EmbedStatus::kBadRequest) {
+      add(Violation::kRequestNotRejected,
+          precondition + ", but status is " +
+              service::to_string(result.status));
+    } else {
+      if (result.error.empty())
+        add(Violation::kMissingError, "kBadRequest without a message");
+      if (!result.ring.nodes.empty())
+        add(Violation::kGhostRing, "kBadRequest carrying ring nodes");
+    }
+    return report;
+  }
+
+  const Strategy strategy = resolved_strategy(request);
+  if (result.strategy_used != strategy) {
+    add(Violation::kWrongStrategy,
+        std::string("request resolves to ") + service::to_string(strategy) +
+            ", result claims " + service::to_string(result.strategy_used));
+  }
+  const WordSpace ws(request.base, request.n);
+  const std::vector<Word> faults = distinct_faults(request.faults);
+
+  switch (result.status) {
+    case EmbedStatus::kBadRequest:
+      add(Violation::kValidRequestRejected,
+          result.error.empty() ? "no reason given" : result.error);
+      return report;
+    case EmbedStatus::kInternalError:
+      // Not a verdict the oracle can falsify, but it must carry a reason
+      // and no payload.
+      if (result.error.empty())
+        add(Violation::kMissingError, "kInternalError without a message");
+      if (!result.ring.nodes.empty())
+        add(Violation::kGhostRing, "kInternalError carrying ring nodes");
+      return report;
+    case EmbedStatus::kNoEmbedding: {
+      if (result.error.empty())
+        add(Violation::kMissingError, "kNoEmbedding without a message");
+      if (!result.ring.nodes.empty())
+        add(Violation::kGhostRing, "kNoEmbedding carrying ring nodes");
+      if (strategy == Strategy::kFfc) {
+        // A valid node-fault request leaves a nonfaulty node, and the FFC
+        // algorithm always embeds in the surviving component.
+        add(Violation::kGuaranteeBroken,
+            "FFC must embed whenever a nonfaulty node remains");
+      } else {
+        const std::uint64_t countable = count_non_loop(ws, faults);
+        const std::uint64_t budget =
+            edge_fault_guarantee(strategy, request.base);
+        if (countable <= budget) {
+          add(Violation::kGuaranteeBroken,
+              std::to_string(countable) + " distinct non-loop faults within " +
+                  "the guarantee of " + std::to_string(budget) + " for " +
+                  service::to_string(strategy));
+        }
+      }
+      return report;
+    }
+    case EmbedStatus::kOk:
+      break;
+  }
+
+  if (result.ring.nodes.empty()) {
+    add(Violation::kEmptyRing, "kOk result with no ring nodes");
+    return report;
+  }
+  if (result.ring_length != result.ring.nodes.size()) {
+    add(Violation::kLengthMismatch,
+        "ring_length " + std::to_string(result.ring_length) + " but ring has " +
+            std::to_string(result.ring.nodes.size()) + " nodes");
+  }
+
+  switch (strategy) {
+    case Strategy::kFfc:
+      check_node_ring(ws, faults, result, report);
+      break;
+    case Strategy::kEdgeAuto:
+    case Strategy::kEdgeScan:
+    case Strategy::kEdgePhi:
+      check_edge_ring(ws, faults, result, report);
+      break;
+    case Strategy::kButterfly:
+      check_butterfly_ring(ws, faults, result, report);
+      break;
+    case Strategy::kAuto:
+      break;  // unreachable: resolved_strategy never returns kAuto
+  }
+  return report;
+}
+
+}  // namespace dbr::verify

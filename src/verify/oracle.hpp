@@ -1,0 +1,113 @@
+#pragma once
+
+// Independent re-verification of embedding answers.
+//
+// The oracle re-checks an EmbedResult against its EmbedRequest using only
+// the B(d,n) adjacency arithmetic of debruijn/ and util/ plus nt/ number
+// theory. It deliberately never includes the constructions under test
+// (core/, butterfly/): every quantity it needs from the paper - the
+// Proposition 2.2/2.3 length envelopes, psi(d) and phi(d) edge-fault
+// budgets (Lemma 3.5, Propositions 3.2-3.4), butterfly adjacency and the
+// Lemma 3.8 edge pull-back - is re-derived here from first principles, so
+// a bug in a construction cannot silently agree with its own checker.
+// service/types.hpp contributes the request/result data types only; it
+// contains no construction code.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/types.hpp"
+#include "util/word.hpp"
+
+namespace dbr::verify {
+
+enum class Violation : std::uint8_t {
+  kWrongStrategy = 0,   ///< strategy_used disagrees with the resolved request
+  kMissingError,        ///< non-kOk result without a diagnostic message
+  kGhostRing,           ///< non-kOk result carrying ring nodes
+  kEmptyRing,           ///< kOk result with no nodes
+  kLengthMismatch,      ///< ring_length != ring.nodes.size()
+  kNodeOutOfRange,      ///< ring node outside B(d,n) resp. F(d,n)
+  kNotAnEdge,           ///< consecutive ring nodes are not adjacent
+  kRepeatedNode,        ///< ring visits a node twice
+  kTouchesFaultyNode,   ///< ring visits a faulty node
+  kUsesFaultyEdge,      ///< ring traverses a faulty edge
+  kNotHamiltonian,      ///< edge-strategy ring does not cover the graph
+  kBoundsMismatch,      ///< claimed [lower, upper] differs from the envelope
+  kLengthOutsideBounds, ///< ring_length escapes the guarantee envelope
+  kGuaranteeBroken,     ///< kNoEmbedding although faults are within guarantee
+  kRequestNotRejected,  ///< invalid request answered with anything but kBadRequest
+  kValidRequestRejected ///< valid request answered kBadRequest
+};
+
+const char* to_string(Violation v);
+
+struct Finding {
+  Violation code;
+  std::string detail;
+};
+
+/// Outcome of one oracle run; empty findings means the answer checked out.
+struct OracleReport {
+  std::vector<Finding> findings;
+
+  bool ok() const { return findings.empty(); }
+  /// "ok" or a "; "-joined list of "code: detail" entries.
+  std::string to_string() const;
+};
+
+/// Independently re-checks `result` as an answer to `request`:
+///  * request preconditions (fault-kind/strategy match, n >= 2 for edge
+///    strategies, gcd(d,n) = 1 for the butterfly lift, fault words in range)
+///    must be mirrored by kBadRequest, and only by kBadRequest;
+///  * a kOk ring must be a simple cycle whose consecutive words are genuine
+///    B(d,n) (resp. F(d,n)) edges, touching no faulty node and traversing no
+///    faulty edge word (butterfly edges are pulled back per Lemma 3.8);
+///  * ring_length and the claimed [lower_bound, upper_bound] must match the
+///    paper's envelope, and the length must sit inside it;
+///  * kNoEmbedding is a violation whenever the distinct non-loop fault count
+///    is within the strategy's guarantee.
+OracleReport check_response(const service::EmbedRequest& request,
+                            const service::EmbedResult& result);
+
+// --- Paper guarantees, re-derived (shared with the scenario generator) ---
+
+/// Proposition 2.2/2.3 envelope on |H| for `distinct_faults` faulty nodes:
+/// lower = d^n - n*f when f <= d-2, 2^n - (n+1) when d = 2 and f = 1, else
+/// 0; upper = d^n - f.
+std::pair<std::uint64_t, std::uint64_t> node_ring_length_envelope(
+    Digit d, unsigned n, std::uint64_t distinct_faults);
+
+/// psi(d) of Propositions 3.1/3.2, re-derived via discrete-log parity:
+/// condition (b) of Lemma 3.5 asks whether 2 = lambda^A + lambda^B for odd
+/// A, B, which the oracle answers by tabulating dlog parities instead of
+/// core's pairwise power scan.
+std::uint64_t psi_disjoint_cycles(std::uint64_t d);
+
+/// phi(d) = sum p_i^{e_i} - 2k over the factorization of d (Section 3.3's
+/// edge-fault budget; not Euler's totient).
+std::uint64_t phi_fault_budget(std::uint64_t d);
+
+/// Largest distinct non-loop edge-fault count `strategy` is guaranteed to
+/// survive: psi(d)-1 for the scan, phi(d) for the phi-construction, and
+/// their maximum (Proposition 3.4) for kEdgeAuto and kButterfly. Node
+/// strategies have no edge budget; requesting one is a precondition error.
+std::uint64_t edge_fault_guarantee(service::Strategy strategy, std::uint64_t d);
+
+/// True if the (n+1)-word encodes a loop edge a^n -> a^n (i.e. a^(n+1)).
+/// Loop faults are harmless: no ring of length >= 2 traverses a loop.
+bool is_loop_edge_word(const WordSpace& ws, Word edge_word);
+
+/// Sorted, deduplicated copy of a fault list (the oracle's own
+/// canonicalization; intentionally not service::canonical_key).
+std::vector<Word> distinct_faults(const std::vector<Word>& faults);
+
+/// Empty string if the request satisfies every documented precondition,
+/// otherwise a description naming the violated precondition. A node-fault
+/// request whose faulty necklaces cover all of B(d,n) is invalid (the FFC
+/// algorithm has no surviving component to embed in).
+std::string request_precondition_violation(const service::EmbedRequest& request);
+
+}  // namespace dbr::verify

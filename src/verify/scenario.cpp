@@ -1,0 +1,212 @@
+#include "verify/scenario.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+#include "util/word.hpp"
+#include "verify/oracle.hpp"
+
+namespace dbr::verify {
+
+using service::EmbedRequest;
+using service::FaultKind;
+using service::Strategy;
+
+namespace {
+
+struct GraphShape {
+  Digit d;
+  unsigned n;
+};
+
+// Small enough that a sweep of hundreds of scenarios per strategy stays
+// test-sized, large enough that necklace structure and fault budgets are
+// nontrivial (64 <= d^n <= 1024).
+constexpr GraphShape kNodeGraphs[] = {{2, 6}, {2, 8}, {2, 10}, {3, 4}, {3, 5},
+                                      {4, 4}, {5, 3}, {5, 4},  {6, 3}, {7, 3}};
+constexpr GraphShape kEdgeGraphs[] = {{2, 6}, {2, 8}, {3, 4}, {3, 5},
+                                      {4, 4}, {4, 5}, {5, 3}, {5, 4},
+                                      {6, 3}, {7, 3}, {8, 3}, {9, 3}};
+// gcd(d, n) = 1 throughout (Proposition 3.5's lift precondition).
+constexpr GraphShape kButterflyGraphs[] = {{2, 5}, {2, 7}, {3, 4}, {3, 5},
+                                           {4, 5}, {5, 4}, {5, 6}, {7, 3},
+                                           {8, 3}, {9, 4}};
+
+constexpr Regime kNodeRegimes[] = {
+    Regime::kFaultFree,       Regime::kWithinGuarantee,
+    Regime::kBoundary,        Regime::kBeyondGuarantee,
+    Regime::kClusteredNecklace, Regime::kShuffledDuplicates};
+constexpr Regime kEdgeRegimes[] = {
+    Regime::kFaultFree, Regime::kWithinGuarantee,    Regime::kBoundary,
+    Regime::kBeyondGuarantee, Regime::kLoopEdges, Regime::kShuffledDuplicates};
+
+/// The loop edge word a^(n+1) of B(d,n), built digit by digit.
+Word loop_edge_word(Digit d, unsigned n, Digit a) {
+  Word w = 0;
+  for (unsigned i = 0; i <= n; ++i) w = w * d + a;
+  return w;
+}
+
+/// Node-fault boundary: f = d-2 (Proposition 2.2), except d = 2 where the
+/// guarantee regime is the single-fault Proposition 2.3.
+std::uint64_t node_fault_boundary(Digit d) {
+  return d == 2 ? 1 : static_cast<std::uint64_t>(d) - 2;
+}
+
+void shuffle(std::vector<Word>& words, Rng& rng) {
+  for (std::size_t i = words.size(); i > 1; --i) {
+    std::swap(words[i - 1], words[rng.below(i)]);
+  }
+}
+
+/// Duplicates a few entries and permutes the presentation; the engine's
+/// canonicalization must make this indistinguishable from the sorted set.
+void duplicate_and_shuffle(std::vector<Word>& faults, Rng& rng) {
+  if (faults.empty()) return;
+  const std::uint64_t copies = 1 + rng.below(faults.size());
+  for (std::uint64_t c = 0; c < copies; ++c) {
+    faults.push_back(faults[rng.below(faults.size())]);
+  }
+  shuffle(faults, rng);
+}
+
+}  // namespace
+
+const char* to_string(Regime r) {
+  switch (r) {
+    case Regime::kFaultFree: return "fault_free";
+    case Regime::kWithinGuarantee: return "within_guarantee";
+    case Regime::kBoundary: return "boundary";
+    case Regime::kBeyondGuarantee: return "beyond_guarantee";
+    case Regime::kClusteredNecklace: return "clustered_necklace";
+    case Regime::kLoopEdges: return "loop_edges";
+    case Regime::kShuffledDuplicates: return "shuffled_duplicates";
+  }
+  return "unknown";
+}
+
+std::string Scenario::describe() const {
+  std::string out = "(seed=" + std::to_string(seed) +
+                    ", base=" + std::to_string(request.base) +
+                    ", n=" + std::to_string(request.n) + ", strategy=" +
+                    service::to_string(request.strategy) + ")";
+  out += " regime=";
+  out += verify::to_string(regime);
+  out += " kind=";
+  out += service::to_string(request.fault_kind);
+  out += " faults=[";
+  for (std::size_t i = 0; i < request.faults.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(request.faults[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Scenario make_scenario(std::uint64_t seed, Strategy strategy) {
+  // split() decorrelates strategies sharing a seed without losing the
+  // (seed, strategy) -> scenario purity.
+  Rng rng = Rng(seed).split(static_cast<std::uint64_t>(strategy));
+
+  Scenario sc;
+  sc.seed = seed;
+  EmbedRequest& req = sc.request;
+  req.strategy = strategy;
+
+  bool node_faults = false;
+  if (strategy == Strategy::kFfc) {
+    node_faults = true;
+  } else if (strategy == Strategy::kAuto) {
+    node_faults = rng.below(2) == 0;
+  }
+  req.fault_kind = node_faults ? FaultKind::kNode : FaultKind::kEdge;
+
+  GraphShape shape{};
+  if (strategy == Strategy::kButterfly) {
+    shape = kButterflyGraphs[rng.below(std::size(kButterflyGraphs))];
+  } else if (node_faults) {
+    shape = kNodeGraphs[rng.below(std::size(kNodeGraphs))];
+  } else {
+    shape = kEdgeGraphs[rng.below(std::size(kEdgeGraphs))];
+  }
+  req.base = shape.d;
+  req.n = shape.n;
+
+  sc.regime = node_faults ? kNodeRegimes[rng.below(std::size(kNodeRegimes))]
+                          : kEdgeRegimes[rng.below(std::size(kEdgeRegimes))];
+
+  // WordSpace validates the shape (overflow-checked powers), so a bad
+  // future entry in the graph tables fails loudly instead of wrapping.
+  const WordSpace ws(shape.d, shape.n);
+  const std::uint64_t space = node_faults ? ws.size() : ws.edge_word_count();
+  const std::uint64_t boundary =
+      node_faults ? node_fault_boundary(shape.d)
+                  : edge_fault_guarantee(strategy == Strategy::kAuto
+                                             ? Strategy::kEdgeAuto
+                                             : strategy,
+                                         shape.d);
+
+  std::uint64_t count = 0;
+  switch (sc.regime) {
+    case Regime::kFaultFree:
+      count = 0;
+      break;
+    case Regime::kWithinGuarantee:
+    case Regime::kShuffledDuplicates:
+      count = boundary == 0 ? 0 : 1 + rng.below(boundary);
+      break;
+    case Regime::kBoundary:
+      count = boundary;
+      break;
+    case Regime::kBeyondGuarantee:
+      count = boundary + 1 + rng.below(3);
+      break;
+    case Regime::kClusteredNecklace: {
+      // All rotations of one random word: the whole necklace goes faulty,
+      // the FFC removal's worst case per fault "cluster".
+      const Word anchor = rng.below(space);
+      for (unsigned k = 0; k < shape.n; ++k) {
+        req.faults.push_back(ws.rotate_left(anchor, k));
+      }
+      req.faults = distinct_faults(req.faults);
+      shuffle(req.faults, rng);
+      return sc;
+    }
+    case Regime::kLoopEdges: {
+      // One or more genuine loop words (harmless by definition) on top of a
+      // within-guarantee random set: the guarantee accounting must not
+      // charge for them.
+      const std::uint64_t loops = 1 + rng.below(shape.d);
+      for (std::uint64_t i = 0; i < loops; ++i) {
+        req.faults.push_back(loop_edge_word(
+            shape.d, shape.n, static_cast<Digit>(rng.below(shape.d))));
+      }
+      const std::uint64_t extra = boundary == 0 ? 0 : rng.below(boundary + 1);
+      for (std::uint64_t v : rng.sample_distinct(space, extra)) {
+        req.faults.push_back(v);
+      }
+      shuffle(req.faults, rng);
+      return sc;
+    }
+  }
+
+  for (std::uint64_t v : rng.sample_distinct(space, count)) {
+    req.faults.push_back(v);
+  }
+  if (sc.regime == Regime::kShuffledDuplicates) {
+    duplicate_and_shuffle(req.faults, rng);
+  }
+  return sc;
+}
+
+std::vector<Scenario> make_sweep(std::uint64_t base_seed, Strategy strategy,
+                                 std::size_t count) {
+  std::vector<Scenario> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(make_scenario(base_seed + i, strategy));
+  }
+  return out;
+}
+
+}  // namespace dbr::verify

@@ -1,0 +1,57 @@
+#pragma once
+
+// Seeded, reproducible fault-scenario generator for the fuzz harness.
+//
+// A scenario is a pure function of (seed, strategy): the same pair always
+// yields byte-identical requests, so any failure a sweep prints as
+// "(seed=S, base=d, n=n, strategy=s)" can be regenerated with
+// make_scenario(S, s) in a debugger or a one-off test. The grammar spans
+// the regimes the paper's guarantees distinguish: fault-free, strictly
+// within guarantee, exactly on the boundary (f = d-2 node faults,
+// f = psi(d)-1 / phi(d) edge faults), beyond guarantee, clustered
+// same-necklace node faults, loop-edge faults, and duplicated/permuted
+// fault presentations (which must canonicalize away).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/types.hpp"
+
+namespace dbr::verify {
+
+enum class Regime : std::uint8_t {
+  kFaultFree = 0,       ///< f = 0: the construction must always embed
+  kWithinGuarantee,     ///< 1 <= f < boundary for the strategy
+  kBoundary,            ///< f = d-2 (node) resp. the strategy's edge budget
+  kBeyondGuarantee,     ///< f past the guarantee; kNoEmbedding is legal
+  kClusteredNecklace,   ///< node faults filling one rotation class
+  kLoopEdges,           ///< edge faults including harmless loop words a^(n+1)
+  kShuffledDuplicates,  ///< within-guarantee set, duplicated and permuted
+};
+
+const char* to_string(Regime r);
+
+struct Scenario {
+  std::uint64_t seed = 0;
+  Regime regime = Regime::kFaultFree;
+  service::EmbedRequest request;
+
+  /// Leads with the reproduction tuple "(seed=…, base=…, n=…, strategy=…)",
+  /// then regime, fault kind and the fault words as presented.
+  std::string describe() const;
+};
+
+/// Deterministically expands (seed, strategy) into one scenario. The graph
+/// shape, regime and fault set are all derived from the seed; kButterfly
+/// draws only gcd(d, n) = 1 shapes, node strategies draw node-fault graphs,
+/// edge strategies draw n >= 2 graphs, and kAuto flips a seeded coin
+/// between the two fault kinds.
+Scenario make_scenario(std::uint64_t seed, service::Strategy strategy);
+
+/// The scenarios of seeds base_seed + [0, count) for one strategy.
+std::vector<Scenario> make_sweep(std::uint64_t base_seed,
+                                 service::Strategy strategy,
+                                 std::size_t count);
+
+}  // namespace dbr::verify

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "service/engine.hpp"
+#include "verify/oracle.hpp"
+#include "verify/scenario.hpp"
+
+// Seeded fault-scenario fuzzer: sweeps hundreds of generated scenarios per
+// strategy through the query engine and holds every answer against the
+// independent verify/ oracle, the uncached baseline, and the
+// canonicalization contract. Every assertion message leads with the
+// scenario's "(seed=…, base=…, n=…, strategy=…)" tuple; feed the seed back
+// into verify::make_scenario(seed, strategy) to reproduce the instance.
+//
+// Knobs (env): DBR_FUZZ_SCENARIOS  scenarios per strategy (default 200)
+//              DBR_FUZZ_SEED       base seed              (default 20260729)
+
+namespace dbr::verify {
+namespace {
+
+using service::EmbedEngine;
+using service::EmbedRequest;
+using service::EmbedResponse;
+using service::EmbedStatus;
+using service::EngineOptions;
+using service::Strategy;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long long parsed = std::atoll(v);
+    if (parsed > 0) return static_cast<std::uint64_t>(parsed);
+  }
+  return fallback;
+}
+
+std::size_t sweep_size() {
+  return static_cast<std::size_t>(env_u64("DBR_FUZZ_SCENARIOS", 200));
+}
+
+std::uint64_t base_seed() { return env_u64("DBR_FUZZ_SEED", 20260729); }
+
+/// Reversed and with the first fault duplicated: a different presentation
+/// of the same fault set, which canonicalization must collapse onto the
+/// original cache entry.
+EmbedRequest representation_variant(const EmbedRequest& req) {
+  EmbedRequest out = req;
+  std::reverse(out.faults.begin(), out.faults.end());
+  if (!out.faults.empty()) out.faults.push_back(out.faults.back());
+  return out;
+}
+
+void run_sweep(Strategy strategy) {
+  EngineOptions options;
+  options.validate_responses = true;
+  EmbedEngine engine(options);
+  EmbedEngine cold(EngineOptions{.enable_cache = false});
+
+  std::size_t embedded = 0;
+  for (const Scenario& sc : make_sweep(base_seed(), strategy, sweep_size())) {
+    const EmbedResponse resp = engine.query(sc.request);
+    ASSERT_NE(resp.result, nullptr) << "FUZZ FAILURE " << sc.describe();
+    // The engine's own validate_responses hook quarantines oracle
+    // violations as kInternalError; none may occur.
+    ASSERT_NE(resp.result->status, EmbedStatus::kInternalError)
+        << "FUZZ FAILURE " << sc.describe() << ": " << resp.result->error;
+
+    const OracleReport report = check_response(sc.request, *resp.result);
+    ASSERT_TRUE(report.ok())
+        << "FUZZ FAILURE " << sc.describe() << ": " << report.to_string();
+
+    // The cached serving path must be bit-identical to a cold computation.
+    const auto baseline = cold.compute_uncached(sc.request);
+    ASSERT_TRUE(resp.result->same_embedding(*baseline))
+        << "FUZZ FAILURE " << sc.describe()
+        << ": cached result differs from compute_uncached";
+
+    // A permuted/duplicated presentation of the same fault set must hit the
+    // entry just written (valid scenario answers are always cacheable).
+    const EmbedResponse again = engine.query(representation_variant(sc.request));
+    ASSERT_TRUE(again.cache_hit)
+        << "FUZZ FAILURE " << sc.describe()
+        << ": permuted presentation missed the cache";
+    ASSERT_EQ(again.result, resp.result)
+        << "FUZZ FAILURE " << sc.describe()
+        << ": permuted presentation returned a different object";
+
+    if (resp.result->status == EmbedStatus::kOk) ++embedded;
+  }
+  EXPECT_EQ(engine.validation_stats().violations, 0u);
+  EXPECT_GT(engine.validation_stats().checked, 0u);
+  // The regime mix always contains embeddable scenarios; a sweep that never
+  // embeds means the generator or the dispatch is broken.
+  EXPECT_GT(embedded, sweep_size() / 4);
+}
+
+TEST(FuzzScenarios, Auto) { run_sweep(Strategy::kAuto); }
+TEST(FuzzScenarios, Ffc) { run_sweep(Strategy::kFfc); }
+TEST(FuzzScenarios, EdgeAuto) { run_sweep(Strategy::kEdgeAuto); }
+TEST(FuzzScenarios, EdgeScan) { run_sweep(Strategy::kEdgeScan); }
+TEST(FuzzScenarios, EdgePhi) { run_sweep(Strategy::kEdgePhi); }
+TEST(FuzzScenarios, Butterfly) { run_sweep(Strategy::kButterfly); }
+
+// The same edge-fault instance served under the scan, the phi-construction
+// and the auto dispatch: every kOk ring must pass the oracle, and auto must
+// embed whenever either specialist does (it tries both routes).
+TEST(FuzzScenarios, CrossStrategyEdgeConsistency) {
+  EmbedEngine engine;
+  const std::size_t count = std::min<std::size_t>(sweep_size(), 100);
+  for (const Scenario& sc :
+       make_sweep(base_seed() ^ 0xC0FFEEull, Strategy::kEdgeAuto, count)) {
+    EmbedRequest scan_req = sc.request;
+    scan_req.strategy = Strategy::kEdgeScan;
+    EmbedRequest phi_req = sc.request;
+    phi_req.strategy = Strategy::kEdgePhi;
+
+    const EmbedResponse auto_resp = engine.query(sc.request);
+    const EmbedResponse scan_resp = engine.query(scan_req);
+    const EmbedResponse phi_resp = engine.query(phi_req);
+
+    ASSERT_TRUE(check_response(sc.request, *auto_resp.result).ok())
+        << "FUZZ FAILURE " << sc.describe() << ": "
+        << check_response(sc.request, *auto_resp.result).to_string();
+    ASSERT_TRUE(check_response(scan_req, *scan_resp.result).ok())
+        << "FUZZ FAILURE " << sc.describe() << " (as edge_scan): "
+        << check_response(scan_req, *scan_resp.result).to_string();
+    ASSERT_TRUE(check_response(phi_req, *phi_resp.result).ok())
+        << "FUZZ FAILURE " << sc.describe() << " (as edge_phi): "
+        << check_response(phi_req, *phi_resp.result).to_string();
+
+    const bool any_specialist_ok =
+        scan_resp.result->status == EmbedStatus::kOk ||
+        phi_resp.result->status == EmbedStatus::kOk;
+    if (any_specialist_ok) {
+      EXPECT_EQ(auto_resp.result->status, EmbedStatus::kOk)
+          << "FUZZ FAILURE " << sc.describe()
+          << ": a specialist embedded but edge_auto did not";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbr::verify

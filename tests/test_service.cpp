@@ -306,6 +306,143 @@ TEST(EmbedEngineTest, InvalidRequestsReportBadRequest) {
 }
 
 // --------------------------------------------------------------------------
+// Engine: fail-fast precondition rejections. Each documented precondition
+// must yield kBadRequest with a message naming it, never a computation.
+
+TEST(EmbedEngineTest, ButterflyGcdPreconditionNamesGcd) {
+  EmbedEngine engine;
+  for (const auto& [d, n] : {std::pair<Digit, unsigned>{2, 4}, {3, 6}, {4, 4}}) {
+    const EmbedResponse resp =
+        engine.query(edge_request(d, n, {1}, Strategy::kButterfly));
+    ASSERT_EQ(resp.result->status, EmbedStatus::kBadRequest)
+        << "d=" << d << " n=" << n;
+    EXPECT_NE(resp.result->error.find("gcd(d, n) = 1"), std::string::npos)
+        << resp.result->error;
+    EXPECT_TRUE(resp.result->ring.nodes.empty());
+  }
+}
+
+TEST(EmbedEngineTest, EdgeFaultRequestsRequireNAtLeastTwo) {
+  EmbedEngine engine;
+  for (const Strategy strategy :
+       {Strategy::kAuto, Strategy::kEdgeAuto, Strategy::kEdgeScan,
+        Strategy::kEdgePhi, Strategy::kButterfly}) {
+    // gcd(3, 1) = 1, so for kButterfly it is specifically the n >= 2
+    // precondition that must fire.
+    const EmbedResponse resp = engine.query(edge_request(3, 1, {2}, strategy));
+    ASSERT_EQ(resp.result->status, EmbedStatus::kBadRequest)
+        << to_string(strategy);
+    EXPECT_NE(resp.result->error.find("n >= 2"), std::string::npos)
+        << to_string(strategy) << ": " << resp.result->error;
+  }
+  // Node faults have no such restriction at the engine layer.
+  EXPECT_NE(engine.query(node_request(3, 3, {1})).result->status,
+            EmbedStatus::kBadRequest);
+}
+
+TEST(EmbedEngineTest, FaultWordRangeRejectionNamesTheWord) {
+  EmbedEngine engine;
+  // Node words of B(2,3) live in [0, 8); edge words in [0, 16).
+  const EmbedResponse node_resp = engine.query(node_request(2, 3, {3, 8}));
+  ASSERT_EQ(node_resp.result->status, EmbedStatus::kBadRequest);
+  EXPECT_NE(node_resp.result->error.find("fault word 8 out of range"),
+            std::string::npos)
+      << node_resp.result->error;
+
+  const EmbedResponse edge_resp = engine.query(edge_request(2, 3, {16}));
+  ASSERT_EQ(edge_resp.result->status, EmbedStatus::kBadRequest);
+  EXPECT_NE(edge_resp.result->error.find("fault word 16 out of range"),
+            std::string::npos)
+      << edge_resp.result->error;
+  // The largest in-range edge word is accepted.
+  EXPECT_NE(engine.query(edge_request(2, 3, {15})).result->status,
+            EmbedStatus::kBadRequest);
+}
+
+// --------------------------------------------------------------------------
+// Engine: kAuto dispatch routes by fault kind and matches the explicit
+// strategies bit for bit.
+
+TEST(EmbedEngineTest, AutoDispatchMatchesExplicitStrategies) {
+  EmbedEngine engine;
+  const std::vector<Word> node_faults = {7, 33};
+  const EmbedResponse auto_node = engine.query(node_request(3, 4, node_faults));
+  ASSERT_TRUE(auto_node.ok());
+  EXPECT_EQ(auto_node.result->strategy_used, Strategy::kFfc);
+  EmbedEngine explicit_node_engine;
+  const EmbedResponse explicit_node = explicit_node_engine.query(
+      node_request(3, 4, node_faults, Strategy::kFfc));
+  EXPECT_EQ(explicit_node.result->strategy_used, Strategy::kFfc);
+  EXPECT_TRUE(auto_node.result->same_embedding(*explicit_node.result));
+
+  const std::vector<Word> edge_faults = {25, 100};
+  const EmbedResponse auto_edge = engine.query(edge_request(3, 4, edge_faults));
+  ASSERT_TRUE(auto_edge.ok());
+  EXPECT_EQ(auto_edge.result->strategy_used, Strategy::kEdgeAuto);
+  EmbedEngine explicit_edge_engine;
+  const EmbedResponse explicit_edge = explicit_edge_engine.query(
+      edge_request(3, 4, edge_faults, Strategy::kEdgeAuto));
+  EXPECT_EQ(explicit_edge.result->strategy_used, Strategy::kEdgeAuto);
+  EXPECT_TRUE(auto_edge.result->same_embedding(*explicit_edge.result));
+
+  // kAuto and its resolution share one cache entry.
+  EXPECT_TRUE(engine.query(node_request(3, 4, node_faults, Strategy::kFfc)).cache_hit);
+  EXPECT_TRUE(engine.query(edge_request(3, 4, edge_faults, Strategy::kEdgeAuto)).cache_hit);
+}
+
+// --------------------------------------------------------------------------
+// Engine: fault-set canonicalization, one test per FaultKind.
+
+TEST(EmbedEngineTest, NodeFaultCanonicalizationCollapsesPresentations) {
+  EmbedEngine engine;
+  const EmbedResponse first = engine.query(node_request(3, 4, {7, 33, 12}));
+  const EmbedResponse permuted = engine.query(node_request(3, 4, {12, 7, 33}));
+  const EmbedResponse duplicated =
+      engine.query(node_request(3, 4, {33, 33, 12, 7, 7, 12}));
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(permuted.cache_hit);
+  EXPECT_TRUE(duplicated.cache_hit);
+  EXPECT_TRUE(first.result->same_embedding(*permuted.result));
+  EXPECT_TRUE(first.result->same_embedding(*duplicated.result));
+}
+
+TEST(EmbedEngineTest, EdgeFaultCanonicalizationCollapsesPresentations) {
+  EmbedEngine engine;
+  const EmbedResponse first = engine.query(edge_request(3, 4, {25, 100, 7}));
+  const EmbedResponse permuted = engine.query(edge_request(3, 4, {100, 7, 25}));
+  const EmbedResponse duplicated =
+      engine.query(edge_request(3, 4, {7, 25, 25, 100, 7}));
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(permuted.cache_hit);
+  EXPECT_TRUE(duplicated.cache_hit);
+  EXPECT_TRUE(first.result->same_embedding(*permuted.result));
+  EXPECT_TRUE(first.result->same_embedding(*duplicated.result));
+}
+
+// --------------------------------------------------------------------------
+// Engine: validate_responses debug mode.
+
+TEST(EmbedEngineTest, ValidateResponsesChecksMissesAndSkipsHits) {
+  EngineOptions options;
+  options.validate_responses = true;
+  EmbedEngine engine(options);
+  const EmbedRequest requests[] = {
+      node_request(3, 3, {5, 14}),
+      edge_request(4, 4, {17}),
+      edge_request(3, 4, {25}, Strategy::kButterfly),
+  };
+  for (const EmbedRequest& req : requests) {
+    const EmbedResponse resp = engine.query(req);
+    EXPECT_TRUE(resp.ok()) << resp.result->error;
+  }
+  EXPECT_EQ(engine.validation_stats().checked, 3u);
+  EXPECT_EQ(engine.validation_stats().violations, 0u);
+  // Hits return the already-validated object without re-running the oracle.
+  EXPECT_TRUE(engine.query(requests[0]).cache_hit);
+  EXPECT_EQ(engine.validation_stats().checked, 3u);
+}
+
+// --------------------------------------------------------------------------
 // Engine: concurrent batches.
 
 TEST(EmbedEngineTest, ConcurrentBatchMatchesSequentialBaseline) {

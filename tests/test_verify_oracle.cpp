@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/disjoint_hc.hpp"
+#include "core/ffc.hpp"
+#include "service/engine.hpp"
+#include "util/word.hpp"
+#include "verify/oracle.hpp"
+#include "verify/scenario.hpp"
+
+// The oracle itself must never include core/ or butterfly/; this test file
+// may, because cross-checking the two independent derivations of psi, phi
+// and the length envelopes is exactly the point of having both.
+
+namespace dbr::verify {
+namespace {
+
+using service::EmbedEngine;
+using service::EmbedRequest;
+using service::EmbedResponse;
+using service::EmbedResult;
+using service::EmbedStatus;
+using service::FaultKind;
+using service::Strategy;
+
+EmbedRequest node_request(Digit d, unsigned n, std::vector<Word> faults,
+                          Strategy strategy = Strategy::kAuto) {
+  EmbedRequest req;
+  req.base = d;
+  req.n = n;
+  req.fault_kind = FaultKind::kNode;
+  req.faults = std::move(faults);
+  req.strategy = strategy;
+  return req;
+}
+
+EmbedRequest edge_request(Digit d, unsigned n, std::vector<Word> faults,
+                          Strategy strategy = Strategy::kAuto) {
+  EmbedRequest req;
+  req.base = d;
+  req.n = n;
+  req.fault_kind = FaultKind::kEdge;
+  req.faults = std::move(faults);
+  req.strategy = strategy;
+  return req;
+}
+
+bool has_violation(const OracleReport& report, Violation code) {
+  for (const Finding& f : report.findings) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// The oracle's re-derived guarantees agree with the construction library.
+
+TEST(OracleGuaranteeTest, PsiAndPhiMatchTheConstructionLibrary) {
+  for (std::uint64_t d = 2; d <= 20; ++d) {
+    EXPECT_EQ(psi_disjoint_cycles(d), core::psi(d)) << "psi(" << d << ")";
+    EXPECT_EQ(phi_fault_budget(d), core::phi_edge_bound(d)) << "phi(" << d << ")";
+    EXPECT_EQ(edge_fault_guarantee(Strategy::kEdgeAuto, d),
+              core::max_tolerable_edge_faults(d))
+        << "max_tolerable(" << d << ")";
+    EXPECT_EQ(edge_fault_guarantee(Strategy::kEdgeScan, d), core::psi(d) - 1);
+    EXPECT_EQ(edge_fault_guarantee(Strategy::kEdgePhi, d),
+              core::phi_edge_bound(d));
+  }
+}
+
+TEST(OracleGuaranteeTest, NodeEnvelopeMatchesFfcBounds) {
+  const struct { Digit d; unsigned n; } instances[] = {
+      {2, 5}, {2, 8}, {3, 4}, {4, 4}, {5, 3}, {7, 3}};
+  for (const auto& g : instances) {
+    for (std::uint64_t f = 0; f <= 6; ++f) {
+      EXPECT_EQ(node_ring_length_envelope(g.d, g.n, f),
+                core::ffc_cycle_length_bounds(g.d, g.n, f))
+          << "B(" << g.d << "," << g.n << ") f=" << f;
+    }
+  }
+}
+
+TEST(OracleGuaranteeTest, LoopEdgeWordsAreRecognized) {
+  const WordSpace ws(3, 4);
+  // Loop words of B(3,4) are a^5: 0, 121, 242.
+  EXPECT_TRUE(is_loop_edge_word(ws, 0));
+  EXPECT_TRUE(is_loop_edge_word(ws, 121));
+  EXPECT_TRUE(is_loop_edge_word(ws, 242));
+  EXPECT_FALSE(is_loop_edge_word(ws, 1));
+  EXPECT_FALSE(is_loop_edge_word(ws, 120));
+  std::uint64_t loops = 0;
+  for (Word e = 0; e < ws.edge_word_count(); ++e) {
+    if (is_loop_edge_word(ws, e)) ++loops;
+  }
+  EXPECT_EQ(loops, 3u);  // exactly d loops in B(d,n)
+}
+
+// --------------------------------------------------------------------------
+// Request precondition validation.
+
+TEST(OracleRequestTest, AcceptsValidAndNamesViolatedPreconditions) {
+  EXPECT_EQ(request_precondition_violation(node_request(3, 3, {5, 14})), "");
+  EXPECT_EQ(request_precondition_violation(edge_request(3, 4, {25})), "");
+
+  EXPECT_NE(request_precondition_violation(
+                edge_request(2, 4, {1}, Strategy::kButterfly))
+                .find("gcd"),
+            std::string::npos);
+  EXPECT_NE(request_precondition_violation(edge_request(3, 1, {1})).find("n >= 2"),
+            std::string::npos);
+  EXPECT_NE(request_precondition_violation(node_request(2, 3, {8})).find("out of range"),
+            std::string::npos);
+  EXPECT_NE(request_precondition_violation(
+                edge_request(3, 3, {1}, Strategy::kFfc))
+                .find("node faults"),
+            std::string::npos);
+  EXPECT_NE(request_precondition_violation(
+                node_request(3, 3, {1}, Strategy::kEdgeScan))
+                .find("edge faults"),
+            std::string::npos);
+}
+
+TEST(OracleRequestTest, TotalNecklaceCoverageIsInvalid) {
+  // B(2,2): necklaces {00}, {01,10}, {11}. Faults {0,1,3} cover everything.
+  EXPECT_NE(request_precondition_violation(node_request(2, 2, {0, 1, 3}))
+                .find("cover"),
+            std::string::npos);
+  // Leaving the {01,10} necklace alive keeps the request valid.
+  EXPECT_EQ(request_precondition_violation(node_request(2, 2, {0, 3})), "");
+}
+
+// --------------------------------------------------------------------------
+// End-to-end: engine answers pass, tampered answers fail.
+
+TEST(OracleCheckTest, AcceptsEngineAnswersAcrossStrategies) {
+  EmbedEngine engine;
+  const std::vector<EmbedRequest> scenarios = {
+      node_request(3, 3, {5, 14}),
+      node_request(2, 7, {3}),
+      node_request(3, 4, {}),
+      edge_request(4, 4, {17, 200}),
+      edge_request(3, 5, {}, Strategy::kEdgeScan),
+      edge_request(3, 5, {7}, Strategy::kEdgePhi),
+      edge_request(3, 4, {25}, Strategy::kButterfly),
+      edge_request(5, 4, {}, Strategy::kButterfly),
+  };
+  for (const EmbedRequest& req : scenarios) {
+    const EmbedResponse resp = engine.query(req);
+    ASSERT_TRUE(resp.ok()) << resp.result->error;
+    const OracleReport report = check_response(req, *resp.result);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+  // A legitimate beyond-guarantee kNoEmbedding also passes: psi(3)-1 = 0,
+  // and edge word 7 lies on the scan family's only Hamiltonian cycle.
+  const EmbedRequest beyond = edge_request(3, 5, {7}, Strategy::kEdgeScan);
+  const EmbedResponse resp = engine.query(beyond);
+  ASSERT_EQ(resp.result->status, EmbedStatus::kNoEmbedding);
+  EXPECT_TRUE(check_response(beyond, *resp.result).ok());
+}
+
+TEST(OracleCheckTest, FlagsTamperedNodeRings) {
+  EmbedEngine engine;
+  const EmbedRequest req = node_request(3, 3, {5, 14});
+  const EmbedResponse resp = engine.query(req);
+  ASSERT_TRUE(resp.ok());
+
+  {
+    EmbedResult tampered = *resp.result;
+    std::swap(tampered.ring.nodes[1], tampered.ring.nodes[5]);
+    EXPECT_TRUE(has_violation(check_response(req, tampered), Violation::kNotAnEdge));
+  }
+  {
+    EmbedResult tampered = *resp.result;
+    tampered.ring_length += 1;
+    EXPECT_TRUE(has_violation(check_response(req, tampered),
+                              Violation::kLengthMismatch));
+  }
+  {
+    EmbedResult tampered = *resp.result;
+    tampered.lower_bound += 1;
+    EXPECT_TRUE(has_violation(check_response(req, tampered),
+                              Violation::kBoundsMismatch));
+  }
+  {
+    EmbedResult tampered = *resp.result;
+    tampered.ring.nodes.push_back(tampered.ring.nodes.front());
+    tampered.ring_length = tampered.ring.nodes.size();
+    EXPECT_TRUE(has_violation(check_response(req, tampered),
+                              Violation::kRepeatedNode));
+  }
+  {
+    // Declaring a visited node faulty must trip the avoidance check.
+    EmbedRequest hostile = req;
+    hostile.faults.push_back(resp.result->ring.nodes.front());
+    EXPECT_TRUE(has_violation(check_response(hostile, *resp.result),
+                              Violation::kTouchesFaultyNode));
+  }
+}
+
+TEST(OracleCheckTest, FlagsFaultyEdgeUseAndMissingNodes) {
+  EmbedEngine engine;
+  const EmbedRequest clean = edge_request(3, 4, {});
+  const EmbedResponse resp = engine.query(clean);
+  ASSERT_TRUE(resp.ok());
+  const WordSpace ws(3, 4);
+
+  {
+    // Same ring, but now one of its own edges is declared faulty.
+    EmbedRequest hostile = clean;
+    const Word u = resp.result->ring.nodes[0];
+    const Word v = resp.result->ring.nodes[1];
+    hostile.faults.push_back(ws.edge_word(u, ws.tail(v)));
+    EXPECT_TRUE(has_violation(check_response(hostile, *resp.result),
+                              Violation::kUsesFaultyEdge));
+  }
+  {
+    EmbedResult tampered = *resp.result;
+    tampered.ring.nodes.pop_back();
+    tampered.ring_length = tampered.ring.nodes.size();
+    const OracleReport report = check_response(clean, tampered);
+    EXPECT_TRUE(has_violation(report, Violation::kNotHamiltonian));
+  }
+}
+
+TEST(OracleCheckTest, FlagsTamperedButterflyRings) {
+  EmbedEngine engine;
+  const EmbedRequest req = edge_request(3, 4, {25}, Strategy::kButterfly);
+  const EmbedResponse resp = engine.query(req);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(check_response(req, *resp.result).ok());
+
+  EmbedResult tampered = *resp.result;
+  std::swap(tampered.ring.nodes[2], tampered.ring.nodes[40]);
+  EXPECT_TRUE(has_violation(check_response(req, tampered), Violation::kNotAnEdge));
+}
+
+TEST(OracleCheckTest, FlagsStatusInconsistencies) {
+  // kNoEmbedding within guarantee: one fault, psi(4)-1 = 2 >= 1.
+  {
+    EmbedResult fake;
+    fake.status = EmbedStatus::kNoEmbedding;
+    fake.strategy_used = Strategy::kEdgeAuto;
+    fake.error = "fabricated";
+    EXPECT_TRUE(has_violation(check_response(edge_request(4, 4, {17}), fake),
+                              Violation::kGuaranteeBroken));
+  }
+  // Valid request rejected.
+  {
+    EmbedResult fake;
+    fake.status = EmbedStatus::kBadRequest;
+    fake.strategy_used = Strategy::kFfc;
+    fake.error = "fabricated";
+    EXPECT_TRUE(has_violation(check_response(node_request(3, 3, {5}), fake),
+                              Violation::kValidRequestRejected));
+  }
+  // Invalid request answered kOk.
+  {
+    EmbedEngine engine;
+    const EmbedResponse good = engine.query(node_request(3, 3, {5}));
+    ASSERT_TRUE(good.ok());
+    const EmbedRequest invalid =
+        edge_request(2, 4, {1}, Strategy::kButterfly);  // gcd(2,4) != 1
+    EXPECT_TRUE(has_violation(check_response(invalid, *good.result),
+                              Violation::kRequestNotRejected));
+  }
+  // Wrong strategy claimed for the resolved request.
+  {
+    EmbedEngine engine;
+    const EmbedRequest req = node_request(3, 3, {5});
+    const EmbedResponse resp = engine.query(req);
+    ASSERT_TRUE(resp.ok());
+    EmbedResult tampered = *resp.result;
+    tampered.strategy_used = Strategy::kEdgeAuto;
+    EXPECT_TRUE(has_violation(check_response(req, tampered),
+                              Violation::kWrongStrategy));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Scenario generator basics (the sweep semantics live in
+// test_fuzz_scenarios.cpp).
+
+TEST(ScenarioTest, PureFunctionOfSeedAndStrategy) {
+  for (const Strategy strategy :
+       {Strategy::kAuto, Strategy::kFfc, Strategy::kEdgeAuto,
+        Strategy::kEdgeScan, Strategy::kEdgePhi, Strategy::kButterfly}) {
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+      const Scenario a = make_scenario(seed, strategy);
+      const Scenario b = make_scenario(seed, strategy);
+      EXPECT_EQ(a.seed, b.seed);
+      EXPECT_EQ(a.regime, b.regime);
+      EXPECT_EQ(a.request.base, b.request.base);
+      EXPECT_EQ(a.request.n, b.request.n);
+      EXPECT_EQ(a.request.fault_kind, b.request.fault_kind);
+      EXPECT_EQ(a.request.strategy, b.request.strategy);
+      EXPECT_EQ(a.request.faults, b.request.faults);
+      EXPECT_EQ(a.describe(), b.describe());
+    }
+  }
+}
+
+TEST(ScenarioTest, EveryScenarioIsAValidRequest) {
+  for (const Strategy strategy :
+       {Strategy::kAuto, Strategy::kFfc, Strategy::kEdgeAuto,
+        Strategy::kEdgeScan, Strategy::kEdgePhi, Strategy::kButterfly}) {
+    for (const Scenario& sc : make_sweep(7, strategy, 150)) {
+      EXPECT_EQ(request_precondition_violation(sc.request), "")
+          << sc.describe();
+      if (strategy == Strategy::kFfc) {
+        EXPECT_EQ(sc.request.fault_kind, FaultKind::kNode);
+      } else if (strategy != Strategy::kAuto) {
+        EXPECT_EQ(sc.request.fault_kind, FaultKind::kEdge);
+      }
+    }
+  }
+}
+
+TEST(ScenarioTest, DescribeLeadsWithTheReproductionTuple) {
+  const Scenario sc = make_scenario(42, Strategy::kEdgeScan);
+  const std::string text = sc.describe();
+  EXPECT_EQ(text.find("(seed=42, base="), 0u) << text;
+  EXPECT_NE(text.find("strategy=edge_scan"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace dbr::verify
