@@ -1,0 +1,338 @@
+// Fault-churn workload for the instance-context architecture.
+//
+// Two measurements, both on same-(base, n) streams whose fault sets are all
+// distinct (so the result cache never serves a repeat and every query pays
+// the solve path):
+//
+//  1. Context reuse vs cold per-query precompute: the same stream through an
+//     engine that shares the per-instance InstanceContext (reuse_contexts =
+//     true, the default) and through one that rebuilds it on every query
+//     (reuse_contexts = false, the pre-refactor behavior). Responses must be
+//     bit-identical; the speedup is the hot-path win of the context/solve
+//     split.
+//
+//  2. Session incremental updates: a seeded add/remove fault-churn timeline
+//     served by a stateful EmbedSession (pinned context + result cache)
+//     vs a cold stateless query per event. Reports per-update latency.
+//
+// Writes the machine-readable BENCH_fault_churn.json.
+//
+// Knobs (env):   DBR_SEED
+// Knobs (argv):  --queries N   distinct fault sets per family   (default 250)
+//                --events N    churn events in the session part (default 400)
+//                --out PATH    JSON path (default BENCH_fault_churn.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/engine.hpp"
+#include "service/session.hpp"
+#include "service/stats.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/word.hpp"
+#include "verify/scenario.hpp"
+
+namespace {
+
+using dbr::Digit;
+using dbr::Rng;
+using dbr::Word;
+using dbr::WordSpace;
+using dbr::service::EmbedEngine;
+using dbr::service::EmbedRequest;
+using dbr::service::EmbedResponse;
+using dbr::service::EmbedSession;
+using dbr::service::EngineOptions;
+using dbr::service::FaultKind;
+using dbr::service::LatencyRecorder;
+using dbr::service::Strategy;
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+struct Family {
+  const char* name;
+  Digit base;
+  unsigned n;
+  FaultKind kind;
+  Strategy strategy;
+  std::uint64_t min_faults;
+  std::uint64_t max_faults;
+};
+
+// One family per construction the context precomputes for: the FFC necklace
+// tables, the psi-family index (+ phi machinery via kEdgeAuto), and the
+// butterfly lift.
+constexpr Family kFamilies[] = {
+    {"ffc_node_b2_n12", 2, 12, FaultKind::kNode, Strategy::kFfc, 1, 3},
+    {"edge_auto_b4_n6", 4, 6, FaultKind::kEdge, Strategy::kEdgeAuto, 1, 2},
+    {"butterfly_b3_n7", 3, 7, FaultKind::kEdge, Strategy::kButterfly, 1, 1},
+};
+
+/// `count` requests on one instance with pairwise-distinct fault sets.
+std::vector<EmbedRequest> distinct_fault_stream(const Family& family, Rng& rng,
+                                                std::size_t count) {
+  const WordSpace ws(family.base, family.n);
+  const std::uint64_t space = family.kind == FaultKind::kNode
+                                  ? ws.size()
+                                  : ws.edge_word_count();
+  std::set<std::vector<Word>> seen;
+  std::vector<EmbedRequest> stream;
+  stream.reserve(count);
+  // A family can run out of distinct fault sets (e.g. single-fault families
+  // have only `space` of them); cap the duplicate redraws so an oversized
+  // --queries truncates the stream instead of spinning forever.
+  std::uint64_t duplicate_draws = 0;
+  const std::uint64_t max_duplicate_draws = 50 * count + 10000;
+  while (stream.size() < count && duplicate_draws < max_duplicate_draws) {
+    const std::uint64_t f =
+        family.min_faults + rng.below(family.max_faults - family.min_faults + 1);
+    std::vector<Word> faults;
+    for (std::uint64_t v : rng.sample_distinct(space, f)) faults.push_back(v);
+    std::vector<Word> key = faults;
+    std::sort(key.begin(), key.end());
+    if (!seen.insert(std::move(key)).second) {  // keep sets distinct
+      ++duplicate_draws;
+      continue;
+    }
+    EmbedRequest req;
+    req.base = family.base;
+    req.n = family.n;
+    req.fault_kind = family.kind;
+    req.strategy = family.strategy;
+    req.faults = std::move(faults);
+    stream.push_back(std::move(req));
+  }
+  return stream;
+}
+
+struct ModeRun {
+  double wall_micros = 0.0;
+  std::vector<EmbedResponse> responses;
+  dbr::service::ServeStats serve;
+};
+
+ModeRun run_stream(const std::vector<EmbedRequest>& stream, bool reuse_contexts) {
+  EngineOptions options;
+  options.reuse_contexts = reuse_contexts;
+  EmbedEngine engine(options);
+  ModeRun out;
+  out.responses.reserve(stream.size());
+  const Clock::time_point start = Clock::now();
+  for (const EmbedRequest& req : stream) out.responses.push_back(engine.query(req));
+  out.wall_micros = micros_since(start);
+  out.serve = engine.serve_stats();
+  return out;
+}
+
+bool all_identical(const std::vector<EmbedResponse>& a,
+                   const std::vector<EmbedResponse>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].result || !b[i].result) return false;
+    if (!a[i].result->same_embedding(*b[i].result)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t queries = 250;
+  std::size_t events = 400;
+  std::string out_path = "BENCH_fault_churn.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--queries") queries = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--events") events = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--out") out_path = next();
+    else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  Rng rng(dbr::bench::seed());
+  dbr::bench::heading(
+      "fault churn: context reuse vs cold per-query precompute");
+  std::cout << "queries=" << queries << " per family, events=" << events
+            << " (same (base,n), all fault sets distinct)\n";
+
+  dbr::bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", "fault_churn")
+      .field("seed", dbr::bench::seed());
+  json.key("config")
+      .begin_object()
+      .field("queries_per_family", static_cast<std::uint64_t>(queries))
+      .field("session_events", static_cast<std::uint64_t>(events))
+      .end_object();
+
+  bool identical = true;
+  double cold_total = 0.0, warm_total = 0.0;
+  dbr::TextTable table({"family", "queries", "cold_us/q", "warm_us/q",
+                        "speedup", "ctx_hits"});
+  json.key("families").begin_array();
+  for (const Family& family : kFamilies) {
+    const std::vector<EmbedRequest> stream =
+        distinct_fault_stream(family, rng, queries);
+    const ModeRun cold = run_stream(stream, /*reuse_contexts=*/false);
+    const ModeRun warm = run_stream(stream, /*reuse_contexts=*/true);
+    const bool same = all_identical(cold.responses, warm.responses);
+    identical = identical && same;
+    cold_total += cold.wall_micros;
+    warm_total += warm.wall_micros;
+    const double speedup =
+        warm.wall_micros > 0.0 ? cold.wall_micros / warm.wall_micros : 0.0;
+    table.new_row()
+        .add(family.name)
+        .add(static_cast<std::uint64_t>(stream.size()))
+        .add(cold.wall_micros / static_cast<double>(stream.size()), 1)
+        .add(warm.wall_micros / static_cast<double>(stream.size()), 1)
+        .add(speedup, 2)
+        .add(warm.serve.context_hits);
+    json.begin_object()
+        .field("family", family.name)
+        .field("base", static_cast<std::uint64_t>(family.base))
+        .field("n", family.n)
+        .field("strategy", dbr::service::to_string(family.strategy))
+        .field("queries", static_cast<std::uint64_t>(stream.size()))
+        .field("cold_wall_micros", cold.wall_micros)
+        .field("warm_wall_micros", warm.wall_micros)
+        .field("speedup", speedup)
+        .field("warm_context_hits", warm.serve.context_hits)
+        .field("warm_context_misses", warm.serve.context_misses)
+        .field("cold_context_hits", cold.serve.context_hits)
+        .field("identical_responses", same)
+        .end_object();
+  }
+  json.end_array();
+  dbr::bench::emit(table);
+
+  const double overall_speedup = warm_total > 0.0 ? cold_total / warm_total : 0.0;
+  std::cout << "overall speedup (context reuse vs cold precompute): "
+            << overall_speedup << "x, identical responses: "
+            << (identical ? "yes" : "NO") << "\n";
+
+  // --- Session incremental updates vs stateless cold queries. ---
+  dbr::bench::heading("fault churn: session incremental updates");
+  const Family session_family = kFamilies[0];  // FFC node churn
+  EmbedRequest churn_instance;
+  churn_instance.base = session_family.base;
+  churn_instance.n = session_family.n;
+  churn_instance.fault_kind = session_family.kind;
+  churn_instance.strategy = session_family.strategy;
+  // The verify/ churn regime over this bench-sized instance: same seeded
+  // event grammar the session/fuzz tests replay.
+  const dbr::verify::ChurnScript churn = dbr::verify::make_churn_script(
+      dbr::bench::seed(), churn_instance, events, /*max_live=*/4);
+
+  EmbedEngine warm_engine;  // defaults: result cache + context reuse
+  EmbedSession session(warm_engine, session_family.base, session_family.n,
+                       session_family.kind, session_family.strategy);
+  EngineOptions cold_options;
+  cold_options.reuse_contexts = false;
+  cold_options.enable_cache = false;
+  EmbedEngine cold_engine(cold_options);
+
+  LatencyRecorder session_lat, stateless_lat;
+  std::vector<Word> live;
+  bool session_identical = true;
+  double session_wall = 0.0, stateless_wall = 0.0;
+  for (const auto& [add, fault] : churn.events) {
+    Clock::time_point start = Clock::now();
+    if (add) {
+      session.add_fault(fault);
+    } else {
+      session.clear_fault(fault);
+    }
+    const EmbedResponse& incremental = session.current_ring();
+    const double session_micros = micros_since(start);
+    session_wall += session_micros;
+    session_lat.record(session_micros);
+
+    if (add) {
+      live.push_back(fault);
+    } else {
+      live.erase(std::find(live.begin(), live.end(), fault));
+    }
+    EmbedRequest req;
+    req.base = session_family.base;
+    req.n = session_family.n;
+    req.fault_kind = session_family.kind;
+    req.strategy = session_family.strategy;
+    req.faults = live;
+    start = Clock::now();
+    const EmbedResponse stateless = cold_engine.query(req);
+    const double stateless_micros = micros_since(start);
+    stateless_wall += stateless_micros;
+    stateless_lat.record(stateless_micros);
+
+    if (!incremental.result || !stateless.result ||
+        !incremental.result->same_embedding(*stateless.result)) {
+      session_identical = false;
+    }
+  }
+  identical = identical && session_identical;
+
+  const double session_speedup =
+      session_wall > 0.0 ? stateless_wall / session_wall : 0.0;
+  dbr::TextTable session_table(
+      {"mode", "events", "mean_us", "p50_us", "p99_us"});
+  session_table.new_row()
+      .add("session")
+      .add(static_cast<std::uint64_t>(churn.events.size()))
+      .add(session_lat.mean(), 1)
+      .add(session_lat.percentile(50), 1)
+      .add(session_lat.percentile(99), 1);
+  session_table.new_row()
+      .add("stateless_cold")
+      .add(static_cast<std::uint64_t>(churn.events.size()))
+      .add(stateless_lat.mean(), 1)
+      .add(stateless_lat.percentile(50), 1)
+      .add(stateless_lat.percentile(99), 1);
+  dbr::bench::emit(session_table);
+  std::cout << "session speedup vs stateless cold: " << session_speedup
+            << "x (result-cache hits on revisited states: "
+            << session.stats().result_cache_hits << ")\n";
+
+  json.field("speedup_context_reuse", overall_speedup);
+  json.key("session")
+      .begin_object()
+      .field("family", session_family.name)
+      .field("events", static_cast<std::uint64_t>(churn.events.size()))
+      .field("session_wall_micros", session_wall)
+      .field("stateless_wall_micros", stateless_wall)
+      .field("speedup", session_speedup)
+      .field("session_mean_micros", session_lat.mean())
+      .field("session_p50_micros", session_lat.percentile(50))
+      .field("session_p99_micros", session_lat.percentile(99))
+      .field("stateless_mean_micros", stateless_lat.mean())
+      .field("stateless_p50_micros", stateless_lat.percentile(50))
+      .field("stateless_p99_micros", stateless_lat.percentile(99))
+      .field("result_cache_hits", session.stats().result_cache_hits)
+      .field("solves", session.stats().solves)
+      .field("identical_responses", session_identical)
+      .end_object();
+  json.field("identical_responses", identical);
+  json.end_object();
+
+  if (!json.write_file(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return identical ? 0 : 1;
+}

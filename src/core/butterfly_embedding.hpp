@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "butterfly/butterfly.hpp"
+#include "core/instance_context.hpp"
 
 namespace dbr::core {
 
@@ -27,5 +28,12 @@ std::optional<std::vector<NodeId>> butterfly_fault_free_hc(
 /// Proposition 3.6: psi(d) pairwise edge-disjoint Hamiltonian cycles of
 /// F(d,n), obtained by lifting the disjoint De Bruijn family.
 std::vector<std::vector<NodeId>> butterfly_disjoint_hcs(const ButterflyDigraph& bf);
+
+/// Context-backed solve phase of Proposition 3.5: uses the context's
+/// butterfly adjacency and shared edge-fault machinery; only the pull-back,
+/// selection and lift are per-solve work. Requires gcd(base, n) = 1.
+std::optional<std::vector<NodeId>> solve_butterfly(
+    const InstanceContext& ctx,
+    std::span<const std::pair<NodeId, NodeId>> faulty_edges);
 
 }  // namespace dbr::core

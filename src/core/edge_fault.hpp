@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/instance_context.hpp"
 #include "debruijn/cycle.hpp"
 
 namespace dbr::core {
@@ -42,5 +43,26 @@ std::optional<SymbolCycle> fault_free_hc_phi_construction(
 /// The psi(d)-family scan alone; nullopt if every member hits a fault.
 std::optional<SymbolCycle> fault_free_hc_family_scan(
     std::uint64_t d, unsigned n, std::span<const Word> faulty_edge_words);
+
+// --- Context-backed solve phase (the context/solve split) ---
+//
+// Each solve_edge_* borrows a shared InstanceContext and performs only
+// fault-dependent work: the disjoint-HC family, its inverted edge index and
+// the per-prime-power maximal-cycle machinery are all taken from the
+// context. Answers are identical to the fault_free_* functions above on the
+// same instance and fault set.
+
+/// Proposition 3.4 dispatch (scan then phi) against a shared context.
+std::optional<SymbolCycle> solve_edge_auto(const InstanceContext& ctx,
+                                           std::span<const Word> faulty_edge_words);
+
+/// psi(d)-family selection via the context's inverted edge index: O(f)
+/// lookups instead of a full family scan.
+std::optional<SymbolCycle> solve_edge_scan(const InstanceContext& ctx,
+                                           std::span<const Word> faulty_edge_words);
+
+/// phi(d)-construction using the context's cached maximal-cycle families.
+std::optional<SymbolCycle> solve_edge_phi(const InstanceContext& ctx,
+                                          std::span<const Word> faulty_edge_words);
 
 }  // namespace dbr::core

@@ -25,6 +25,9 @@ struct ReverseDeBruijn {
 
 FfcSolver::FfcSolver(DeBruijnDigraph graph) : graph_(std::move(graph)) {}
 
+FfcSolver::FfcSolver(const InstanceContext& ctx)
+    : graph_(ctx.graph()), necklaces_(&ctx.necklaces()) {}
+
 std::vector<bool> FfcSolver::active_mask(std::span<const Word> faulty_nodes) const {
   const WordSpace& ws = graph_.words();
   std::vector<bool> active(ws.size(), true);
@@ -82,7 +85,7 @@ NecklaceAdjacency FfcSolver::necklace_adjacency(const std::vector<bool>& active)
   require(active.size() == ws.size(), "active mask size mismatch");
   NecklaceAdjacency out;
   for (Word x = 0; x < ws.size(); ++x) {
-    if (active[x] && ws.min_rotation(x) == x) out.reps.push_back(x);
+    if (active[x] && min_rot(x) == x) out.reps.push_back(x);
   }
   // For every (n-1)-digit value w, the active nodes of the form a.w sit in
   // pairwise-distinct necklaces; each unordered pair yields two antiparallel
@@ -93,7 +96,7 @@ NecklaceAdjacency FfcSolver::necklace_adjacency(const std::vector<bool>& active)
     reps_for_w.clear();
     for (Digit a = 0; a < ws.radix(); ++a) {
       const Word node = ws.compose_prefix(a, w);
-      if (active[node]) reps_for_w.push_back(ws.min_rotation(node));
+      if (active[node]) reps_for_w.push_back(min_rot(node));
     }
     std::sort(reps_for_w.begin(), reps_for_w.end());
     ensure(std::adjacent_find(reps_for_w.begin(), reps_for_w.end()) ==
@@ -122,7 +125,7 @@ FfcResult FfcSolver::solve(std::span<const Word> faulty_nodes,
   if (options.root.has_value()) {
     require(*options.root < ws.size(), "root out of range");
     require(active[*options.root], "requested root lies on a faulty necklace");
-    root = ws.min_rotation(*options.root);  // ensure N(R) == [R]
+    root = min_rot(*options.root);  // ensure N(R) == [R]
   } else {
     root = largest_component_root(active).first;
   }
@@ -142,12 +145,12 @@ FfcResult FfcSolver::solve(std::span<const Word> faulty_nodes,
     ++comp_size;
     ensure(tree.dist[x] != kUnreached,
            "broadcast must reach every node of the strongly connected B*");
-    if (ws.min_rotation(x) == x) comp_reps.push_back(x);
+    if (min_rot(x) == x) comp_reps.push_back(x);
   }
   result.bstar_size = comp_size;
   result.root_eccentricity = tree.eccentricity();
   result.necklace_count = comp_reps.size();
-  const Word root_rep = ws.min_rotation(root);
+  const Word root_rep = min_rot(root);
   ensure(root_rep == root, "root is canonical by construction");
 
   // --- Step 1.2: spanning tree T of N*. For each necklace choose the leader
@@ -168,7 +171,7 @@ FfcResult FfcSolver::solve(std::span<const Word> faulty_nodes,
     ensure(leader != kNoParent, "every component necklace has a leader");
     const Word parent = tree.parent[leader];
     ensure(parent != kNoParent, "non-root leader must have a broadcast parent");
-    const Word parent_rep = ws.min_rotation(parent);
+    const Word parent_rep = min_rot(parent);
     ensure(parent_rep != rep, "leader's parent lies in a different necklace");
     result.tree_edges.push_back({parent_rep, rep, ws.prefix(leader)});
   }
@@ -231,6 +234,11 @@ FfcResult FfcSolver::solve(std::span<const Word> faulty_nodes,
   }
   ensure(cur == root, "H must close after |B*| steps (Proposition 2.1)");
   return result;
+}
+
+FfcResult solve_ffc(const InstanceContext& ctx, std::span<const Word> faulty_nodes,
+                    const FfcOptions& options) {
+  return FfcSolver(ctx).solve(faulty_nodes, options);
 }
 
 std::pair<std::uint64_t, std::uint64_t> ffc_cycle_length_bounds(

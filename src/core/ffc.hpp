@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/instance_context.hpp"
 #include "debruijn/cycle.hpp"
 #include "debruijn/debruijn.hpp"
 #include "debruijn/necklaces.hpp"
@@ -89,6 +90,11 @@ class FfcSolver {
  public:
   explicit FfcSolver(DeBruijnDigraph graph);
 
+  /// Context-backed solver: borrows the precomputed necklace table of `ctx`
+  /// so solve() performs only fault-dependent work (the caller must keep the
+  /// context alive for the solver's lifetime).
+  explicit FfcSolver(const InstanceContext& ctx);
+
   const DeBruijnDigraph& graph() const { return graph_; }
 
   /// Runs the full FFC algorithm.
@@ -110,7 +116,19 @@ class FfcSolver {
       const std::vector<bool>& active) const;
 
  private:
+  /// Minimal rotation of x: table lookup when context-backed, else computed.
+  Word min_rot(Word x) const {
+    return necklaces_ != nullptr ? necklaces_->min_rot[x]
+                                 : graph_.words().min_rotation(x);
+  }
+
   DeBruijnDigraph graph_;
+  const NecklaceTable* necklaces_ = nullptr;  // borrowed; may be null
 };
+
+/// The solve phase of the context/solve split: runs the FFC algorithm on a
+/// shared InstanceContext, paying only fault-dependent work.
+FfcResult solve_ffc(const InstanceContext& ctx, std::span<const Word> faulty_nodes,
+                    const FfcOptions& options = {});
 
 }  // namespace dbr::core

@@ -104,10 +104,16 @@ void ShardedLruCache::put(const CacheKey& key,
 }
 
 void ShardedLruCache::clear() {
+  // A cleared cache starts a fresh observation window: entries AND the
+  // hit/miss/eviction counters reset, so post-clear stats are attributable
+  // to post-clear traffic.
   for (auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
+    shard->hits = 0;
+    shard->misses = 0;
+    shard->evictions = 0;
   }
 }
 

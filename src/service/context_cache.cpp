@@ -1,0 +1,93 @@
+#include "service/context_cache.hpp"
+
+#include "util/require.hpp"
+
+namespace dbr::service {
+
+ContextCache::ContextCache(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "ContextCache requires capacity >= 1");
+}
+
+std::shared_ptr<const core::InstanceContext> ContextCache::get_or_build(
+    Digit base, unsigned n, bool* hit) {
+  const std::uint64_t key = key_of(base, n);
+  std::promise<ContextPtr> promise;
+  Future future;
+  bool builder = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      if (hit != nullptr) *hit = true;
+      it->second.last_used = ++tick_;
+      future = it->second.future;
+    } else {
+      ++misses_;
+      if (hit != nullptr) *hit = false;
+      future = promise.get_future().share();
+      map_.emplace(key, Entry{future, ++tick_});
+      builder = true;
+      if (map_.size() > capacity_) {
+        // Evict the least recently used entry (never the one just
+        // inserted: it carries the newest tick). Pinned contexts stay
+        // alive through their shared_ptrs; only the cache forgets.
+        auto victim = map_.end();
+        for (auto e = map_.begin(); e != map_.end(); ++e) {
+          if (e->first == key) continue;
+          if (victim == map_.end() ||
+              e->second.last_used < victim->second.last_used) {
+            victim = e;
+          }
+        }
+        map_.erase(victim);
+      }
+    }
+  }
+  if (builder) {
+    try {
+      promise.set_value(core::InstanceContext::make(base, n));
+    } catch (...) {
+      {
+        // Drop the entry before waking waiters so lookups racing the wake
+        // never find a dead future; invalid instances are never cached.
+        const std::lock_guard<std::mutex> lock(mu_);
+        map_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+  try {
+    return future.get();  // rethrows a build failure for every waiter
+  } catch (...) {
+    if (!builder) {
+      // A waiter that joined a build which then failed did not reuse
+      // anything: reclassify its lookup as a miss ("wait failed"). The
+      // decrement saturates so a concurrent clear() cannot underflow it.
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (hits_ > 0) --hits_;
+      ++misses_;
+      if (hit != nullptr) *hit = false;
+    }
+    throw;
+  }
+}
+
+void ContextCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+std::size_t ContextCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+ContextCacheStats ContextCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {hits_, misses_, map_.size()};
+}
+
+}  // namespace dbr::service

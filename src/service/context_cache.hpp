@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/instance_context.hpp"
+
+namespace dbr::service {
+
+struct ContextCacheStats {
+  std::uint64_t hits = 0;    ///< lookups served by an existing context
+  std::uint64_t misses = 0;  ///< lookups that had to build (or wait failed)
+  std::uint64_t entries = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Concurrent cache of immutable InstanceContexts keyed by (base, n).
+///
+/// Exactly one context is constructed per key: the first thread to miss
+/// installs a shared future and builds outside the lock; concurrent misses
+/// on the same key block on that future instead of building their own, so
+/// there are no duplicate builds and no torn reads. Contexts are shared_ptr
+/// values, so callers (sessions, in-flight queries) may pin one beyond an
+/// eviction or clear(). A failed build (invalid (base, n)) propagates its
+/// exception to every waiter and leaves no entry behind.
+///
+/// Entries are bounded: beyond `capacity` distinct keys the least recently
+/// used entry is dropped (its context stays alive for whoever pinned it),
+/// so a workload spanning many instances cannot grow memory without limit.
+class ContextCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit ContextCache(std::size_t capacity = kDefaultCapacity);
+
+  /// Returns the shared context for (base, n), building it if absent. When
+  /// `hit` is non-null it is set to true iff an existing (possibly still
+  /// in-flight) context was reused. Throws precondition_error for instances
+  /// WordSpace rejects.
+  std::shared_ptr<const core::InstanceContext> get_or_build(Digit base,
+                                                            unsigned n,
+                                                            bool* hit = nullptr);
+
+  /// Drops all entries and resets the hit/miss counters. Pinned contexts
+  /// stay valid; the next lookup per key rebuilds.
+  void clear();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  ContextCacheStats stats() const;
+
+ private:
+  using ContextPtr = std::shared_ptr<const core::InstanceContext>;
+  using Future = std::shared_future<ContextPtr>;
+
+  struct Entry {
+    Future future;
+    std::uint64_t last_used = 0;
+  };
+
+  static std::uint64_t key_of(Digit base, unsigned n) {
+    return (static_cast<std::uint64_t>(base) << 32) | n;
+  }
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::uint64_t tick_ = 0;  ///< LRU clock; bumped on every touch
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dbr::service

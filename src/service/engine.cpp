@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <numeric>
 #include <optional>
 #include <utility>
 
-#include "butterfly/butterfly.hpp"
 #include "butterfly/lift.hpp"
+#include "core/butterfly_embedding.hpp"
 #include "core/edge_fault.hpp"
 #include "core/ffc.hpp"
+#include "core/instance_context.hpp"
 #include "debruijn/cycle.hpp"
 #include "debruijn/debruijn.hpp"
 #include "util/parallel.hpp"
@@ -61,18 +63,23 @@ void require_preconditions(const CacheKey& key, const WordSpace& ws) {
   }
 }
 
-EmbedResult compute_result(const CacheKey& key) {
+/// The fault-dependent solve phase: acquires the instance's shared context
+/// (which may throw for invalid (base, n)) and dispatches the matching
+/// core solve. `acquire` is deferred into the try block so context-build
+/// failures map to the same statuses as before the context/solve split.
+EmbedResult compute_result(
+    const CacheKey& key,
+    const std::function<const core::InstanceContext&()>& acquire) {
   EmbedResult out;
   out.strategy_used = key.strategy;
   const Clock::time_point start = Clock::now();
   try {
-    const WordSpace ws(key.base, key.n);
-    require_preconditions(key, ws);
+    const core::InstanceContext& ctx = acquire();
+    require_preconditions(key, ctx.words());
 
     switch (key.strategy) {
       case Strategy::kFfc: {
-        const core::FfcSolver solver{DeBruijnDigraph(ws)};
-        core::FfcResult r = solver.solve(key.faults);
+        core::FfcResult r = core::solve_ffc(ctx, key.faults);
         out.ring = std::move(r.cycle);
         out.ring_length = out.ring.length();
         const auto [lo, hi] =
@@ -86,11 +93,11 @@ EmbedResult compute_result(const CacheKey& key) {
       case Strategy::kEdgePhi: {
         std::optional<SymbolCycle> hc;
         if (key.strategy == Strategy::kEdgeScan) {
-          hc = core::fault_free_hc_family_scan(key.base, key.n, key.faults);
+          hc = core::solve_edge_scan(ctx, key.faults);
         } else if (key.strategy == Strategy::kEdgePhi) {
-          hc = core::fault_free_hc_phi_construction(key.base, key.n, key.faults);
+          hc = core::solve_edge_phi(ctx, key.faults);
         } else {
-          hc = core::fault_free_hamiltonian_cycle(key.base, key.n, key.faults);
+          hc = core::solve_edge_auto(ctx, key.faults);
         }
         if (!hc) {
           out.status = EmbedStatus::kNoEmbedding;
@@ -98,25 +105,24 @@ EmbedResult compute_result(const CacheKey& key) {
                       "the strategy's guarantee)";
           break;
         }
-        out.ring = to_node_cycle(ws, *hc);
+        out.ring = to_node_cycle(ctx.words(), *hc);
         out.ring_length = out.ring.length();
-        out.lower_bound = ws.size();
-        out.upper_bound = ws.size();
+        out.lower_bound = ctx.words().size();
+        out.upper_bound = ctx.words().size();
         break;
       }
       case Strategy::kButterfly: {
-        const std::optional<SymbolCycle> hc =
-            core::fault_free_hamiltonian_cycle(key.base, key.n, key.faults);
+        const std::optional<SymbolCycle> hc = core::solve_edge_auto(ctx, key.faults);
         if (!hc) {
           out.status = EmbedStatus::kNoEmbedding;
           out.error = "no fault-free Hamiltonian cycle found (fault set beyond "
                       "the strategy's guarantee)";
           break;
         }
-        const ButterflyDigraph bf(key.base, key.n);
-        out.ring.nodes = butterfly::lift_cycle(bf, to_node_cycle(ws, *hc));
+        out.ring.nodes =
+            butterfly::lift_cycle(ctx.butterfly(), to_node_cycle(ctx.words(), *hc));
         out.ring_length = out.ring.length();
-        out.lower_bound = static_cast<std::uint64_t>(key.n) * ws.size();
+        out.lower_bound = static_cast<std::uint64_t>(key.n) * ctx.words().size();
         out.upper_bound = out.lower_bound;
         break;
       }
@@ -146,10 +152,28 @@ EmbedEngine::EmbedEngine(EngineOptions options)
     : options_(options),
       cache_(std::make_unique<ShardedLruCache>(
           std::max<std::size_t>(1, options.cache_capacity),
-          std::max<std::size_t>(1, options.cache_shards))) {}
+          std::max<std::size_t>(1, options.cache_shards))),
+      contexts_(std::make_unique<ContextCache>(
+          std::max<std::size_t>(1, options.context_cache_capacity))) {}
 
-std::shared_ptr<const EmbedResult> EmbedEngine::compute(const CacheKey& key) const {
-  auto result = std::make_shared<const EmbedResult>(compute_result(key));
+std::shared_ptr<const EmbedResult> EmbedEngine::compute(
+    const CacheKey& key, bool* context_hit,
+    const core::InstanceContext* pinned) const {
+  std::shared_ptr<const core::InstanceContext> owned;  // outlives the solve
+  const auto acquire = [&]() -> const core::InstanceContext& {
+    if (pinned != nullptr) {
+      if (context_hit != nullptr) *context_hit = true;  // reused by definition
+      return *pinned;
+    }
+    if (options_.reuse_contexts) {
+      owned = contexts_->get_or_build(key.base, key.n, context_hit);
+    } else {
+      if (context_hit != nullptr) *context_hit = false;
+      owned = core::InstanceContext::make(key.base, key.n);
+    }
+    return *owned;
+  };
+  auto result = std::make_shared<const EmbedResult>(compute_result(key, acquire));
   if (!options_.validate_responses) return result;
 
   // Debug mode: hand every computed answer to the independent oracle. The
@@ -179,24 +203,41 @@ ValidationStats EmbedEngine::validation_stats() const {
           violations_.load(std::memory_order_relaxed)};
 }
 
-std::shared_ptr<const EmbedResult> EmbedEngine::compute_uncached(
-    const EmbedRequest& request) const {
-  return compute(canonical_key(request));
+ServeStats EmbedEngine::serve_stats() const {
+  ServeStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.result_hits = result_hits_.load(std::memory_order_relaxed);
+  s.context_hits = context_hits_.load(std::memory_order_relaxed);
+  s.context_misses = context_misses_.load(std::memory_order_relaxed);
+  return s;
 }
 
-EmbedResponse EmbedEngine::query(const EmbedRequest& request) {
+std::shared_ptr<const EmbedResult> EmbedEngine::compute_uncached(
+    const EmbedRequest& request) const {
+  return compute(canonical_key(request), nullptr);
+}
+
+EmbedResponse EmbedEngine::serve_computed(const CacheKey& key,
+                                          bool* context_hit,
+                                          const core::InstanceContext* pinned) {
   const Clock::time_point start = Clock::now();
-  const CacheKey key = canonical_key(request);
+  queries_.fetch_add(1, std::memory_order_relaxed);
   EmbedResponse response;
   if (options_.enable_cache) {
     if (std::shared_ptr<const EmbedResult> hit = cache_->get(key)) {
+      result_hits_.fetch_add(1, std::memory_order_relaxed);
       response.result = std::move(hit);
       response.cache_hit = true;
       response.latency_micros = micros_since(start);
       return response;
     }
   }
-  std::shared_ptr<const EmbedResult> computed = compute(key);
+  bool ctx_hit = false;
+  std::shared_ptr<const EmbedResult> computed = compute(key, &ctx_hit, pinned);
+  (ctx_hit ? context_hits_ : context_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+  response.context_cache_hit = ctx_hit;
+  if (context_hit != nullptr) *context_hit = ctx_hit;
   // Only deterministic answers are cacheable: bad requests fail fast and
   // internal errors may be transient (memory pressure, library bugs).
   if (options_.enable_cache && (computed->status == EmbedStatus::kOk ||
@@ -206,6 +247,18 @@ EmbedResponse EmbedEngine::query(const EmbedRequest& request) {
   response.result = std::move(computed);
   response.latency_micros = micros_since(start);
   return response;
+}
+
+EmbedResponse EmbedEngine::query(const EmbedRequest& request) {
+  return serve_computed(canonical_key(request), nullptr, nullptr);
+}
+
+EmbedResponse EmbedEngine::query_with_context(
+    const CacheKey& key, std::shared_ptr<const core::InstanceContext> context) {
+  require(context != nullptr, "query_with_context requires a context");
+  require(context->base() == key.base && context->words().length() == key.n,
+          "pinned context does not match the request instance");
+  return serve_computed(key, nullptr, context.get());
 }
 
 std::vector<EmbedResponse> EmbedEngine::query_batch(
@@ -225,6 +278,7 @@ std::vector<EmbedResponse> EmbedEngine::query_batch(
       responses[i] = query(requests[i]);
       ++w.processed;
       if (responses[i].cache_hit) ++w.cache_hits;
+      if (responses[i].context_cache_hit) ++w.context_hits;
       w.latency.record(responses[i].latency_micros);
     }
     w.busy_micros = micros_since(busy_start);

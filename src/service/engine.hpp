@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "service/cache.hpp"
+#include "service/context_cache.hpp"
 #include "service/stats.hpp"
 #include "service/types.hpp"
 
@@ -17,6 +18,14 @@ struct EngineOptions {
   bool enable_cache = true;
   std::size_t cache_capacity = 4096;  ///< total entries across shards
   std::size_t cache_shards = 16;
+  /// Reuse the fault-independent per-(base, n) InstanceContext across
+  /// queries via the engine's ContextCache. When false, every computed query
+  /// rebuilds its context from scratch (the pre-context behavior, kept as
+  /// the cold baseline for the fault-churn bench).
+  bool reuse_contexts = true;
+  /// Bound on distinct (base, n) contexts held at once (LRU beyond it), so
+  /// instance-diverse traffic cannot grow memory without limit.
+  std::size_t context_cache_capacity = ContextCache::kDefaultCapacity;
   /// Debug mode: run the independent verify/ oracle on every computed
   /// answer (cache misses and compute_uncached). A violation is quarantined
   /// as kInternalError carrying the oracle's findings, so it is never cached
@@ -36,13 +45,14 @@ struct ValidationStats {
 /// A query names an instance (base, n, fault set, strategy); the engine
 /// canonicalizes the fault set (sort + dedup, so answers are independent of
 /// presentation order), serves repeats from a sharded LRU result cache, and
-/// otherwise dispatches to the matching core construction:
+/// otherwise dispatches the fault-dependent solve phase against the shared
+/// per-(base, n) InstanceContext:
 ///
-///   kFfc        node faults   -> core::FfcSolver (Chapter 2)
-///   kEdgeAuto   edge faults   -> core::fault_free_hamiltonian_cycle
-///   kEdgeScan   edge faults   -> core::fault_free_hc_family_scan
-///   kEdgePhi    edge faults   -> core::fault_free_hc_phi_construction
-///   kButterfly  edge faults   -> edge-fault-free HC lifted to F(d,n)
+///   kFfc        node faults   -> core::solve_ffc (Chapter 2)
+///   kEdgeAuto   edge faults   -> core::solve_edge_auto
+///   kEdgeScan   edge faults   -> core::solve_edge_scan
+///   kEdgePhi    edge faults   -> core::solve_edge_phi
+///   kButterfly  edge faults   -> solve_edge_auto lifted to F(d,n)
 ///                                (requires gcd(d, n) = 1, Proposition 3.5)
 ///
 /// Results are immutable and shared with the cache, so a hit returns the
@@ -57,28 +67,56 @@ class EmbedEngine {
   /// shard lock.
   EmbedResponse query(const EmbedRequest& request);
 
+  /// Serves one canonical query against a caller-pinned context, bypassing
+  /// the context cache but still consulting/filling the result cache. The
+  /// EmbedSession solve path: the session pins its instance's context once
+  /// and re-solves against it as its fault set churns. `key` must be
+  /// canonical (resolved strategy, sorted distinct faults) and `context`
+  /// must match (key.base, key.n).
+  EmbedResponse query_with_context(
+      const CacheKey& key, std::shared_ptr<const core::InstanceContext> context);
+
   /// Serves a batch concurrently on util/parallel workers. Responses come
   /// back in request order. When `stats` is non-null it receives per-worker
   /// counters and the batch wall clock.
   std::vector<EmbedResponse> query_batch(std::span<const EmbedRequest> requests,
                                          BatchStats* stats = nullptr);
 
-  /// Computes an answer without consulting or filling the cache; the
-  /// baseline the cache path must be bit-identical to.
+  /// Computes an answer without consulting or filling the result cache; the
+  /// baseline the cache path must be bit-identical to. Context reuse still
+  /// follows options().reuse_contexts.
   std::shared_ptr<const EmbedResult> compute_uncached(const EmbedRequest& request) const;
 
   const EngineOptions& options() const { return options_; }
   CacheStats cache_stats() const { return cache_->stats(); }
+  ContextCacheStats context_cache_stats() const { return contexts_->stats(); }
   ValidationStats validation_stats() const;
+  /// Engine-lifetime query/result-hit/context-hit counters (see ServeStats).
+  ServeStats serve_stats() const;
+  /// Drops cached results and resets CacheStats counters. Contexts and
+  /// ServeStats are unaffected.
   void clear_cache() { cache_->clear(); }
 
+  /// The engine's context cache. Sessions pin individual contexts (the
+  /// shared_ptr values it hands out), not the cache itself.
+  ContextCache& context_cache() { return *contexts_; }
+
  private:
-  std::shared_ptr<const EmbedResult> compute(const CacheKey& key) const;
+  std::shared_ptr<const EmbedResult> compute(
+      const CacheKey& key, bool* context_hit,
+      const core::InstanceContext* pinned = nullptr) const;
+  EmbedResponse serve_computed(const CacheKey& key, bool* context_hit,
+                               const core::InstanceContext* pinned);
 
   EngineOptions options_;
   std::unique_ptr<ShardedLruCache> cache_;
+  std::unique_ptr<ContextCache> contexts_;
   mutable std::atomic<std::uint64_t> validations_{0};
   mutable std::atomic<std::uint64_t> violations_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> result_hits_{0};
+  std::atomic<std::uint64_t> context_hits_{0};
+  std::atomic<std::uint64_t> context_misses_{0};
 };
 
 }  // namespace dbr::service

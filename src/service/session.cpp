@@ -1,0 +1,106 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace dbr::service {
+
+EmbedSession::EmbedSession(EmbedEngine& engine, Digit base, unsigned n,
+                           FaultKind fault_kind, Strategy strategy)
+    : engine_(&engine) {
+  key_.base = base;
+  key_.n = n;
+  key_.fault_kind = fault_kind;
+  EmbedRequest probe;
+  probe.base = base;
+  probe.n = n;
+  probe.fault_kind = fault_kind;
+  probe.strategy = strategy;
+  key_.strategy = resolve_strategy(probe);
+
+  // Pin the shared context first: this validates (base, n) and makes every
+  // later re-solve context-build-free.
+  context_ = engine.context_cache().get_or_build(base, n);
+  const WordSpace& ws = context_->words();
+
+  const bool node_faults = fault_kind == FaultKind::kNode;
+  switch (key_.strategy) {
+    case Strategy::kFfc:
+      require(node_faults, "ffc strategy requires node faults");
+      break;
+    case Strategy::kEdgeAuto:
+    case Strategy::kEdgeScan:
+    case Strategy::kEdgePhi:
+      require(!node_faults, "edge strategies require edge faults");
+      require(n >= 2, "edge-fault strategies require n >= 2");
+      break;
+    case Strategy::kButterfly:
+      require(!node_faults,
+              "butterfly strategy takes De Bruijn edge-word faults");
+      require(n >= 2, "edge-fault strategies require n >= 2");
+      require(context_->supports_butterfly(),
+              "butterfly lift requires gcd(d, n) = 1");
+      break;
+    case Strategy::kAuto:
+      ensure(false, "resolve_strategy never returns kAuto");
+  }
+  fault_limit_ = node_faults ? ws.size() : ws.edge_word_count();
+}
+
+bool EmbedSession::add_fault(Word fault) {
+  require(fault < fault_limit_,
+          "fault word " + std::to_string(fault) + " out of range for B(" +
+              std::to_string(key_.base) + "," + std::to_string(key_.n) + ")");
+  const auto it =
+      std::lower_bound(key_.faults.begin(), key_.faults.end(), fault);
+  if (it != key_.faults.end() && *it == fault) {
+    ++stats_.noop_mutations;
+    return false;
+  }
+  key_.faults.insert(it, fault);
+  ++stats_.adds;
+  dirty_ = true;
+  return true;
+}
+
+bool EmbedSession::clear_fault(Word fault) {
+  const auto it =
+      std::lower_bound(key_.faults.begin(), key_.faults.end(), fault);
+  if (it == key_.faults.end() || *it != fault) {
+    ++stats_.noop_mutations;
+    return false;
+  }
+  key_.faults.erase(it);
+  ++stats_.removes;
+  dirty_ = true;
+  return true;
+}
+
+void EmbedSession::reset_faults() {
+  if (key_.faults.empty()) return;
+  stats_.removes += key_.faults.size();
+  key_.faults.clear();
+  dirty_ = true;
+}
+
+EmbedResponse EmbedSession::current_ring() {
+  if (!dirty_) {
+    ++stats_.memoized;
+    return last_;
+  }
+  last_ = engine_->query_with_context(key_, context_);
+  // Deterministic answers memoize; a transient failure (kInternalError,
+  // never cached by the engine either) leaves the session dirty so the
+  // next current_ring() retries instead of pinning a one-off error.
+  const EmbedStatus status =
+      last_.result ? last_.result->status : EmbedStatus::kInternalError;
+  dirty_ = status != EmbedStatus::kOk && status != EmbedStatus::kNoEmbedding;
+  ++stats_.solves;
+  if (last_.cache_hit) ++stats_.result_cache_hits;
+  stats_.solve_micros_total += last_.latency_micros;
+  return last_;
+}
+
+}  // namespace dbr::service

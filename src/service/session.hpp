@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/engine.hpp"
+#include "service/types.hpp"
+
+namespace dbr::service {
+
+/// Counters describing one session's fault churn and solve traffic.
+struct SessionStats {
+  std::uint64_t adds = 0;              ///< add_fault calls that changed the set
+  std::uint64_t removes = 0;           ///< clear_fault calls that changed the set
+  std::uint64_t noop_mutations = 0;    ///< adds/clears that were already true
+  std::uint64_t solves = 0;            ///< current_ring calls that re-solved
+  std::uint64_t memoized = 0;          ///< current_ring calls answered in place
+  std::uint64_t result_cache_hits = 0; ///< re-solves served by the result cache
+  double solve_micros_total = 0.0;     ///< serve time summed over re-solves
+};
+
+/// A stateful embedding session over one instance of a production network
+/// whose fault set evolves over time (the fault-churn regime).
+///
+/// The session pins its instance's shared InstanceContext at construction,
+/// holds a live canonical fault set, and re-solves incrementally:
+///  * mutations (add_fault / clear_fault) maintain the sorted distinct set
+///    in place - no per-query canonicalization;
+///  * current_ring() re-solves only when the set changed since the last
+///    call, through the engine's result cache (so revisited fault states -
+///    an add undone by a clear - are served from cache), against the pinned
+///    context (so no re-solve ever pays per-instance precompute);
+///  * answers are identical to a fresh EmbedEngine::query on the same
+///    instance and fault set.
+///
+/// Not thread-safe: a session models one network's fault timeline; use one
+/// session per thread (they may share one engine, whose caches are
+/// thread-safe).
+class EmbedSession {
+ public:
+  /// Validates the instance and strategy preconditions up front (fault-kind
+  /// match, n >= 2 for edge strategies, gcd(base, n) = 1 for kButterfly),
+  /// throwing precondition_error, so a constructed session can never answer
+  /// kBadRequest. kAuto resolves by fault kind, exactly like the engine.
+  /// The engine must outlive the session.
+  EmbedSession(EmbedEngine& engine, Digit base, unsigned n,
+               FaultKind fault_kind, Strategy strategy = Strategy::kAuto);
+
+  Digit base() const { return key_.base; }
+  unsigned n() const { return key_.n; }
+  FaultKind fault_kind() const { return key_.fault_kind; }
+  Strategy strategy() const { return key_.strategy; }
+
+  /// The live fault set, sorted and distinct.
+  const std::vector<Word>& faults() const { return key_.faults; }
+
+  /// Marks a node/edge word faulty. Returns true if the set changed (false
+  /// when already faulty). Throws precondition_error when out of range.
+  bool add_fault(Word fault);
+
+  /// Clears a fault (repair). Returns true if the set changed.
+  bool clear_fault(Word fault);
+
+  /// Drops every fault (full repair).
+  void reset_faults();
+
+  /// The ring for the current fault set. Re-solves only when the set changed
+  /// since the last call; otherwise answers from the memoized response.
+  /// Returned by value (a shared_ptr plus scalars) so snapshots taken across
+  /// churn events stay independent.
+  EmbedResponse current_ring();
+
+  const SessionStats& stats() const { return stats_; }
+
+  /// The pinned per-instance context (shared with the engine's cache).
+  const std::shared_ptr<const core::InstanceContext>& context() const {
+    return context_;
+  }
+
+ private:
+  EmbedEngine* engine_;
+  CacheKey key_;  ///< canonical by construction: sorted distinct faults
+  std::shared_ptr<const core::InstanceContext> context_;
+  Word fault_limit_ = 0;  ///< d^n node words resp. d^(n+1) edge words
+  bool dirty_ = true;
+  EmbedResponse last_;
+  SessionStats stats_;
+};
+
+}  // namespace dbr::service

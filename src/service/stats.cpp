@@ -39,6 +39,12 @@ std::uint64_t BatchStats::cache_hits() const {
   return total;
 }
 
+std::uint64_t BatchStats::context_hits() const {
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : workers) total += w.context_hits;
+  return total;
+}
+
 double BatchStats::hit_rate() const {
   const std::uint64_t total = processed();
   return total == 0 ? 0.0
@@ -54,6 +60,19 @@ LatencyRecorder BatchStats::merged_latency() const {
   LatencyRecorder merged;
   for (const WorkerStats& w : workers) merged.merge(w.latency);
   return merged;
+}
+
+double ServeStats::result_hit_rate() const {
+  return queries == 0
+             ? 0.0
+             : static_cast<double>(result_hits) / static_cast<double>(queries);
+}
+
+double ServeStats::context_reuse_rate() const {
+  const std::uint64_t computed = context_hits + context_misses;
+  return computed == 0 ? 0.0
+                       : static_cast<double>(context_hits) /
+                             static_cast<double>(computed);
 }
 
 }  // namespace dbr::service

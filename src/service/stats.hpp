@@ -28,7 +28,8 @@ class LatencyRecorder {
 struct WorkerStats {
   std::size_t worker = 0;
   std::uint64_t processed = 0;
-  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_hits = 0;    ///< served whole from the result cache
+  std::uint64_t context_hits = 0;  ///< computed, but reusing a shared context
   double busy_micros = 0.0;
   LatencyRecorder latency;
 };
@@ -40,10 +41,27 @@ struct BatchStats {
 
   std::uint64_t processed() const;
   std::uint64_t cache_hits() const;
+  std::uint64_t context_hits() const;
   double hit_rate() const;
   /// Queries per second against the batch wall clock.
   double throughput_qps() const;
   LatencyRecorder merged_latency() const;
+};
+
+/// Engine-lifetime counters separating the two cache layers, so a workload's
+/// wins are attributable: a *result* hit serves the finished answer; a
+/// *context* hit still solves, but reuses the fault-independent per-(base, n)
+/// precompute on the miss path. context_hits + context_misses covers exactly
+/// the computed (non-result-hit, non-compute_uncached) queries.
+struct ServeStats {
+  std::uint64_t queries = 0;
+  std::uint64_t result_hits = 0;
+  std::uint64_t context_hits = 0;
+  std::uint64_t context_misses = 0;
+
+  double result_hit_rate() const;
+  /// Context reuse among computed queries.
+  double context_reuse_rate() const;
 };
 
 }  // namespace dbr::service

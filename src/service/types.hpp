@@ -78,7 +78,11 @@ struct EmbedResult {
 /// One served answer. `result` is shared with the cache, never mutated.
 struct EmbedResponse {
   std::shared_ptr<const EmbedResult> result;
-  bool cache_hit = false;
+  bool cache_hit = false;  ///< served whole from the result cache
+  /// The miss path reused a shared per-(base, n) InstanceContext instead of
+  /// rebuilding the fault-independent precompute. Always false on a result
+  /// cache hit (the context was never consulted).
+  bool context_cache_hit = false;
   double latency_micros = 0.0;  ///< end-to-end serve time of this query
 
   bool ok() const { return result && result->status == EmbedStatus::kOk; }

@@ -17,6 +17,11 @@ void Engine::kill(NodeId v) {
   dead_[v] = true;
 }
 
+void Engine::revive(NodeId v) {
+  require(v < num_nodes_, "node out of range");
+  dead_[v] = false;
+}
+
 bool Engine::alive(NodeId v) const {
   require(v < num_nodes_, "node out of range");
   return !dead_[v];

@@ -34,6 +34,9 @@ class Engine {
 
   /// Marks a processor fail-stop dead.
   void kill(NodeId v);
+  /// Repairs a dead processor: it rejoins the network with empty state and
+  /// may send/receive from the next round on (the fault-churn regime).
+  void revive(NodeId v);
   bool alive(NodeId v) const;
 
   /// Queues a message for delivery in the next round. Silently dropped when

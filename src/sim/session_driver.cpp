@@ -1,0 +1,50 @@
+#include "sim/session_driver.hpp"
+
+#include "util/require.hpp"
+
+namespace dbr::sim {
+
+SessionDriver::SessionDriver(Engine& net, service::EmbedSession& session)
+    : net_(&net), session_(&session) {
+  require(session.fault_kind() == service::FaultKind::kNode,
+          "fail-stop kills are node faults; the session must take node faults");
+  require(net.num_nodes() == session.context()->words().size(),
+          "network size must match B(d,n) of the session's instance");
+}
+
+void SessionDriver::kill(NodeId v) {
+  net_->kill(v);
+  if (session_->add_fault(v)) ++stats_.kills;
+}
+
+void SessionDriver::repair(NodeId v) {
+  net_->revive(v);
+  if (session_->clear_fault(v)) ++stats_.repairs;
+}
+
+service::EmbedResponse SessionDriver::current_ring() {
+  service::EmbedResponse response = session_->current_ring();
+  if (response.ok()) {
+    ++stats_.rings_embedded;
+  } else {
+    ++stats_.no_embeddings;
+  }
+  return response;
+}
+
+ChurnDriveStats drive_script(SessionDriver& driver,
+                             const verify::ChurnScript& script) {
+  require(script.base_request.fault_kind == service::FaultKind::kNode,
+          "drive_script replays node-fault (fail-stop) scripts");
+  for (const verify::ChurnEvent& event : script.events) {
+    if (event.add) {
+      driver.kill(event.fault);
+    } else {
+      driver.repair(event.fault);
+    }
+    driver.current_ring();
+  }
+  return driver.stats();
+}
+
+}  // namespace dbr::sim

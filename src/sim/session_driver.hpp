@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "service/session.hpp"
+#include "sim/engine.hpp"
+#include "verify/scenario.hpp"
+
+namespace dbr::sim {
+
+/// Outcome counters for a driven fault-churn run.
+struct ChurnDriveStats {
+  std::uint64_t kills = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t rings_embedded = 0;  ///< events after which a ring existed
+  std::uint64_t no_embeddings = 0;   ///< events leaving a beyond-guarantee state
+};
+
+/// Bridges fail-stop processor faults of a sim::Engine into a stateful
+/// service::EmbedSession over the same B(d,n), composing the three layers:
+/// the simulator decides who dies (and recovers), the session re-solves the
+/// surviving ring incrementally against its pinned context, and the ring is
+/// by construction usable by any protocol running on the live network (it
+/// avoids every dead processor).
+class SessionDriver {
+ public:
+  /// The session must take node faults (the fail-stop model kills
+  /// processors, not links) and the network must have one processor per
+  /// B(d,n) node. Throws precondition_error otherwise.
+  SessionDriver(Engine& net, service::EmbedSession& session);
+
+  /// Fail-stop kill: the processor dies in the network and its node joins
+  /// the session's fault set.
+  void kill(NodeId v);
+
+  /// Repair: the processor rejoins the network and its fault clears.
+  void repair(NodeId v);
+
+  /// The ring avoiding every dead processor (re-solved only after churn).
+  service::EmbedResponse current_ring();
+
+  Engine& net() { return *net_; }
+  service::EmbedSession& session() { return *session_; }
+  const ChurnDriveStats& stats() const { return stats_; }
+
+ private:
+  Engine* net_;
+  service::EmbedSession* session_;
+  ChurnDriveStats stats_;
+};
+
+/// Replays a node-fault ChurnScript (verify/scenario's churn regime) through
+/// the driver, re-solving after every event: adds become fail-stop kills,
+/// clears become repairs. Returns the aggregated outcome counters.
+ChurnDriveStats drive_script(SessionDriver& driver,
+                             const verify::ChurnScript& script);
+
+}  // namespace dbr::sim

@@ -59,6 +59,43 @@ void shuffle(std::vector<Word>& words, Rng& rng) {
   }
 }
 
+/// The shared churn event loop: adds draw fresh words, removals draw live
+/// ones, and the live set never exceeds max_live, so streams hover around
+/// the chosen boundary. Every event mutates the live set.
+std::vector<ChurnEvent> churn_events(Rng& rng, std::uint64_t space,
+                                     std::uint64_t max_live,
+                                     std::size_t event_count) {
+  // A live set can never exceed the word space; without the clamp a
+  // caller-chosen max_live > space would make the fresh-word draw below
+  // spin forever once every word is live.
+  max_live = std::min(max_live, space);
+  std::vector<Word> live;  // sorted
+  std::vector<ChurnEvent> events;
+  events.reserve(event_count);
+  for (std::size_t i = 0; i < event_count; ++i) {
+    const bool add = live.empty() ||
+                     (live.size() < max_live && rng.below(5) < 3);
+    ChurnEvent event;
+    event.add = add;
+    if (add) {
+      Word w;
+      std::vector<Word>::iterator it;
+      do {
+        w = rng.below(space);
+        it = std::lower_bound(live.begin(), live.end(), w);
+      } while (it != live.end() && *it == w);
+      live.insert(it, w);
+      event.fault = w;
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      event.fault = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    events.push_back(event);
+  }
+  return events;
+}
+
 /// Duplicates a few entries and permutes the presentation; the engine's
 /// canonicalization must make this indistinguishable from the sorted set.
 void duplicate_and_shuffle(std::vector<Word>& faults, Rng& rng) {
@@ -197,6 +234,103 @@ Scenario make_scenario(std::uint64_t seed, Strategy strategy) {
     duplicate_and_shuffle(req.faults, rng);
   }
   return sc;
+}
+
+std::vector<Word> ChurnScript::final_faults() const {
+  std::vector<Word> live;
+  for (const ChurnEvent& e : events) {
+    const auto it = std::lower_bound(live.begin(), live.end(), e.fault);
+    if (e.add) {
+      if (it == live.end() || *it != e.fault) live.insert(it, e.fault);
+    } else if (it != live.end() && *it == e.fault) {
+      live.erase(it);
+    }
+  }
+  return live;
+}
+
+std::string ChurnScript::describe() const {
+  std::string out = "(seed=" + std::to_string(seed) +
+                    ", base=" + std::to_string(base_request.base) +
+                    ", n=" + std::to_string(base_request.n) + ", strategy=" +
+                    service::to_string(base_request.strategy) + ")";
+  out += " kind=";
+  out += service::to_string(base_request.fault_kind);
+  out += " events=[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += events[i].add ? '+' : '-';
+    out += std::to_string(events[i].fault);
+  }
+  out += "]";
+  return out;
+}
+
+ChurnScript make_churn_script(std::uint64_t seed, Strategy strategy,
+                              std::size_t event_count) {
+  // A split stream disjoint from make_scenario's (which uses split(strategy),
+  // values 0..5), so churn scripts and one-shot scenarios sharing a seed are
+  // decorrelated.
+  Rng rng = Rng(seed).split(100 + static_cast<std::uint64_t>(strategy));
+
+  ChurnScript script;
+  script.seed = seed;
+  EmbedRequest& req = script.base_request;
+  req.strategy = strategy;
+
+  bool node_faults = false;
+  if (strategy == Strategy::kFfc) {
+    node_faults = true;
+  } else if (strategy == Strategy::kAuto) {
+    node_faults = rng.below(2) == 0;
+  }
+  req.fault_kind = node_faults ? FaultKind::kNode : FaultKind::kEdge;
+
+  GraphShape shape{};
+  if (strategy == Strategy::kButterfly) {
+    shape = kButterflyGraphs[rng.below(std::size(kButterflyGraphs))];
+  } else if (node_faults) {
+    shape = kNodeGraphs[rng.below(std::size(kNodeGraphs))];
+  } else {
+    shape = kEdgeGraphs[rng.below(std::size(kEdgeGraphs))];
+  }
+  req.base = shape.d;
+  req.n = shape.n;
+
+  const WordSpace ws(shape.d, shape.n);
+  const std::uint64_t space = node_faults ? ws.size() : ws.edge_word_count();
+  const std::uint64_t boundary =
+      node_faults ? node_fault_boundary(shape.d)
+                  : edge_fault_guarantee(strategy == Strategy::kAuto
+                                             ? Strategy::kEdgeAuto
+                                             : strategy,
+                                         shape.d);
+  // Hover around the guarantee: the live set may exceed the boundary by a
+  // little (so the stream visits kNoEmbedding-legal states) but churns back
+  // under it.
+  const std::uint64_t max_live = std::max<std::uint64_t>(boundary, 1) + 2;
+  script.events = churn_events(rng, space, max_live, event_count);
+  return script;
+}
+
+ChurnScript make_churn_script(std::uint64_t seed,
+                              const EmbedRequest& base_request,
+                              std::size_t event_count,
+                              std::uint64_t max_live) {
+  // A third split stream, disjoint from make_scenario's (split(strategy))
+  // and the seed-drawn churn overload's (split(100 + strategy)).
+  Rng rng = Rng(seed).split(
+      200 + static_cast<std::uint64_t>(base_request.strategy));
+  ChurnScript script;
+  script.seed = seed;
+  script.base_request = base_request;
+  script.base_request.faults.clear();
+  const WordSpace ws(base_request.base, base_request.n);
+  const std::uint64_t space = base_request.fault_kind == FaultKind::kNode
+                                  ? ws.size()
+                                  : ws.edge_word_count();
+  script.events = churn_events(rng, space, max_live, event_count);
+  return script;
 }
 
 std::vector<Scenario> make_sweep(std::uint64_t base_seed, Strategy strategy,

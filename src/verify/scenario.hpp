@@ -54,4 +54,49 @@ std::vector<Scenario> make_sweep(std::uint64_t base_seed,
                                  service::Strategy strategy,
                                  std::size_t count);
 
+// --- Churn regime: seeded add/remove event streams ---
+
+/// One fault-churn event: a fault appears (add) or is repaired (clear).
+struct ChurnEvent {
+  bool add = true;
+  Word fault = 0;
+
+  bool operator==(const ChurnEvent&) const = default;
+};
+
+/// A seeded fault-churn timeline over one instance: the evolving-fault
+/// regime an EmbedSession serves. Like Scenario it is a pure function of
+/// (seed, strategy): base_request names the instance (its fault list is
+/// empty; the events are the fault history), and replaying events in order
+/// keeps the live set hovering around the strategy's guarantee boundary, so
+/// a run crosses in and out of the guarantee.
+struct ChurnScript {
+  std::uint64_t seed = 0;
+  service::EmbedRequest base_request;
+  std::vector<ChurnEvent> events;
+
+  /// The fault set live after replaying every event (sorted, distinct).
+  std::vector<Word> final_faults() const;
+
+  /// Leads with the reproduction tuple "(seed=…, base=…, n=…, strategy=…)",
+  /// then the events as "+w"/"-w" in order.
+  std::string describe() const;
+};
+
+/// Deterministically expands (seed, strategy) into one churn script of
+/// `event_count` events. Adds draw fresh words, removals draw live ones;
+/// the stream never clears a fault that is not live nor re-adds a live one,
+/// so every event mutates the session's fault set.
+ChurnScript make_churn_script(std::uint64_t seed, service::Strategy strategy,
+                              std::size_t event_count);
+
+/// Same event grammar over an explicit instance: `base_request` supplies
+/// (base, n, fault kind, strategy) — its fault list is ignored — and the
+/// live set is capped at `max_live` instead of the seed-drawn guarantee
+/// hover. Lets benches churn instances outside the fuzz shape tables while
+/// replaying exactly the regime the test suites exercise.
+ChurnScript make_churn_script(std::uint64_t seed,
+                              const service::EmbedRequest& base_request,
+                              std::size_t event_count, std::uint64_t max_live);
+
 }  // namespace dbr::verify

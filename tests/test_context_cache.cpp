@@ -1,0 +1,126 @@
+// Concurrency contract of the service ContextCache: one context constructed
+// per key no matter how many threads miss at once, no torn reads on the
+// lazily built sections, failed builds never cached, clear() starts a fresh
+// observation window.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/context_cache.hpp"
+#include "util/require.hpp"
+
+namespace dbr::service {
+namespace {
+
+struct KeyShape {
+  Digit d;
+  unsigned n;
+};
+
+TEST(ContextCacheTest, HitsReturnTheSameSharedContext) {
+  ContextCache cache;
+  bool hit = true;
+  const auto first = cache.get_or_build(2, 6, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.get_or_build(2, 6, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());
+  const ContextCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ContextCacheTest, MultiThreadHammerBuildsExactlyOneContextPerKey) {
+  constexpr KeyShape kKeys[] = {{2, 6}, {2, 8}, {3, 4}, {5, 3}};
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIterations = 50;
+
+  ContextCache cache;
+  std::mutex mu;
+  std::vector<std::vector<const core::InstanceContext*>> seen(
+      std::size(kKeys));
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        const std::size_t k = (t + i) % std::size(kKeys);
+        const auto ctx = cache.get_or_build(kKeys[k].d, kKeys[k].n);
+        // Exercise the lazy sections concurrently: a torn read here would
+        // surface as an inconsistent size or a sanitizer report.
+        ASSERT_EQ(ctx->necklaces().min_rot.size(), ctx->words().size());
+        ASSERT_FALSE(ctx->psi_family().cycles.empty());
+        const std::lock_guard<std::mutex> lock(mu);
+        seen[k].push_back(ctx.get());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t k = 0; k < std::size(kKeys); ++k) {
+    ASSERT_FALSE(seen[k].empty());
+    for (const core::InstanceContext* p : seen[k]) {
+      EXPECT_EQ(p, seen[k].front()) << "duplicate context for key " << k;
+    }
+  }
+  const ContextCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, std::size(kKeys));  // one build per key, ever
+  EXPECT_EQ(stats.hits, kThreads * kIterations - std::size(kKeys));
+  EXPECT_EQ(stats.entries, std::size(kKeys));
+}
+
+TEST(ContextCacheTest, CapacityEvictsTheLeastRecentlyUsedEntry) {
+  ContextCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  const auto pinned = cache.get_or_build(2, 6);  // key A
+  cache.get_or_build(3, 4);                      // key B
+  cache.get_or_build(2, 6);                      // touch A: B is now LRU
+  cache.get_or_build(5, 3);                      // key C evicts B
+  EXPECT_EQ(cache.size(), 2u);
+  bool hit = false;
+  cache.get_or_build(2, 6, &hit);
+  EXPECT_TRUE(hit);  // A survived
+  cache.get_or_build(5, 3, &hit);
+  EXPECT_TRUE(hit);  // C survived
+  cache.get_or_build(3, 4, &hit);
+  EXPECT_FALSE(hit);  // B was evicted and had to rebuild
+  // The evicted-then-rebuilt entry displaced something, but the pinned
+  // context from the original build stays fully usable regardless.
+  EXPECT_EQ(pinned->necklaces().min_rot.size(), pinned->words().size());
+}
+
+TEST(ContextCacheTest, FailedBuildsPropagateAndAreNeverCached) {
+  ContextCache cache;
+  EXPECT_THROW(cache.get_or_build(1, 3), precondition_error);  // d < 2
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_THROW(cache.get_or_build(1, 3), precondition_error);  // retried
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ContextCacheTest, ClearDropsEntriesAndResetsCountersButNotPins) {
+  ContextCache cache;
+  const auto pinned = cache.get_or_build(2, 6);
+  cache.get_or_build(2, 6);
+  cache.clear();
+  const ContextCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  // The pinned context stays fully usable after the cache forgot it.
+  EXPECT_EQ(pinned->necklaces().min_rot.size(), pinned->words().size());
+  // And the next lookup is a fresh build.
+  bool hit = true;
+  const auto rebuilt = cache.get_or_build(2, 6, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(rebuilt.get(), pinned.get());
+}
+
+}  // namespace
+}  // namespace dbr::service

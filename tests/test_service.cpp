@@ -497,6 +497,146 @@ TEST(EmbedEngineTest, RepeatHeavyBatchMostlyHitsTheCache) {
 }
 
 // --------------------------------------------------------------------------
+// Cache policy: deterministic answers (kOk, kNoEmbedding) are cacheable;
+// kBadRequest / kInternalError never are; clear_cache() resets the stats
+// counters along with the entries.
+
+TEST(EmbedEngineTest, NoEmbeddingAnswersAreCached) {
+  // psi(2) = 1: blocking the single scan cycle gives a deterministic
+  // kNoEmbedding, which must be served from cache on repeat.
+  EmbedEngine engine;
+  const EmbedResponse clean =
+      engine.query(edge_request(2, 4, {}, Strategy::kEdgeScan));
+  ASSERT_TRUE(clean.ok());
+  const Word blocking = edge_words(WordSpace(2, 4), clean.result->ring).front();
+  const EmbedRequest req = edge_request(2, 4, {blocking}, Strategy::kEdgeScan);
+  const EmbedResponse first = engine.query(req);
+  ASSERT_EQ(first.result->status, EmbedStatus::kNoEmbedding);
+  EXPECT_FALSE(first.cache_hit);
+  const EmbedResponse second = engine.query(req);
+  EXPECT_EQ(second.result->status, EmbedStatus::kNoEmbedding);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result.get(), first.result.get());  // exact object
+}
+
+TEST(EmbedEngineTest, ErrorAnswersAreNeverCached) {
+  // kBadRequest goes through the same cacheability gate as kInternalError
+  // (only kOk and kNoEmbedding pass): repeats recompute every time.
+  EmbedEngine engine;
+  const EmbedRequest bad = node_request(2, 3, {99});  // out of range
+  const EmbedResponse first = engine.query(bad);
+  ASSERT_EQ(first.result->status, EmbedStatus::kBadRequest);
+  const EmbedResponse second = engine.query(bad);
+  EXPECT_EQ(second.result->status, EmbedStatus::kBadRequest);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_NE(first.result.get(), second.result.get());
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+TEST(EmbedEngineTest, ClearCacheResetsEntriesAndStatsCounters) {
+  EmbedEngine engine;
+  const EmbedRequest req = node_request(2, 6, {3});
+  engine.query(req);
+  engine.query(req);
+  CacheStats before = engine.cache_stats();
+  EXPECT_EQ(before.hits, 1u);
+  EXPECT_EQ(before.misses, 1u);
+  EXPECT_EQ(before.entries, 1u);
+
+  engine.clear_cache();
+  const CacheStats after = engine.cache_stats();
+  EXPECT_EQ(after.hits, 0u);
+  EXPECT_EQ(after.misses, 0u);
+  EXPECT_EQ(after.evictions, 0u);
+  EXPECT_EQ(after.entries, 0u);
+  // The post-clear window attributes stats to post-clear traffic only.
+  EXPECT_FALSE(engine.query(req).cache_hit);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Context reuse: the second cache layer, with its own attribution counters.
+
+TEST(EmbedEngineTest, DistinctFaultSetsOnOneInstanceReuseTheContext) {
+  EmbedEngine engine;
+  const EmbedResponse first = engine.query(node_request(2, 6, {1}));
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(first.context_cache_hit);  // built on first touch
+  const EmbedResponse second = engine.query(node_request(2, 6, {2}));
+  EXPECT_FALSE(second.cache_hit);  // distinct fault set: result-cache miss
+  EXPECT_TRUE(second.context_cache_hit);
+
+  const ServeStats stats = engine.serve_stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.result_hits, 0u);
+  EXPECT_EQ(stats.context_hits, 1u);
+  EXPECT_EQ(stats.context_misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.context_reuse_rate(), 0.5);
+  EXPECT_EQ(engine.context_cache_stats().entries, 1u);
+}
+
+TEST(EmbedEngineTest, ResultCacheHitsDoNotTouchTheContextCache) {
+  EmbedEngine engine;
+  const EmbedRequest req = node_request(2, 6, {1});
+  engine.query(req);
+  const auto contexts_before = engine.context_cache_stats();
+  const EmbedResponse repeat = engine.query(req);
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_FALSE(repeat.context_cache_hit);
+  const auto contexts_after = engine.context_cache_stats();
+  EXPECT_EQ(contexts_after.hits, contexts_before.hits);
+  EXPECT_EQ(contexts_after.misses, contexts_before.misses);
+  EXPECT_EQ(engine.serve_stats().result_hits, 1u);
+}
+
+TEST(EmbedEngineTest, ContextReuseIsBitIdenticalToColdRebuilds) {
+  EngineOptions cold_options;
+  cold_options.reuse_contexts = false;
+  cold_options.enable_cache = false;
+  EmbedEngine cold(cold_options);
+  EngineOptions warm_options;
+  warm_options.enable_cache = false;
+  EmbedEngine warm(warm_options);
+
+  Rng rng(5);
+  for (std::uint64_t variant = 0; variant < 24; ++variant) {
+    // A mix of every strategy over shared instances, fresh fault sets.
+    std::vector<EmbedRequest> batch;
+    batch.push_back(node_request(2, 6, {rng.below(64)}));
+    batch.push_back(node_request(2, 6, {rng.below(64)}, Strategy::kFfc));
+    batch.push_back(edge_request(3, 4, {rng.below(243)}, Strategy::kEdgeScan));
+    batch.push_back(edge_request(3, 4, {rng.below(243)}, Strategy::kEdgePhi));
+    batch.push_back(edge_request(3, 4, {rng.below(243)}, Strategy::kButterfly));
+    for (const EmbedRequest& req : batch) {
+      const EmbedResponse a = cold.query(req);
+      const EmbedResponse b = warm.query(req);
+      ASSERT_TRUE(a.result && b.result);
+      EXPECT_TRUE(a.result->same_embedding(*b.result));
+      EXPECT_FALSE(a.context_cache_hit);  // cold engine never reuses
+    }
+  }
+  EXPECT_EQ(cold.serve_stats().context_hits, 0u);
+  EXPECT_GT(warm.serve_stats().context_hits, 0u);
+}
+
+TEST(EmbedEngineTest, BatchStatsSeparateResultAndContextHits) {
+  EmbedEngine engine;
+  std::vector<EmbedRequest> batch;
+  for (Word v = 0; v < 16; ++v) {
+    batch.push_back(node_request(2, 6, {v % 8}));  // 8 unique, 8 repeats
+  }
+  BatchStats stats;
+  engine.query_batch(batch, &stats);
+  // Every query either hit the result cache or computed; computed queries
+  // beyond the very first context build reused the context.
+  EXPECT_EQ(stats.processed(), batch.size());
+  const std::uint64_t computed = stats.processed() - stats.cache_hits();
+  EXPECT_GE(stats.context_hits(), computed - 1);
+  EXPECT_LE(stats.context_hits(), computed);
+}
+
+// --------------------------------------------------------------------------
 // Stats plumbing.
 
 TEST(LatencyRecorderTest, PercentilesUseNearestRank) {

@@ -66,6 +66,23 @@ TEST(Engine, DeadNodesDropTraffic) {
   EXPECT_EQ(calls, 0);
 }
 
+TEST(Engine, RevivedNodesRejoinTraffic) {
+  Engine e = full_mesh(3);
+  e.kill(1);
+  e.post(0, 1, {0, 1, {}});  // dropped while dead
+  EXPECT_EQ(e.messages_dropped(), 1u);
+  e.revive(1);
+  EXPECT_TRUE(e.alive(1));
+  e.post(0, 1, {0, 1, {}});
+  e.post(1, 2, {0, 1, {}});
+  int calls = 0;
+  e.step([&](NodeId, std::vector<Message>&) { ++calls; });
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(e.messages_delivered(), 2u);
+  EXPECT_EQ(e.messages_dropped(), 1u);
+  EXPECT_THROW(e.revive(3), precondition_error);
+}
+
 TEST(Engine, TopologyEnforced) {
   Engine e(4, [](NodeId u, NodeId v) { return v == (u + 1) % 4; });
   EXPECT_NO_THROW(e.post(0, 1, {0, 1, {}}));
