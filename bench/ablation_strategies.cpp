@@ -160,4 +160,7 @@ BENCHMARK(BM_StrategyFamily);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "ablation_strategies",
+                         "Ablation studies: Strategy 2 vs 3, inverted psi-index vs full scan, phi splits");
+}

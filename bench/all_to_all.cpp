@@ -126,4 +126,7 @@ BENCHMARK(BM_AllToAll)->Arg(1)->Arg(2)->Arg(3);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "all_to_all",
+                         "All-to-all broadcast over t disjoint Hamiltonian cycles (Chapter 3 motivation)");
+}

@@ -143,9 +143,67 @@ class JsonWriter {
   bool pending_value_ = false;
 };
 
-/// Prints the table section, then hands over to google-benchmark. Call from
-/// main() after registering benchmarks.
-inline int run(int argc, char** argv, void (*print_tables)()) {
+/// One command-line flag's usage line.
+struct UsageFlag {
+  const char* flag;  ///< e.g. "--queries N"
+  const char* help;  ///< one-line description
+};
+
+/// Prints the shared usage block: synopsis, the bench's own flags, the
+/// google-benchmark pass-through note, and the common environment knobs.
+/// Every bench main routes --help (and unknown-argument errors) through
+/// this, so no binary silently ignores argv again.
+inline void print_usage(std::ostream& os, const char* name,
+                        const char* summary,
+                        std::initializer_list<UsageFlag> flags,
+                        bool benchmark_flags) {
+  os << "usage: " << name << " [options]\n  " << summary << "\n";
+  if (flags.size() > 0) {
+    os << "\noptions:\n";
+    for (const UsageFlag& f : flags) {
+      std::string col = f.flag;
+      if (col.size() < 22) col.resize(22, ' ');
+      os << "  " << col << "  " << f.help << "\n";
+    }
+  }
+  os << "  --help, -h              this message\n";
+  if (benchmark_flags) {
+    os << "\n  --benchmark_* flags pass through to google-benchmark\n"
+          "  (e.g. --benchmark_filter=..., --benchmark_min_time=...)\n";
+  }
+  os << "\nenvironment:\n"
+        "  DBR_TRIALS   Monte-Carlo trials per table row (default 1000)\n"
+        "  DBR_SEED     RNG seed (default 42)\n"
+        "  DBR_FORMAT   'csv' emits CSV tables instead of aligned text\n"
+        "  DBR_THREADS  worker threads for util/parallel (default: hardware)\n";
+}
+
+/// --help/unknown-argument handling for benches with their own flag loops:
+/// returns 0 for --help/-h (usage printed to stdout), 64 for an argument
+/// the caller did not recognize (usage printed to stderr), -1 to proceed.
+inline int usage_exit(const char* arg, const char* name, const char* summary,
+                      std::initializer_list<UsageFlag> flags,
+                      bool benchmark_flags = false) {
+  const std::string_view a = arg;
+  if (a == "--help" || a == "-h") {
+    print_usage(std::cout, name, summary, flags, benchmark_flags);
+    return 0;
+  }
+  std::cerr << name << ": unknown argument: " << a << "\n\n";
+  print_usage(std::cerr, name, summary, flags, benchmark_flags);
+  return 64;  // EX_USAGE
+}
+
+/// Validates argv (only --help/-h and --benchmark_* flags are meaningful to
+/// a table-reproduction bench), prints the table section, then hands over
+/// to google-benchmark. Call from main() after registering benchmarks.
+inline int run(int argc, char** argv, void (*print_tables)(),
+               const char* name, const char* summary) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--benchmark_", 0) == 0) continue;  // google-benchmark's
+    return usage_exit(argv[i], name, summary, {}, /*benchmark_flags=*/true);
+  }
   print_tables();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -101,4 +101,7 @@ BENCHMARK(BM_HypercubeSide);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "compare_hypercube",
+                         "Fault-free cycle guarantee: hypercube Q_12 vs De Bruijn B(4,6) (Chapter 2 intro)");
+}

@@ -149,6 +149,15 @@ bool all_identical(const std::vector<EmbedResponse>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr const char* kName = "fault_churn";
+  constexpr const char* kSummary =
+      "context reuse vs cold precompute + session incremental updates; "
+      "writes BENCH_fault_churn.json";
+  const std::initializer_list<dbr::bench::UsageFlag> kFlags = {
+      {"--queries N", "distinct fault sets per family (default 250)"},
+      {"--events N", "churn events in the session part (default 400)"},
+      {"--out PATH", "JSON artifact path (default BENCH_fault_churn.json)"},
+  };
   std::size_t queries = 250;
   std::size_t events = 400;
   std::string out_path = "BENCH_fault_churn.json";
@@ -158,10 +167,7 @@ int main(int argc, char** argv) {
     if (arg == "--queries") queries = std::strtoull(next(), nullptr, 10);
     else if (arg == "--events") events = std::strtoull(next(), nullptr, 10);
     else if (arg == "--out") out_path = next();
-    else {
-      std::cerr << "unknown argument: " << arg << "\n";
-      return 2;
-    }
+    else return dbr::bench::usage_exit(argv[i], kName, kSummary, kFlags);
   }
 
   Rng rng(dbr::bench::seed());
@@ -251,7 +257,9 @@ int main(int argc, char** argv) {
   std::vector<Word> live;
   bool session_identical = true;
   double session_wall = 0.0, stateless_wall = 0.0;
-  for (const auto& [add, fault] : churn.events) {
+  for (const dbr::verify::ChurnEvent& event : churn.events) {
+    const bool add = event.add;
+    const Word fault = event.fault;
     Clock::time_point start = Clock::now();
     if (add) {
       session.add_fault(fault);

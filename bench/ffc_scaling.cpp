@@ -100,4 +100,7 @@ BENCHMARK(BM_DistributedProtocol)->Arg(8)->Arg(10)->Arg(12);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "ffc_scaling",
+                         "Distributed FFC communication complexity O(K + n) (Section 2.4)");
+}

@@ -79,4 +79,7 @@ BENCHMARK(BM_NeighborEnumeration)->Arg(4)->Arg(6);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "fig_1_1_1_2",
+                         "Figures 1.1/1.2: B(2,3), B(2,4), UB(2,3) structure and degree census");
+}

@@ -95,4 +95,7 @@ BENCHMARK(BM_Example21Solve);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "fig_2_example",
+                         "Figures 2.1-2.4 / Example 2.1: FFC walk-through on B(3,3)");
+}

@@ -88,4 +88,7 @@ BENCHMARK(BM_H13Construction);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "fig_3_2_conflicts",
+                         "Figure 3.2: conflict circulant of the Strategy-2 cycles in B(13,n)");
+}

@@ -74,4 +74,7 @@ BENCHMARK(BM_Decomposition)->Args({2, 8})->Args({3, 5})->Args({9, 3});
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "fig_3_3_umb",
+                         "Figure 3.3 / Example 3.6: Hamiltonian decomposition of UMB(2,3)");
+}

@@ -80,4 +80,7 @@ BENCHMARK(BM_LiftCycle);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "fig_3_4_3_5_butterfly",
+                         "Figures 3.4/3.5: butterfly F(2,3), super-nodes, Lemma 3.9 lift");
+}

@@ -94,4 +94,7 @@ BENCHMARK(BM_UndirectedLongestCycle);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "future_work_ub",
+                         "Future-work probe: fault-free cycles in undirected UB(d,n) (Chapter 5)");
+}

@@ -1,0 +1,330 @@
+// Mixed node+edge fault workload for the core/mixed_fault pipeline.
+//
+// Three measurements, every answer held against the independent verify/
+// oracle (the engine runs with validate_responses, so a violation turns
+// into kInternalError and fails the bench):
+//
+//  1. Per-regime serve latency: seeded mixed scenarios (node-heavy,
+//     edge-heavy, correlated router-loss, fault-free, beyond-guarantee,
+//     shuffled-duplicates) through a context-reusing engine, result cache
+//     off so every query pays the solve path.
+//
+//  2. Correlated-collapse cost: "dead router plus its 2d incident links"
+//     must canonicalize onto the plain "dead router" cache entry — the
+//     second presentation must be a result-cache hit with the identical
+//     result object.
+//
+//  3. Mixed churn: a kill/cut + repair/restore timeline served by a
+//     stateful kMixed EmbedSession vs a cold stateless query per event.
+//
+// Writes the machine-readable BENCH_mixed_fault.json.
+//
+// Knobs (env):   DBR_SEED
+// Knobs (argv):  --queries N   scenarios per regime            (default 60)
+//                --events N    churn events in the session part (default 300)
+//                --out PATH    JSON path (default BENCH_mixed_fault.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/engine.hpp"
+#include "service/session.hpp"
+#include "service/stats.hpp"
+#include "util/table.hpp"
+#include "util/word.hpp"
+#include "verify/oracle.hpp"
+#include "verify/scenario.hpp"
+
+namespace {
+
+using dbr::Word;
+using dbr::service::EmbedEngine;
+using dbr::service::EmbedRequest;
+using dbr::service::EmbedResponse;
+using dbr::service::EmbedSession;
+using dbr::service::EmbedStatus;
+using dbr::service::EngineOptions;
+using dbr::service::FaultKind;
+using dbr::service::LatencyRecorder;
+using dbr::service::Strategy;
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+struct RegimeStats {
+  std::uint64_t queries = 0;
+  std::uint64_t embedded = 0;
+  std::uint64_t no_embedding = 0;
+  LatencyRecorder latency;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr const char* kName = "mixed_fault";
+  constexpr const char* kSummary =
+      "mixed node+edge fault solve latency per regime, correlated-collapse "
+      "cache sharing, and mixed churn sessions; writes BENCH_mixed_fault.json";
+  const std::initializer_list<dbr::bench::UsageFlag> kFlags = {
+      {"--queries N", "scenarios per mixed regime (default 60)"},
+      {"--events N", "churn events in the session part (default 300)"},
+      {"--out PATH", "JSON artifact path (default BENCH_mixed_fault.json)"},
+  };
+  std::size_t queries = 60;
+  std::size_t events = 300;
+  std::string out_path = "BENCH_mixed_fault.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--queries") queries = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--events") events = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--out") out_path = next();
+    else return dbr::bench::usage_exit(argv[i], kName, kSummary, kFlags);
+  }
+
+  dbr::bench::heading("mixed faults: per-regime serve latency (oracle-validated)");
+  std::cout << "queries=" << queries << " per regime, events=" << events
+            << " churn events\n";
+
+  dbr::bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", "mixed_fault")
+      .field("seed", dbr::bench::seed());
+  json.key("config")
+      .begin_object()
+      .field("queries_per_regime", static_cast<std::uint64_t>(queries))
+      .field("session_events", static_cast<std::uint64_t>(events))
+      .end_object();
+
+  // --- 1. Per-regime latency over the seeded mixed scenario grammar. ---
+  EngineOptions options;
+  options.validate_responses = true;  // oracle on every computed answer
+  options.enable_cache = false;       // every query pays the solve path
+  EmbedEngine engine(options);
+
+  std::map<dbr::verify::Regime, RegimeStats> regimes;
+  bool quarantined = false;
+  std::uint64_t seed = dbr::bench::seed();
+  // Scan seeds until every regime of the mixed table collected `queries`.
+  const auto regime_done = [&](dbr::verify::Regime r) {
+    const auto it = regimes.find(r);
+    return it != regimes.end() && it->second.queries >= queries;
+  };
+  std::size_t scanned = 0;
+  const std::size_t scan_budget = 200 * queries + 1000;
+  while (scanned++ < scan_budget) {
+    const dbr::verify::Scenario sc =
+        dbr::verify::make_scenario(seed++, Strategy::kMixed);
+    if (regime_done(sc.regime)) continue;
+    RegimeStats& stats = regimes[sc.regime];
+    const EmbedResponse resp = engine.query(sc.request);
+    ++stats.queries;
+    stats.latency.record(resp.latency_micros);
+    if (!resp.result) {
+      quarantined = true;
+      continue;
+    }
+    switch (resp.result->status) {
+      case EmbedStatus::kOk: ++stats.embedded; break;
+      case EmbedStatus::kNoEmbedding: ++stats.no_embedding; break;
+      default:
+        quarantined = true;  // oracle violation or internal failure
+        std::cerr << "QUARANTINED " << sc.describe() << ": "
+                  << resp.result->error << "\n";
+    }
+    bool all_done = true;
+    for (const dbr::verify::Regime r :
+         {dbr::verify::Regime::kFaultFree, dbr::verify::Regime::kMixedNodeHeavy,
+          dbr::verify::Regime::kMixedEdgeHeavy,
+          dbr::verify::Regime::kMixedCorrelated,
+          dbr::verify::Regime::kBeyondGuarantee,
+          dbr::verify::Regime::kShuffledDuplicates}) {
+      all_done = all_done && regime_done(r);
+    }
+    if (all_done) break;
+  }
+
+  dbr::TextTable table(
+      {"regime", "queries", "ok", "no_embed", "mean_us", "p50_us", "p99_us"});
+  json.key("regimes").begin_array();
+  for (auto& [regime, stats] : regimes) {
+    table.new_row()
+        .add(dbr::verify::to_string(regime))
+        .add(stats.queries)
+        .add(stats.embedded)
+        .add(stats.no_embedding)
+        .add(stats.latency.mean(), 1)
+        .add(stats.latency.percentile(50), 1)
+        .add(stats.latency.percentile(99), 1);
+    json.begin_object()
+        .field("regime", dbr::verify::to_string(regime))
+        .field("queries", stats.queries)
+        .field("embedded", stats.embedded)
+        .field("no_embedding", stats.no_embedding)
+        .field("mean_micros", stats.latency.mean())
+        .field("p50_micros", stats.latency.percentile(50))
+        .field("p99_micros", stats.latency.percentile(99))
+        .end_object();
+  }
+  json.end_array();
+  dbr::bench::emit(table);
+  const auto validation = engine.validation_stats();
+  std::cout << "oracle: " << validation.checked << " answers checked, "
+            << validation.violations << " violations\n";
+
+  // --- 2. Correlated collapse: one cache entry for router and router+links. ---
+  dbr::bench::heading("mixed faults: correlated router-loss collapse");
+  EmbedEngine cached_engine;  // defaults: result cache on
+  const dbr::WordSpace ws(4, 5);
+  bool collapse_identical = true;
+  std::uint64_t collapse_hits = 0;
+  LatencyRecorder bare_lat, correlated_lat;
+  for (Word u = 1; u <= 64; ++u) {
+    EmbedRequest bare;
+    bare.base = 4;
+    bare.n = 5;
+    bare.fault_kind = FaultKind::kMixed;
+    bare.faults = {u};
+    EmbedRequest correlated = bare;
+    for (dbr::Digit a = 0; a < 4; ++a) {
+      correlated.edge_faults.push_back(ws.edge_word(u, a));
+      correlated.edge_faults.push_back(
+          ws.edge_word(ws.shift_prepend(u, a), ws.tail(u)));
+    }
+    Clock::time_point start = Clock::now();
+    const EmbedResponse first = cached_engine.query(bare);
+    bare_lat.record(micros_since(start));
+    start = Clock::now();
+    const EmbedResponse second = cached_engine.query(correlated);
+    correlated_lat.record(micros_since(start));
+    if (second.cache_hit) ++collapse_hits;
+    collapse_identical =
+        collapse_identical && first.result && second.result == first.result;
+  }
+  std::cout << "router-only mean " << bare_lat.mean()
+            << " us, +incident-links mean " << correlated_lat.mean()
+            << " us, cache hits " << collapse_hits << "/64, identical: "
+            << (collapse_identical ? "yes" : "NO") << "\n";
+  json.key("correlated_collapse")
+      .begin_object()
+      .field("instances", std::uint64_t{64})
+      .field("router_only_mean_micros", bare_lat.mean())
+      .field("with_links_mean_micros", correlated_lat.mean())
+      .field("cache_hits", collapse_hits)
+      .field("identical_responses", collapse_identical)
+      .end_object();
+
+  // --- 3. Mixed churn: stateful session vs stateless cold queries. ---
+  dbr::bench::heading("mixed faults: churn session vs stateless cold");
+  EmbedRequest churn_instance;
+  churn_instance.base = 4;
+  churn_instance.n = 5;
+  churn_instance.fault_kind = FaultKind::kMixed;
+  const dbr::verify::ChurnScript churn = dbr::verify::make_churn_script(
+      dbr::bench::seed(), churn_instance, events, /*max_live=*/3);
+
+  EmbedEngine warm_engine;
+  EmbedSession session(warm_engine, 4, 5, FaultKind::kMixed);
+  EngineOptions cold_options;
+  cold_options.reuse_contexts = false;
+  cold_options.enable_cache = false;
+  EmbedEngine cold_engine(cold_options);
+
+  LatencyRecorder session_lat, stateless_lat;
+  std::vector<Word> live_nodes, live_edges;
+  bool session_identical = true;
+  double session_wall = 0.0, stateless_wall = 0.0;
+  for (const dbr::verify::ChurnEvent& event : churn.events) {
+    Clock::time_point start = Clock::now();
+    if (event.add) {
+      session.add_fault(event.kind, event.fault);
+    } else {
+      session.clear_fault(event.kind, event.fault);
+    }
+    const EmbedResponse incremental = session.current_ring();
+    const double session_micros = micros_since(start);
+    session_wall += session_micros;
+    session_lat.record(session_micros);
+
+    std::vector<Word>& track =
+        event.kind == FaultKind::kEdge ? live_edges : live_nodes;
+    if (event.add) {
+      track.push_back(event.fault);
+    } else {
+      track.erase(std::find(track.begin(), track.end(), event.fault));
+    }
+    EmbedRequest req = churn_instance;
+    req.faults = live_nodes;
+    req.edge_faults = live_edges;
+    start = Clock::now();
+    const EmbedResponse stateless = cold_engine.query(req);
+    const double stateless_micros = micros_since(start);
+    stateless_wall += stateless_micros;
+    stateless_lat.record(stateless_micros);
+
+    if (!incremental.result || !stateless.result ||
+        !incremental.result->same_embedding(*stateless.result)) {
+      session_identical = false;
+    }
+  }
+  const double session_speedup =
+      session_wall > 0.0 ? stateless_wall / session_wall : 0.0;
+  dbr::TextTable session_table({"mode", "events", "mean_us", "p50_us", "p99_us"});
+  session_table.new_row()
+      .add("session")
+      .add(static_cast<std::uint64_t>(churn.events.size()))
+      .add(session_lat.mean(), 1)
+      .add(session_lat.percentile(50), 1)
+      .add(session_lat.percentile(99), 1);
+  session_table.new_row()
+      .add("stateless_cold")
+      .add(static_cast<std::uint64_t>(churn.events.size()))
+      .add(stateless_lat.mean(), 1)
+      .add(stateless_lat.percentile(50), 1)
+      .add(stateless_lat.percentile(99), 1);
+  dbr::bench::emit(session_table);
+  std::cout << "session speedup vs stateless cold: " << session_speedup
+            << "x (result-cache hits on revisited states: "
+            << session.stats().result_cache_hits << ")\n";
+
+  json.key("session")
+      .begin_object()
+      .field("base", std::uint64_t{4})
+      .field("n", std::uint64_t{5})
+      .field("events", static_cast<std::uint64_t>(churn.events.size()))
+      .field("session_wall_micros", session_wall)
+      .field("stateless_wall_micros", stateless_wall)
+      .field("speedup", session_speedup)
+      .field("session_p50_micros", session_lat.percentile(50))
+      .field("session_p99_micros", session_lat.percentile(99))
+      .field("stateless_p50_micros", stateless_lat.percentile(50))
+      .field("stateless_p99_micros", stateless_lat.percentile(99))
+      .field("result_cache_hits", session.stats().result_cache_hits)
+      .field("identical_responses", session_identical)
+      .end_object();
+
+  const bool ok = !quarantined && validation.violations == 0 &&
+                  collapse_identical && collapse_hits == 64 &&
+                  session_identical;
+  json.field("oracle_checked", validation.checked);
+  json.field("oracle_violations", validation.violations);
+  json.field("identical_responses", collapse_identical && session_identical);
+  json.end_object();
+
+  if (!json.write_file(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return ok ? 0 : 1;
+}

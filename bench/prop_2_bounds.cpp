@@ -116,4 +116,7 @@ BENCHMARK(BM_SolveWorstCase)->Args({5, 4})->Args({7, 3})->Args({4, 6});
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "prop_2_bounds",
+                         "Propositions 2.2/2.3: FFC length and eccentricity bounds across a grid");
+}

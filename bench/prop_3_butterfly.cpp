@@ -108,4 +108,7 @@ BENCHMARK(BM_ButterflyLiftFamily)->Args({4, 3})->Args({5, 4})->Args({8, 3});
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "prop_3_butterfly",
+                         "Propositions 3.5/3.6: butterfly edge-fault tolerance via the lift Phi");
+}

@@ -113,4 +113,7 @@ BENCHMARK(BM_EdgeFaultRecovery)->Args({5, 3})->Args({8, 3})->Args({9, 3});
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "prop_3_edge_faults",
+                         "Propositions 3.3/3.4: edge-fault budgets met constructively per d");
+}

@@ -117,6 +117,18 @@ int main(int argc, char** argv) {
   bool run_uncached = true;
   std::string out_path = "BENCH_service_throughput.json";
 
+  constexpr const char* kName = "service_throughput";
+  constexpr const char* kSummary =
+      "cached vs uncached engine throughput on the mixed workload; writes "
+      "BENCH_service_throughput.json";
+  const std::initializer_list<dbr::bench::UsageFlag> kFlags = {
+      {"--requests N", "total queries in the stream (default 1200)"},
+      {"--unique N", "distinct fault sets (default 24)"},
+      {"--repeat-fraction F", "fraction of repeated queries (default 0.9)"},
+      {"--no-cache", "run the uncached mode only"},
+      {"--cache-only", "run the cached mode only"},
+      {"--out PATH", "JSON artifact path (default BENCH_service_throughput.json)"},
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -128,10 +140,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-cache") run_cached = false;
     else if (arg == "--cache-only") run_uncached = false;
     else if (arg == "--out") out_path = next();
-    else {
-      std::cerr << "unknown argument: " << arg << "\n";
-      return 2;
-    }
+    else return dbr::bench::usage_exit(argv[i], kName, kSummary, kFlags);
   }
 
   Rng rng(dbr::bench::seed());

@@ -49,4 +49,7 @@ BENCHMARK(BM_FullFfcSolve)->Arg(0)->Arg(5)->Arg(20);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "table_2_1",
+                         "Table 2.1: component size and eccentricity in B(2,10) under faulty necklaces");
+}

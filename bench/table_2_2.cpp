@@ -37,4 +37,7 @@ BENCHMARK(BM_ComponentAndEccentricityB45)->Arg(1)->Arg(10)->Arg(50);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "table_2_2",
+                         "Table 2.2: component size and eccentricity in B(4,5) under faulty necklaces");
+}

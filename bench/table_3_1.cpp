@@ -91,4 +91,7 @@ BENCHMARK(BM_PsiEvaluation);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "table_3_1",
+                         "Table 3.1: psi(d) disjoint Hamiltonian cycles, 2 <= d <= 38");
+}

@@ -80,4 +80,7 @@ BENCHMARK(BM_FaultFreeHcAtBudget)->Arg(5)->Arg(8)->Arg(12);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "table_3_2",
+                         "Table 3.2: MAX{psi(d)-1, phi(d)} edge-fault tolerance, 2 <= d <= 35");
+}

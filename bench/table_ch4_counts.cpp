@@ -123,4 +123,7 @@ BENCHMARK(BM_BruteForceCensus)->Arg(12)->Arg(16);
 
 }  // namespace
 
-int main(int argc, char** argv) { return dbr::bench::run(argc, argv, &print_tables); }
+int main(int argc, char** argv) {
+  return dbr::bench::run(argc, argv, &print_tables, "table_ch4_counts",
+                         "Chapter 4 worked examples: necklace census exact counts");
+}

@@ -99,6 +99,16 @@ int main(int argc, char** argv) {
   double repeat_fraction = 0.9;
   std::string out_path = "BENCH_verify_overhead.json";
 
+  constexpr const char* kName = "verify_overhead";
+  constexpr const char* kSummary =
+      "engine throughput with oracle validation on vs off; writes "
+      "BENCH_verify_overhead.json";
+  const std::initializer_list<dbr::bench::UsageFlag> kFlags = {
+      {"--requests N", "total queries in the stream (default 1200)"},
+      {"--unique N", "distinct fault sets (default 24)"},
+      {"--repeat-fraction F", "fraction of repeated queries (default 0.9)"},
+      {"--out PATH", "JSON artifact path (default BENCH_verify_overhead.json)"},
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -112,10 +122,7 @@ int main(int argc, char** argv) {
     else if (arg == "--unique") unique = std::strtoull(next(), nullptr, 10);
     else if (arg == "--repeat-fraction") repeat_fraction = std::strtod(next(), nullptr);
     else if (arg == "--out") out_path = next();
-    else {
-      std::cerr << "unknown argument: " << arg << "\n";
-      return 2;
-    }
+    else return dbr::bench::usage_exit(argv[i], kName, kSummary, kFlags);
   }
   if (requests == 0) {
     std::cerr << "--requests must be positive\n";

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fail when a public header symbol lacks a documentation comment.
+
+Scans every header under the directories given on the command line (default:
+src/core src/service) and requires a Doxygen-style comment (``///`` or
+``/** ... */``) immediately above each namespace-scope declaration: free
+functions, structs/classes, enums, and type aliases. The check leans on the
+repository's layout convention — namespace-scope declarations start in
+column 0, members are indented — which keeps it dependency-free and fast
+enough for CI. It complements the Doxyfile build (which renders the same
+headers) as the hard gate of the CI ``docs`` job.
+
+Exit status: 0 when everything is documented, 1 otherwise (one line per
+undocumented symbol, ``path:line: symbol``).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# A column-0 line opening one of these is a declaration that needs a doc
+# comment on the line(s) directly above it.
+DECL_RE = re.compile(
+    r"^(?:template\s*<.*>\s*)?"
+    r"(?:struct|class|enum\s+class|enum|union)\s+(?P<tag>\w+)"
+    r"|^using\s+(?P<alias>\w+)\s*="
+    r"|^(?P<func>(?!using\b|namespace\b|template\b|typedef\b|static_assert\b)"
+    r"[A-Za-z_][\w:<>,&*\s]*?[\s&*](?P<fname>[A-Za-z_]\w*)\s*\()"
+)
+
+DOC_RE = re.compile(r"^\s*(///|/\*\*|\*|\*/|//)")
+
+SKIP_PREFIXES = ("#", "}", "{", ")", "namespace", "extern", "//", "/*", "*")
+
+
+def undocumented_symbols(path: Path):
+    lines = path.read_text().splitlines()
+    pending_template = False
+    out = []
+    for i, line in enumerate(lines):
+        stripped = line.rstrip()
+        if not stripped or line[0].isspace():
+            continue
+        if stripped.startswith(SKIP_PREFIXES):
+            continue
+        # A column-0 "template <...>" introduces the next line's declaration;
+        # the doc comment is expected above the template header.
+        if stripped.startswith("template"):
+            pending_template = True
+            template_line = i
+            continue
+        match = DECL_RE.match(stripped)
+        if not match:
+            pending_template = False
+            continue
+        anchor = template_line if pending_template else i
+        pending_template = False
+        # Find the nearest non-blank line above the declaration (or its
+        # template header) and require it to be part of a comment.
+        j = anchor - 1
+        while j >= 0 and not lines[j].strip():
+            j -= 1
+        if j < 0 or not DOC_RE.match(lines[j]):
+            name = match.group("tag") or match.group("alias") or match.group("fname")
+            out.append((i + 1, name or stripped[:40]))
+    return out
+
+
+def main(argv):
+    roots = [Path(p) for p in (argv[1:] or ["src/core", "src/service"])]
+    failures = []
+    checked = 0
+    for root in roots:
+        for header in sorted(root.rglob("*.hpp")):
+            checked += 1
+            for line, name in undocumented_symbols(header):
+                failures.append(f"{header}:{line}: undocumented public symbol '{name}'")
+    for failure in failures:
+        print(failure)
+    print(f"check_docs: {checked} headers, {len(failures)} undocumented public symbols")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

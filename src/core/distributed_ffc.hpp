@@ -27,6 +27,8 @@ struct DistributedFfcStats {
   }
 };
 
+/// Outcome of one distributed FFC run: the embedded cycle plus the
+/// per-phase accounting of Section 2.4.
 struct DistributedFfcResult {
   NodeCycle cycle;  ///< H, starting at the root.
   Word root = 0;

@@ -56,6 +56,7 @@ struct FfcResult {
   std::vector<LabeledEdge> modified_edges;  ///< D (Step 2)
 };
 
+/// Optional knobs of the FFC solve.
 struct FfcOptions {
   /// Root override. Must be a nonfaulty node; its minimal rotation is used
   /// as R and the cycle is constructed in R's component. When absent the

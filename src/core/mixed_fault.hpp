@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file
+/// Mixed node+edge fault-tolerant ring embedding on B(d,n).
+///
+/// The paper treats node faults (Chapter 2, the necklace FFC construction)
+/// and edge faults (Section 3.3, the psi-scan and phi constructions) in
+/// separate chapters, but a real fabric loses routers and links in the same
+/// epoch. This solver serves one heterogeneous fault set by composing the
+/// two machineries:
+///
+///  * **Hamiltonian route** — when the canonical fault set has no node
+///    faults, the Section 3.3 constructions apply unchanged:
+///    solve_edge_auto yields a Hamiltonian cycle avoiding every faulty
+///    edge, guaranteed for f <= MAX(psi(d)-1, phi(d)) (Proposition 3.4).
+///    (A Hamiltonian cycle must visit *every* node, so node faults can
+///    never ride this route: avoiding a node means avoiding its whole
+///    incident-edge closure, which disconnects it from any spanning cycle.)
+///
+///  * **FFC pull-back route** — otherwise every faulty edge is pulled back
+///    to a node fault on one of its endpoints (the endpoint whose necklace
+///    is cheaper to lose: fewer nodes, i.e. smaller rotation period) and
+///    the Chapter 2 FFC construction embeds a ring in the surviving
+///    component, avoiding faulty nodes and pulled-back endpoints — hence
+///    every faulty edge — at once. Edges already dominated by a faulty
+///    necklace charge nothing, and loop words a^(n+1) are skipped (no ring
+///    of length >= 2 traverses a loop).
+///
+/// The pull-back also catches edge-only fault sets *beyond* the
+/// Proposition 3.4 budget: when both Section 3.3 constructions fail, the
+/// solver degrades to a shorter (non-Hamiltonian) FFC ring instead of
+/// giving up — a regime neither chapter covers alone.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/instance_context.hpp"
+#include "debruijn/cycle.hpp"
+
+namespace dbr::core {
+
+/// Which composition served a mixed-fault solve.
+enum class MixedRoute : std::uint8_t {
+  kNone = 0,       ///< no ring: the pull-back closure consumed every node.
+  kHamiltonian,    ///< node-free set via solve_edge_auto (Section 3.3).
+  kFfcPullback,    ///< faulty edges pulled back to endpoints, then FFC (Chapter 2).
+};
+
+/// Short lower-case name of the route ("none", "hamiltonian", "ffc_pullback").
+const char* to_string(MixedRoute r);
+
+/// Outcome of one mixed-fault solve.
+struct MixedResult {
+  /// The fault-avoiding ring; nullopt when the pull-back closure left no
+  /// surviving node (the mixed analogue of beyond-guarantee kNoEmbedding).
+  std::optional<NodeCycle> cycle;
+  MixedRoute route = MixedRoute::kNone;  ///< which composition answered.
+  /// Node faults handed to the FFC solve on the pull-back route: the
+  /// requested faulty nodes plus one chosen endpoint per undominated
+  /// non-loop faulty edge. Zero on the Hamiltonian route.
+  std::uint64_t pullback_node_faults = 0;
+  /// The endpoints the pull-back chose (one per charged edge fault), in
+  /// the order the edges were processed; exposed for tests and the bench.
+  std::vector<Word> pulled_back;
+};
+
+/// Edge faults that charge the mixed budget: distinct, non-loop, and not
+/// dominated by a faulty node (neither endpoint in `faulty_nodes`). This is
+/// the edge count both mixed_ring_length_bounds and the verify/ oracle's
+/// independent envelope agree on.
+std::uint64_t countable_mixed_edge_faults(const WordSpace& ws,
+                                          std::span<const Word> faulty_nodes,
+                                          std::span<const Word> faulty_edge_words);
+
+/// The guarantee envelope [lower, upper] on |ring| for a mixed fault set
+/// with `distinct_node_faults` faulty nodes and `countable_edge_faults`
+/// budget-charging edge faults (see countable_mixed_edge_faults):
+///
+///  * upper = d^n - distinct_node_faults (each faulty node is excluded);
+///  * the pull-back guarantee applies the Proposition 2.2/2.3 node
+///    envelope to f_eff = distinct_node_faults + countable_edge_faults
+///    (each charged edge costs at most one extra necklace);
+///  * with no node faults and countable_edge_faults within the
+///    Proposition 3.4 budget MAX(psi(d)-1, phi(d)), the Hamiltonian route
+///    is guaranteed, so lower = upper = d^n;
+///  * lower is the larger of the applicable guarantees, 0 when neither
+///    regime applies (kNoEmbedding is then legal).
+std::pair<std::uint64_t, std::uint64_t> mixed_ring_length_bounds(
+    Digit d, unsigned n, std::uint64_t distinct_node_faults,
+    std::uint64_t countable_edge_faults);
+
+/// Mixed-fault solve phase against a shared InstanceContext: returns a ring
+/// of B(d,n) that visits no faulty node and traverses no faulty edge word,
+/// choosing the route documented above. Fault lists need not be sorted or
+/// distinct; the solver canonicalizes its own copies. Requires n >= 2 and
+/// in-range fault words; throws precondition_error when the faulty
+/// necklaces of the *requested* node faults already cover all of B(d,n)
+/// (mirroring the FFC request contract).
+MixedResult solve_mixed(const InstanceContext& ctx,
+                        std::span<const Word> faulty_nodes,
+                        std::span<const Word> faulty_edge_words);
+
+}  // namespace dbr::core

@@ -8,8 +8,12 @@ namespace dbr::service {
 
 Strategy resolve_strategy(const EmbedRequest& request) {
   if (request.strategy != Strategy::kAuto) return request.strategy;
-  return request.fault_kind == FaultKind::kNode ? Strategy::kFfc
-                                                : Strategy::kEdgeAuto;
+  switch (request.fault_kind) {
+    case FaultKind::kNode: return Strategy::kFfc;
+    case FaultKind::kEdge: return Strategy::kEdgeAuto;
+    case FaultKind::kMixed: return Strategy::kMixed;
+  }
+  return Strategy::kFfc;
 }
 
 CacheKey canonical_key(const EmbedRequest& request) {
@@ -18,10 +22,22 @@ CacheKey canonical_key(const EmbedRequest& request) {
   key.n = request.n;
   key.fault_kind = request.fault_kind;
   key.strategy = resolve_strategy(request);
-  key.faults = request.faults;
-  std::sort(key.faults.begin(), key.faults.end());
-  key.faults.erase(std::unique(key.faults.begin(), key.faults.end()),
-                   key.faults.end());
+  // FaultSet::canonicalize is the one canonicalization: sort + dedup each
+  // kind, then (kMixed) drop edge faults dominated by a node fault. For the
+  // homogeneous kinds edge_faults is passed through untouched, so a request
+  // that illegally populates it stays distinguishable and gets rejected.
+  FaultSet set;
+  set.nodes = request.faults;
+  set.edges = request.edge_faults;
+  if (request.fault_kind == FaultKind::kMixed) {
+    set.canonicalize(request.base, request.n);
+  } else {
+    std::sort(set.nodes.begin(), set.nodes.end());
+    set.nodes.erase(std::unique(set.nodes.begin(), set.nodes.end()),
+                    set.nodes.end());
+  }
+  key.faults = std::move(set.nodes);
+  key.edge_faults = std::move(set.edges);
   return key;
 }
 
@@ -46,7 +62,11 @@ std::size_t CacheKeyHash::operator()(const CacheKey& key) const {
   h = combine(h, key.n);
   h = combine(h, static_cast<std::uint64_t>(key.fault_kind));
   h = combine(h, static_cast<std::uint64_t>(key.strategy));
+  // The list length separates the two word streams: without it, a mixed key
+  // with nodes [a, b] and no edges would collide with nodes [a], edges [b].
+  h = combine(h, key.faults.size());
   for (Word w : key.faults) h = combine(h, w);
+  for (Word w : key.edge_faults) h = combine(h, w);
   return static_cast<std::size_t>(h);
 }
 

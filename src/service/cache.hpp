@@ -17,13 +17,16 @@ namespace dbr::service {
 /// deduplicated, so the same fault set presented in any order (with or
 /// without repeats) maps to the same key. kAuto is resolved to the concrete
 /// strategy before keying, so `{kAuto}` and the strategy it resolves to share
-/// cache entries.
+/// cache entries. Mixed keys additionally collapse every edge fault
+/// dominated by a node fault (FaultSet::canonicalize), so "dead router" and
+/// "dead router plus its incident links" are one cache entry.
 struct CacheKey {
-  Digit base = 0;
-  unsigned n = 0;
-  FaultKind fault_kind = FaultKind::kNode;
-  Strategy strategy = Strategy::kAuto;
-  std::vector<Word> faults;  // sorted, unique
+  Digit base = 0;   ///< radix d of the instance.
+  unsigned n = 0;   ///< tuple length of the instance.
+  FaultKind fault_kind = FaultKind::kNode;  ///< request fault interpretation.
+  Strategy strategy = Strategy::kAuto;      ///< resolved (never kAuto when canonical).
+  std::vector<Word> faults;       ///< sorted, unique; node words for kNode/kMixed, edge words for kEdge.
+  std::vector<Word> edge_faults;  ///< sorted, unique, undominated; kMixed only.
 
   bool operator==(const CacheKey&) const = default;
 };
@@ -34,15 +37,17 @@ Strategy resolve_strategy(const EmbedRequest& request);
 /// Builds the canonical key: resolved strategy + sorted/deduplicated faults.
 CacheKey canonical_key(const EmbedRequest& request);
 
+/// Hash functor for CacheKey (SplitMix64 mixing over every field).
 struct CacheKeyHash {
   std::size_t operator()(const CacheKey& key) const;
 };
 
+/// Aggregate hit/miss/eviction counters of the result cache.
 struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t entries = 0;
+  std::uint64_t hits = 0;       ///< gets served from the cache.
+  std::uint64_t misses = 0;     ///< gets that found nothing.
+  std::uint64_t evictions = 0;  ///< LRU evictions under capacity pressure.
+  std::uint64_t entries = 0;    ///< entries currently resident.
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;

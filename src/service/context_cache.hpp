@@ -11,6 +11,7 @@
 
 namespace dbr::service {
 
+/// Hit/miss counters of the shared per-(base, n) context cache.
 struct ContextCacheStats {
   std::uint64_t hits = 0;    ///< lookups served by an existing context
   std::uint64_t misses = 0;  ///< lookups that had to build (or wait failed)

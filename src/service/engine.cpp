@@ -12,6 +12,7 @@
 #include "core/edge_fault.hpp"
 #include "core/ffc.hpp"
 #include "core/instance_context.hpp"
+#include "core/mixed_fault.hpp"
 #include "debruijn/cycle.hpp"
 #include "debruijn/debruijn.hpp"
 #include "util/parallel.hpp"
@@ -34,32 +35,46 @@ double micros_since(Clock::time_point start) {
 /// out of range for (base, n). Each message names the precondition so a
 /// kBadRequest response tells the caller exactly what to fix.
 void require_preconditions(const CacheKey& key, const WordSpace& ws) {
-  const bool node_faults = key.fault_kind == FaultKind::kNode;
+  require(key.fault_kind == FaultKind::kMixed || key.edge_faults.empty(),
+          "edge_faults requires the mixed fault kind");
   switch (key.strategy) {
     case Strategy::kFfc:
-      require(node_faults, "ffc strategy requires node faults");
+      require(key.fault_kind == FaultKind::kNode,
+              "ffc strategy requires node faults");
       break;
     case Strategy::kEdgeAuto:
     case Strategy::kEdgeScan:
     case Strategy::kEdgePhi:
-      require(!node_faults, "edge strategies require edge faults");
+      require(key.fault_kind == FaultKind::kEdge,
+              "edge strategies require edge faults");
       require(key.n >= 2, "edge-fault strategies require n >= 2");
       break;
     case Strategy::kButterfly:
-      require(!node_faults,
+      require(key.fault_kind == FaultKind::kEdge,
               "butterfly strategy takes De Bruijn edge-word faults");
       require(key.n >= 2, "edge-fault strategies require n >= 2");
       require(std::gcd<std::uint64_t, std::uint64_t>(key.base, key.n) == 1,
               "butterfly lift requires gcd(d, n) = 1");
       break;
+    case Strategy::kMixed:
+      require(key.fault_kind == FaultKind::kMixed,
+              "mixed strategy requires the mixed fault kind");
+      require(key.n >= 2, "mixed-fault strategy requires n >= 2");
+      break;
     case Strategy::kAuto:
       ensure(false, "kAuto must be resolved before dispatch");
   }
-  const Word limit = node_faults ? ws.size() : ws.edge_word_count();
+  const bool node_words = key.fault_kind != FaultKind::kEdge;
+  const Word limit = node_words ? ws.size() : ws.edge_word_count();
   for (Word f : key.faults) {
     require(f < limit, "fault word " + std::to_string(f) +
                            " out of range for B(" + std::to_string(key.base) +
                            "," + std::to_string(key.n) + ")");
+  }
+  for (Word f : key.edge_faults) {
+    require(f < ws.edge_word_count(),
+            "fault word " + std::to_string(f) + " out of range for B(" +
+                std::to_string(key.base) + "," + std::to_string(key.n) + ")");
   }
 }
 
@@ -126,6 +141,26 @@ EmbedResult compute_result(
         out.upper_bound = out.lower_bound;
         break;
       }
+      case Strategy::kMixed: {
+        core::MixedResult r =
+            core::solve_mixed(ctx, key.faults, key.edge_faults);
+        if (!r.cycle) {
+          out.status = EmbedStatus::kNoEmbedding;
+          out.error = "no fault-avoiding ring found (the edge pull-back "
+                      "closure of the mixed fault set leaves no surviving "
+                      "necklace)";
+          break;
+        }
+        out.ring = std::move(*r.cycle);
+        out.ring_length = out.ring.length();
+        const auto [lo, hi] = core::mixed_ring_length_bounds(
+            key.base, key.n, key.faults.size(),
+            core::countable_mixed_edge_faults(ctx.words(), key.faults,
+                                              key.edge_faults));
+        out.lower_bound = lo;
+        out.upper_bound = hi;
+        break;
+      }
       case Strategy::kAuto:
         ensure(false, "kAuto must be resolved before dispatch");
     }
@@ -184,6 +219,7 @@ std::shared_ptr<const EmbedResult> EmbedEngine::compute(
   request.n = key.n;
   request.fault_kind = key.fault_kind;
   request.faults = key.faults;
+  request.edge_faults = key.edge_faults;
   request.strategy = key.strategy;
   const verify::OracleReport report = verify::check_response(request, *result);
   validations_.fetch_add(1, std::memory_order_relaxed);

@@ -14,6 +14,7 @@
 
 namespace dbr::service {
 
+/// Tuning knobs of the EmbedEngine (caching, context reuse, validation).
 struct EngineOptions {
   bool enable_cache = true;
   std::size_t cache_capacity = 4096;  ///< total entries across shards
@@ -54,6 +55,8 @@ struct ValidationStats {
 ///   kEdgePhi    edge faults   -> core::solve_edge_phi
 ///   kButterfly  edge faults   -> solve_edge_auto lifted to F(d,n)
 ///                                (requires gcd(d, n) = 1, Proposition 3.5)
+///   kMixed      node + edge   -> core::solve_mixed (Hamiltonian route for
+///                                node-free sets, FFC pull-back otherwise)
 ///
 /// Results are immutable and shared with the cache, so a hit returns the
 /// exact bytes of the original computation. Two threads missing on the same

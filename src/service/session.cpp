@@ -25,63 +25,99 @@ EmbedSession::EmbedSession(EmbedEngine& engine, Digit base, unsigned n,
   context_ = engine.context_cache().get_or_build(base, n);
   const WordSpace& ws = context_->words();
 
-  const bool node_faults = fault_kind == FaultKind::kNode;
   switch (key_.strategy) {
     case Strategy::kFfc:
-      require(node_faults, "ffc strategy requires node faults");
+      require(fault_kind == FaultKind::kNode,
+              "ffc strategy requires node faults");
       break;
     case Strategy::kEdgeAuto:
     case Strategy::kEdgeScan:
     case Strategy::kEdgePhi:
-      require(!node_faults, "edge strategies require edge faults");
+      require(fault_kind == FaultKind::kEdge,
+              "edge strategies require edge faults");
       require(n >= 2, "edge-fault strategies require n >= 2");
       break;
     case Strategy::kButterfly:
-      require(!node_faults,
+      require(fault_kind == FaultKind::kEdge,
               "butterfly strategy takes De Bruijn edge-word faults");
       require(n >= 2, "edge-fault strategies require n >= 2");
       require(context_->supports_butterfly(),
               "butterfly lift requires gcd(d, n) = 1");
       break;
+    case Strategy::kMixed:
+      require(fault_kind == FaultKind::kMixed,
+              "mixed strategy requires the mixed fault kind");
+      require(n >= 2, "mixed-fault strategy requires n >= 2");
+      break;
     case Strategy::kAuto:
       ensure(false, "resolve_strategy never returns kAuto");
   }
-  fault_limit_ = node_faults ? ws.size() : ws.edge_word_count();
+  node_limit_ = ws.size();
+  edge_limit_ = ws.edge_word_count();
+}
+
+std::pair<std::vector<Word>*, Word> EmbedSession::track(FaultKind kind) {
+  require(kind != FaultKind::kMixed,
+          "a single fault is a node or an edge; kMixed names the session, "
+          "not a fault");
+  if (key_.fault_kind == FaultKind::kMixed) {
+    return kind == FaultKind::kNode
+               ? std::pair{&key_.faults, node_limit_}
+               : std::pair{&key_.edge_faults, edge_limit_};
+  }
+  require(kind == key_.fault_kind,
+          "fault kind does not match this session's fault kind");
+  return {&key_.faults,
+          kind == FaultKind::kNode ? node_limit_ : edge_limit_};
 }
 
 bool EmbedSession::add_fault(Word fault) {
-  require(fault < fault_limit_,
+  require(key_.fault_kind != FaultKind::kMixed,
+          "mixed sessions must name the fault kind: add_fault(kind, word)");
+  return add_fault(key_.fault_kind, fault);
+}
+
+bool EmbedSession::add_fault(FaultKind kind, Word fault) {
+  const auto [live, limit] = track(kind);
+  require(fault < limit,
           "fault word " + std::to_string(fault) + " out of range for B(" +
               std::to_string(key_.base) + "," + std::to_string(key_.n) + ")");
-  const auto it =
-      std::lower_bound(key_.faults.begin(), key_.faults.end(), fault);
-  if (it != key_.faults.end() && *it == fault) {
+  const auto it = std::lower_bound(live->begin(), live->end(), fault);
+  if (it != live->end() && *it == fault) {
     ++stats_.noop_mutations;
     return false;
   }
-  key_.faults.insert(it, fault);
+  live->insert(it, fault);
   ++stats_.adds;
   dirty_ = true;
   return true;
 }
 
 bool EmbedSession::clear_fault(Word fault) {
-  const auto it =
-      std::lower_bound(key_.faults.begin(), key_.faults.end(), fault);
-  if (it == key_.faults.end() || *it != fault) {
+  require(key_.fault_kind != FaultKind::kMixed,
+          "mixed sessions must name the fault kind: clear_fault(kind, word)");
+  return clear_fault(key_.fault_kind, fault);
+}
+
+bool EmbedSession::clear_fault(FaultKind kind, Word fault) {
+  const auto [live, limit] = track(kind);
+  (void)limit;  // clearing an out-of-range word is a harmless no-op
+  const auto it = std::lower_bound(live->begin(), live->end(), fault);
+  if (it == live->end() || *it != fault) {
     ++stats_.noop_mutations;
     return false;
   }
-  key_.faults.erase(it);
+  live->erase(it);
   ++stats_.removes;
   dirty_ = true;
   return true;
 }
 
 void EmbedSession::reset_faults() {
-  if (key_.faults.empty()) return;
-  stats_.removes += key_.faults.size();
+  if (key_.faults.empty() && key_.edge_faults.empty()) return;
+  stats_.removes += key_.faults.size() + key_.edge_faults.size();
   key_.faults.clear();
+  key_.edge_faults.clear();
   dirty_ = true;
 }
 
@@ -90,7 +126,22 @@ EmbedResponse EmbedSession::current_ring() {
     ++stats_.memoized;
     return last_;
   }
-  last_ = engine_->query_with_context(key_, context_);
+  if (key_.fault_kind == FaultKind::kMixed) {
+    // The session keeps dominated edge faults live (a router repair must
+    // resurface the cut link), so the canonical cross-kind collapse happens
+    // per solve. The collapsed key is exactly canonical_key of the
+    // equivalent stateless request, so cache entries are shared with it.
+    CacheKey solve_key = key_;
+    FaultSet set;
+    set.nodes = std::move(solve_key.faults);
+    set.edges = std::move(solve_key.edge_faults);
+    set.canonicalize(key_.base, key_.n);
+    solve_key.faults = std::move(set.nodes);
+    solve_key.edge_faults = std::move(set.edges);
+    last_ = engine_->query_with_context(solve_key, context_);
+  } else {
+    last_ = engine_->query_with_context(key_, context_);
+  }
   // Deterministic answers memoize; a transient failure (kInternalError,
   // never cached by the engine either) leaves the session dirty so the
   // next current_ring() retries instead of pinning a one-off error.

@@ -22,12 +22,17 @@ struct SessionStats {
 };
 
 /// A stateful embedding session over one instance of a production network
-/// whose fault set evolves over time (the fault-churn regime).
+/// whose fault set evolves over time (the fault-churn regime). A
+/// FaultKind::kMixed session tracks dead routers and cut links in one
+/// timeline: add/clear take the fault kind, and the solve path serves the
+/// combined set through the mixed-fault strategy.
 ///
 /// The session pins its instance's shared InstanceContext at construction,
 /// holds a live canonical fault set, and re-solves incrementally:
 ///  * mutations (add_fault / clear_fault) maintain the sorted distinct set
-///    in place - no per-query canonicalization;
+///    in place - no per-query canonicalization (the one exception: a mixed
+///    session drops node-dominated edge faults when keying a solve, so its
+///    answers and cache entries match the stateless engine exactly);
 ///  * current_ring() re-solves only when the set changed since the last
 ///    call, through the engine's result cache (so revisited fault states -
 ///    an add undone by a clear - are served from cache), against the pinned
@@ -53,17 +58,35 @@ class EmbedSession {
   FaultKind fault_kind() const { return key_.fault_kind; }
   Strategy strategy() const { return key_.strategy; }
 
-  /// The live fault set, sorted and distinct.
+  /// The live fault set, sorted and distinct: node words for kNode and
+  /// kMixed sessions, edge words for kEdge sessions.
   const std::vector<Word>& faults() const { return key_.faults; }
 
-  /// Marks a node/edge word faulty. Returns true if the set changed (false
-  /// when already faulty). Throws precondition_error when out of range.
+  /// The live edge-fault set of a kMixed session (sorted, distinct,
+  /// uncollapsed: a link cut stays live even while its router is also
+  /// dead, so repairing the router resurfaces the cut). Empty for
+  /// homogeneous sessions.
+  const std::vector<Word>& edge_faults() const { return key_.edge_faults; }
+
+  /// Marks a word of the session's own kind faulty. Homogeneous sessions
+  /// only: a kMixed session must name the kind (two-argument overload).
+  /// Returns true if the set changed (false when already faulty). Throws
+  /// precondition_error when out of range.
   bool add_fault(Word fault);
 
-  /// Clears a fault (repair). Returns true if the set changed.
+  /// Marks a node or edge word faulty. `kind` must be kNode or kEdge and,
+  /// for a homogeneous session, must match the session's fault kind; a
+  /// kMixed session accepts both. Returns true if the set changed.
+  bool add_fault(FaultKind kind, Word fault);
+
+  /// Clears a fault (repair) of the session's own kind; homogeneous only.
+  /// Returns true if the set changed.
   bool clear_fault(Word fault);
 
-  /// Drops every fault (full repair).
+  /// Clears a node or edge fault (router repair / link restore).
+  bool clear_fault(FaultKind kind, Word fault);
+
+  /// Drops every fault (full repair), both kinds.
   void reset_faults();
 
   /// The ring for the current fault set. Re-solves only when the set changed
@@ -80,10 +103,17 @@ class EmbedSession {
   }
 
  private:
+  /// The live word list for `kind` plus its range limit (d^n node words
+  /// resp. d^(n+1) edge words). Throws on kind/session mismatch.
+  std::pair<std::vector<Word>*, Word> track(FaultKind kind);
+
   EmbedEngine* engine_;
-  CacheKey key_;  ///< canonical by construction: sorted distinct faults
+  /// Sorted distinct per kind; kMixed sessions keep dominated edge faults
+  /// live here and collapse them per-solve (see current_ring).
+  CacheKey key_;
   std::shared_ptr<const core::InstanceContext> context_;
-  Word fault_limit_ = 0;  ///< d^n node words resp. d^(n+1) edge words
+  Word node_limit_ = 0;  ///< d^n, for node-word faults
+  Word edge_limit_ = 0;  ///< d^(n+1), for edge-word faults
   bool dirty_ = true;
   EmbedResponse last_;
   SessionStats stats_;

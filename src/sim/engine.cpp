@@ -27,10 +27,26 @@ bool Engine::alive(NodeId v) const {
   return !dead_[v];
 }
 
+void Engine::cut_link(NodeId u, NodeId v) {
+  require(u < num_nodes_ && v < num_nodes_, "endpoint out of range");
+  require(edge_ok_(u, v), "no physical link between endpoints");
+  cut_links_.insert(u * num_nodes_ + v);
+}
+
+void Engine::restore_link(NodeId u, NodeId v) {
+  require(u < num_nodes_ && v < num_nodes_, "endpoint out of range");
+  cut_links_.erase(u * num_nodes_ + v);
+}
+
+bool Engine::link_alive(NodeId u, NodeId v) const {
+  require(u < num_nodes_ && v < num_nodes_, "endpoint out of range");
+  return edge_ok_(u, v) && !cut_links_.contains(u * num_nodes_ + v);
+}
+
 void Engine::post(NodeId from, NodeId to, Message msg) {
   require(from < num_nodes_ && to < num_nodes_, "endpoint out of range");
   require(edge_ok_(from, to), "no physical link between endpoints");
-  if (dead_[from] || dead_[to]) {
+  if (dead_[from] || dead_[to] || cut_links_.contains(from * num_nodes_ + to)) {
     ++dropped_;
     return;
   }

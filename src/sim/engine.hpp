@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -20,10 +21,12 @@ struct Message {
 /// Section 2.4: in one time step a processor may send along all of its
 /// outgoing links and receive along all incoming ones).
 ///
-/// Faults are fail-stop processors: a dead node neither sends nor receives;
-/// traffic addressed to it vanishes, which is exactly how the necklace probe
-/// detects faulty necklaces. Links are validated against the supplied
-/// topology predicate so protocols cannot cheat with non-local hops.
+/// Faults are fail-stop processors and cut links: a dead node neither sends
+/// nor receives, and traffic posted on a cut link vanishes — which is
+/// exactly how the necklace probe detects faulty necklaces, and how a
+/// mixed-fault session observes link loss. Links are validated against the
+/// supplied topology predicate so protocols cannot cheat with non-local
+/// hops.
 class Engine {
  public:
   /// edge_ok(u, v) must return true iff the network has a physical link
@@ -37,12 +40,24 @@ class Engine {
   /// Repairs a dead processor: it rejoins the network with empty state and
   /// may send/receive from the next round on (the fault-churn regime).
   void revive(NodeId v);
+  /// True when the processor is not fail-stop dead.
   bool alive(NodeId v) const;
 
+  /// Cuts the physical link u -> v: traffic posted on it is dropped (and
+  /// counted) until restore_link. The link must exist in the topology.
+  /// Cutting an already-cut link is a no-op. The directed-link model
+  /// matches the De Bruijn edge words a mixed-fault session tracks.
+  void cut_link(NodeId u, NodeId v);
+  /// Restores a cut link; restoring an intact link is a no-op.
+  void restore_link(NodeId u, NodeId v);
+  /// True when the topology has the link and it is not currently cut.
+  bool link_alive(NodeId u, NodeId v) const;
+
   /// Queues a message for delivery in the next round. Silently dropped when
-  /// either endpoint is dead (a dead sender models a node that failed before
-  /// the protocol started; callers normally skip dead senders anyway).
-  /// Throws precondition_error if the topology lacks the link.
+  /// either endpoint is dead or the link is cut (a dead sender models a
+  /// node that failed before the protocol started; callers normally skip
+  /// dead senders anyway). Throws precondition_error if the topology lacks
+  /// the link.
   void post(NodeId from, NodeId to, Message msg);
 
   /// Delivers every queued message: invokes on_deliver(dest, batch) once per
@@ -66,6 +81,7 @@ class Engine {
   NodeId num_nodes_;
   std::function<bool(NodeId, NodeId)> edge_ok_;
   std::vector<bool> dead_;
+  std::unordered_set<std::uint64_t> cut_links_;  // keyed u * num_nodes_ + v
   std::vector<std::pair<NodeId, Message>> outbox_;  // (dest, message)
   std::uint64_t rounds_ = 0;
   std::uint64_t delivered_ = 0;

@@ -30,11 +30,15 @@ bool checked_pow(std::uint64_t base, unsigned exp, std::uint64_t* out) {
 }
 
 /// The oracle's own kAuto resolution (mirrors the documented dispatch:
-/// node faults -> kFfc, edge faults -> kEdgeAuto).
+/// node faults -> kFfc, edge faults -> kEdgeAuto, mixed -> kMixed).
 Strategy resolved_strategy(const EmbedRequest& request) {
   if (request.strategy != Strategy::kAuto) return request.strategy;
-  return request.fault_kind == FaultKind::kNode ? Strategy::kFfc
-                                                : Strategy::kEdgeAuto;
+  switch (request.fault_kind) {
+    case FaultKind::kNode: return Strategy::kFfc;
+    case FaultKind::kEdge: return Strategy::kEdgeAuto;
+    case FaultKind::kMixed: return Strategy::kMixed;
+  }
+  return Strategy::kFfc;
 }
 
 bool is_edge_strategy(Strategy s) {
@@ -166,6 +170,44 @@ bool is_loop_edge_word(const WordSpace& ws, Word edge_word) {
   return edge_word / ws.radix() == ws.repeated(a);
 }
 
+std::uint64_t countable_mixed_edges(const WordSpace& ws,
+                                    const std::vector<Word>& node_faults,
+                                    const std::vector<Word>& edge_faults) {
+  std::uint64_t count = 0;
+  for (Word e : edge_faults) {
+    if (is_loop_edge_word(ws, e)) continue;
+    const auto [u, v] = ws.edge_endpoints(e);
+    if (std::binary_search(node_faults.begin(), node_faults.end(), u) ||
+        std::binary_search(node_faults.begin(), node_faults.end(), v)) {
+      continue;  // dominated by a faulty endpoint
+    }
+    ++count;
+  }
+  return count;
+}
+
+std::pair<std::uint64_t, std::uint64_t> mixed_ring_length_envelope(
+    Digit d, unsigned n, std::uint64_t distinct_node_faults,
+    std::uint64_t countable_edge_faults) {
+  const std::uint64_t size = WordSpace(d, n).size();
+  const std::uint64_t upper =
+      distinct_node_faults >= size ? 0 : size - distinct_node_faults;
+  // Pull-back guarantee: each countable edge fault retires at most one
+  // extra necklace, so the Proposition 2.2/2.3 node envelope applies to the
+  // combined count.
+  std::uint64_t lower =
+      node_ring_length_envelope(d, n,
+                                distinct_node_faults + countable_edge_faults)
+          .first;
+  // Node-free sets within the Proposition 3.4 budget are guaranteed a
+  // Hamiltonian cycle by the Section 3.3 constructions.
+  if (distinct_node_faults == 0 &&
+      countable_edge_faults <= edge_fault_guarantee(Strategy::kEdgeAuto, d)) {
+    lower = size;
+  }
+  return {lower, upper};
+}
+
 std::vector<Word> distinct_faults(const std::vector<Word>& faults) {
   std::vector<Word> out = faults;
   std::sort(out.begin(), out.end());
@@ -181,17 +223,27 @@ std::string request_precondition_violation(const EmbedRequest& request) {
     return "d^(n+1) must be representable in 64 bits";
   const std::uint64_t node_space = edge_space / request.base;
   const Strategy strategy = resolved_strategy(request);
+  const bool mixed = request.fault_kind == FaultKind::kMixed;
+  if (!mixed && !request.edge_faults.empty())
+    return "edge_faults requires the mixed fault kind";
+  if (strategy == Strategy::kMixed && !mixed)
+    return "mixed strategy requires the mixed fault kind";
+  if (mixed && strategy != Strategy::kMixed)
+    return "mixed fault kind requires the mixed strategy";
+  if (strategy == Strategy::kMixed && request.n < 2)
+    return "mixed-fault strategy requires n >= 2";
   const bool node_faults = request.fault_kind == FaultKind::kNode;
   if (strategy == Strategy::kFfc && !node_faults)
     return "ffc strategy requires node faults";
-  if (is_edge_strategy(strategy) && node_faults)
+  if (is_edge_strategy(strategy) && request.fault_kind != FaultKind::kEdge)
     return "edge strategies require edge faults";
   if (is_edge_strategy(strategy) && request.n < 2)
     return "edge-fault strategies require n >= 2";
   if (strategy == Strategy::kButterfly &&
       nt::gcd(request.base, request.n) != 1)
     return "butterfly lift requires gcd(d, n) = 1";
-  const std::uint64_t limit = node_faults ? node_space : edge_space;
+  const std::uint64_t limit =
+      request.fault_kind == FaultKind::kEdge ? edge_space : node_space;
   for (Word f : request.faults) {
     if (f >= limit) {
       return "fault word " + std::to_string(f) + " out of range for B(" +
@@ -199,7 +251,14 @@ std::string request_precondition_violation(const EmbedRequest& request) {
              ")";
     }
   }
-  if (node_faults) {
+  for (Word f : request.edge_faults) {
+    if (f >= edge_space) {
+      return "fault word " + std::to_string(f) + " out of range for B(" +
+             std::to_string(request.base) + "," + std::to_string(request.n) +
+             ")";
+    }
+  }
+  if (node_faults || mixed) {
     // The FFC algorithm removes whole necklaces; if the rotation closure of
     // the fault set covers B(d,n) there is nothing left to embed in. The
     // closure has at most n * |faults| nodes, so smaller sets cannot cover.
@@ -325,6 +384,44 @@ void check_edge_ring(const WordSpace& ws, const std::vector<Word>& faults,
   check_claimed_bounds(result, ws.size(), ws.size(), report);
 }
 
+/// Mixed-fault ring: a simple cycle of B(d,n) — not necessarily Hamiltonian
+/// — that visits no faulty node and traverses no faulty edge word, with the
+/// combined pull-back/Hamiltonian envelope.
+void check_mixed_ring(const WordSpace& ws, const std::vector<Word>& node_faults,
+                      const std::vector<Word>& edge_faults,
+                      const EmbedResult& result, OracleReport& report) {
+  check_debruijn_ring(ws, result.ring.nodes, report);
+  const std::unordered_set<Word> faulty_nodes(node_faults.begin(),
+                                              node_faults.end());
+  for (Word v : result.ring.nodes) {
+    if (faulty_nodes.contains(v)) {
+      report.findings.push_back(
+          {Violation::kTouchesFaultyNode,
+           "ring visits faulty node " + ws.to_string(v)});
+      break;
+    }
+  }
+  const std::unordered_set<Word> faulty_edges(edge_faults.begin(),
+                                              edge_faults.end());
+  for (std::size_t i = 0; i < result.ring.nodes.size(); ++i) {
+    const Word u = result.ring.nodes[i];
+    const Word v = result.ring.nodes[(i + 1) % result.ring.nodes.size()];
+    if (u >= ws.size() || v >= ws.size()) break;  // already reported
+    const Word e = ws.edge_word(u, ws.tail(v));
+    if (faulty_edges.contains(e)) {
+      report.findings.push_back(
+          {Violation::kUsesFaultyEdge,
+           "ring traverses faulty edge word " + std::to_string(e) +
+               " at position " + std::to_string(i)});
+      break;
+    }
+  }
+  const auto [lower, upper] = mixed_ring_length_envelope(
+      ws.radix(), ws.length(), node_faults.size(),
+      countable_mixed_edges(ws, node_faults, edge_faults));
+  check_claimed_bounds(result, lower, upper, report);
+}
+
 /// Butterfly ring: Hamiltonian cycle of F(d,n) whose edges, pulled back to
 /// B(d,n) per Lemma 3.8, avoid every faulty De Bruijn edge word. Butterfly
 /// adjacency and the pull-back are re-derived here from the level/column
@@ -441,6 +538,7 @@ OracleReport check_response(const EmbedRequest& request,
   }
   const WordSpace ws(request.base, request.n);
   const std::vector<Word> faults = distinct_faults(request.faults);
+  const std::vector<Word> efaults = distinct_faults(request.edge_faults);
 
   switch (result.status) {
     case EmbedStatus::kBadRequest:
@@ -465,6 +563,20 @@ OracleReport check_response(const EmbedRequest& request,
         // algorithm always embeds in the surviving component.
         add(Violation::kGuaranteeBroken,
             "FFC must embed whenever a nonfaulty node remains");
+      } else if (strategy == Strategy::kMixed) {
+        const std::uint64_t countable = countable_mixed_edges(ws, faults, efaults);
+        const std::uint64_t lower =
+            mixed_ring_length_envelope(request.base, request.n, faults.size(),
+                                       countable)
+                .first;
+        if (lower > 0) {
+          add(Violation::kGuaranteeBroken,
+              std::to_string(faults.size()) + " node + " +
+                  std::to_string(countable) +
+                  " countable edge faults within the mixed guarantee (lower "
+                  "bound " +
+                  std::to_string(lower) + ")");
+        }
       } else {
         const std::uint64_t countable = count_non_loop(ws, faults);
         const std::uint64_t budget =
@@ -503,6 +615,9 @@ OracleReport check_response(const EmbedRequest& request,
       break;
     case Strategy::kButterfly:
       check_butterfly_ring(ws, faults, result, report);
+      break;
+    case Strategy::kMixed:
+      check_mixed_ring(ws, faults, efaults, result, report);
       break;
     case Strategy::kAuto:
       break;  // unreachable: resolved_strategy never returns kAuto

@@ -8,8 +8,10 @@
 // (core/, butterfly/): every quantity it needs from the paper - the
 // Proposition 2.2/2.3 length envelopes, psi(d) and phi(d) edge-fault
 // budgets (Lemma 3.5, Propositions 3.2-3.4), butterfly adjacency and the
-// Lemma 3.8 edge pull-back - is re-derived here from first principles, so
-// a bug in a construction cannot silently agree with its own checker.
+// Lemma 3.8 edge pull-back, and the combined mixed-fault budget (node
+// faults plus undominated non-loop edge faults) - is re-derived here from
+// first principles, so a bug in a construction cannot silently agree with
+// its own checker.
 // service/types.hpp contributes the request/result data types only; it
 // contains no construction code.
 
@@ -95,6 +97,24 @@ std::uint64_t phi_fault_budget(std::uint64_t d);
 /// their maximum (Proposition 3.4) for kEdgeAuto and kButterfly. Node
 /// strategies have no edge budget; requesting one is a precondition error.
 std::uint64_t edge_fault_guarantee(service::Strategy strategy, std::uint64_t d);
+
+/// Edge faults that charge a mixed request's budget: non-loop and not
+/// incident to a faulty node (an edge with a faulty endpoint is dominated —
+/// any node-avoiding ring already avoids it). Both lists must be sorted and
+/// distinct (distinct_faults output). Re-derived here independently of
+/// core/mixed_fault's accounting.
+std::uint64_t countable_mixed_edges(const WordSpace& ws,
+                                    const std::vector<Word>& node_faults,
+                                    const std::vector<Word>& edge_faults);
+
+/// The mixed-fault guarantee envelope on |ring|, re-derived from first
+/// principles: upper = d^n - distinct node faults; lower is the larger of
+/// the Proposition 2.2/2.3 envelope applied to the pull-back closure
+/// (node faults + countable edges, one endpoint each) and — for node-free
+/// sets within the Proposition 3.4 budget — the Hamiltonian d^n.
+std::pair<std::uint64_t, std::uint64_t> mixed_ring_length_envelope(
+    Digit d, unsigned n, std::uint64_t distinct_node_faults,
+    std::uint64_t countable_edge_faults);
 
 /// True if the (n+1)-word encodes a loop edge a^n -> a^n (i.e. a^(n+1)).
 /// Loop faults are harmless: no ring of length >= 2 traverses a loop.

@@ -39,6 +39,10 @@ constexpr Regime kNodeRegimes[] = {
 constexpr Regime kEdgeRegimes[] = {
     Regime::kFaultFree, Regime::kWithinGuarantee,    Regime::kBoundary,
     Regime::kBeyondGuarantee, Regime::kLoopEdges, Regime::kShuffledDuplicates};
+constexpr Regime kMixedRegimes[] = {
+    Regime::kFaultFree,      Regime::kMixedNodeHeavy,
+    Regime::kMixedEdgeHeavy, Regime::kMixedCorrelated,
+    Regime::kBeyondGuarantee, Regime::kShuffledDuplicates};
 
 /// The loop edge word a^(n+1) of B(d,n), built digit by digit.
 Word loop_edge_word(Digit d, unsigned n, Digit a) {
@@ -59,23 +63,20 @@ void shuffle(std::vector<Word>& words, Rng& rng) {
   }
 }
 
-/// The shared churn event loop: adds draw fresh words, removals draw live
-/// ones, and the live set never exceeds max_live, so streams hover around
-/// the chosen boundary. Every event mutates the live set.
-std::vector<ChurnEvent> churn_events(Rng& rng, std::uint64_t space,
-                                     std::uint64_t max_live,
-                                     std::size_t event_count) {
-  // A live set can never exceed the word space; without the clamp a
-  // caller-chosen max_live > space would make the fresh-word draw below
-  // spin forever once every word is live.
-  max_live = std::min(max_live, space);
+/// One kind's live set plus the grammar of a single churn step: adds draw
+/// fresh words, removals draw live ones, and the live set never exceeds
+/// max_live. Every step mutates the live set.
+struct ChurnTrack {
+  FaultKind kind = FaultKind::kNode;
+  std::uint64_t space = 0;
+  std::uint64_t max_live = 0;
   std::vector<Word> live;  // sorted
-  std::vector<ChurnEvent> events;
-  events.reserve(event_count);
-  for (std::size_t i = 0; i < event_count; ++i) {
-    const bool add = live.empty() ||
-                     (live.size() < max_live && rng.below(5) < 3);
+
+  ChurnEvent step(Rng& rng) {
+    const bool add =
+        live.empty() || (live.size() < max_live && rng.below(5) < 3);
     ChurnEvent event;
+    event.kind = kind;
     event.add = add;
     if (add) {
       Word w;
@@ -91,7 +92,44 @@ std::vector<ChurnEvent> churn_events(Rng& rng, std::uint64_t space,
       event.fault = live[pick];
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
     }
-    events.push_back(event);
+    return event;
+  }
+};
+
+/// The homogeneous churn event loop over one word space, tagged `kind`.
+std::vector<ChurnEvent> churn_events(Rng& rng, FaultKind kind,
+                                     std::uint64_t space,
+                                     std::uint64_t max_live,
+                                     std::size_t event_count) {
+  // A live set can never exceed the word space; without the clamp a
+  // caller-chosen max_live > space would make the fresh-word draw spin
+  // forever once every word is live.
+  ChurnTrack track{kind, space, std::min(max_live, space), {}};
+  std::vector<ChurnEvent> events;
+  events.reserve(event_count);
+  for (std::size_t i = 0; i < event_count; ++i) events.push_back(track.step(rng));
+  return events;
+}
+
+/// The mixed churn event loop: each event flips a seeded coin between the
+/// router track (node words) and the link track (edge words), then churns
+/// that track. Both kinds hover around their own budgets.
+std::vector<ChurnEvent> churn_events_mixed(
+    Rng& rng, std::uint64_t node_space, std::uint64_t edge_space,
+    std::uint64_t max_live_nodes, std::uint64_t max_live_edges,
+    std::size_t event_count) {
+  ChurnTrack nodes{FaultKind::kNode, node_space,
+                   std::min(max_live_nodes, node_space), {}};
+  ChurnTrack edges{FaultKind::kEdge, edge_space,
+                   std::min(max_live_edges, edge_space), {}};
+  std::vector<ChurnEvent> events;
+  events.reserve(event_count);
+  for (std::size_t i = 0; i < event_count; ++i) {
+    ChurnTrack* track = rng.below(2) == 0 ? &nodes : &edges;
+    // Keep zero-cap tracks out of the stream (their only legal state is
+    // empty); the caller guarantees at least one track has a nonzero cap.
+    if (track->max_live == 0) track = track == &nodes ? &edges : &nodes;
+    events.push_back(track->step(rng));
   }
   return events;
 }
@@ -107,6 +145,89 @@ void duplicate_and_shuffle(std::vector<Word>& faults, Rng& rng) {
   shuffle(faults, rng);
 }
 
+/// Mixed node+edge scenarios: both fault lists populated per regime. The
+/// combined pull-back budget (node faults + charged edge faults within the
+/// Proposition 2.2/2.3 envelope) plays the role the node boundary plays for
+/// kFfc; node-free edge-heavy draws use the Proposition 3.4 edge budget.
+void fill_mixed_scenario(Rng& rng, Scenario& sc) {
+  EmbedRequest& req = sc.request;
+  req.fault_kind = FaultKind::kMixed;
+  const GraphShape shape = kEdgeGraphs[rng.below(std::size(kEdgeGraphs))];
+  req.base = shape.d;
+  req.n = shape.n;
+  sc.regime = kMixedRegimes[rng.below(std::size(kMixedRegimes))];
+
+  const WordSpace ws(shape.d, shape.n);
+  const std::uint64_t boundary = node_fault_boundary(shape.d);
+
+  std::uint64_t node_count = 0;
+  std::uint64_t edge_count = 0;
+  switch (sc.regime) {
+    case Regime::kFaultFree:
+      break;
+    case Regime::kMixedNodeHeavy: {
+      // Mostly dead routers, a minority of cut links, total within the
+      // pull-back guarantee.
+      const std::uint64_t total =
+          1 + rng.below(std::max<std::uint64_t>(boundary, 1));
+      edge_count = total > 1 ? rng.below(total / 2 + 1) : 0;
+      node_count = total - edge_count;
+      break;
+    }
+    case Regime::kMixedEdgeHeavy: {
+      // Mostly cut links; at most one dead router. Node-free draws get the
+      // full Proposition 3.4 edge budget (the Hamiltonian route).
+      node_count = rng.below(2);
+      const std::uint64_t budget =
+          node_count == 0
+              ? edge_fault_guarantee(service::Strategy::kEdgeAuto, shape.d)
+              : (boundary > node_count ? boundary - node_count : 0);
+      edge_count = 1 + rng.below(std::max<std::uint64_t>(budget, 1));
+      break;
+    }
+    case Regime::kMixedCorrelated: {
+      // Correlated router loss: a dead word implies its 2d incident links,
+      // all listed explicitly — the cross-kind canonicalization must
+      // collapse every one of them onto the node fault.
+      const std::uint64_t dead = 1 + rng.below(2);
+      for (std::uint64_t u : rng.sample_distinct(ws.size(), dead)) {
+        req.faults.push_back(u);
+        for (Digit a = 0; a < shape.d; ++a) {
+          req.edge_faults.push_back(ws.edge_word(u, a));  // out-links u -> .
+          req.edge_faults.push_back(                      // in-links  . -> u
+              ws.edge_word(ws.shift_prepend(u, a), ws.tail(u)));
+        }
+      }
+      req.edge_faults = distinct_faults(req.edge_faults);
+      shuffle(req.faults, rng);
+      shuffle(req.edge_faults, rng);
+      return;
+    }
+    case Regime::kBeyondGuarantee:
+      node_count = boundary + 1 + rng.below(2);
+      edge_count = 1 + rng.below(3);
+      break;
+    case Regime::kShuffledDuplicates: {
+      const std::uint64_t total = 1 + rng.below(std::max<std::uint64_t>(boundary, 1));
+      edge_count = rng.below(total + 1);
+      node_count = total - edge_count;
+      break;
+    }
+    default:
+      break;  // unreachable: not in the mixed regime table
+  }
+  for (std::uint64_t v : rng.sample_distinct(ws.size(), node_count)) {
+    req.faults.push_back(v);
+  }
+  for (std::uint64_t v : rng.sample_distinct(ws.edge_word_count(), edge_count)) {
+    req.edge_faults.push_back(v);
+  }
+  if (sc.regime == Regime::kShuffledDuplicates) {
+    duplicate_and_shuffle(req.faults, rng);
+    duplicate_and_shuffle(req.edge_faults, rng);
+  }
+}
+
 }  // namespace
 
 const char* to_string(Regime r) {
@@ -118,6 +239,9 @@ const char* to_string(Regime r) {
     case Regime::kClusteredNecklace: return "clustered_necklace";
     case Regime::kLoopEdges: return "loop_edges";
     case Regime::kShuffledDuplicates: return "shuffled_duplicates";
+    case Regime::kMixedNodeHeavy: return "mixed_node_heavy";
+    case Regime::kMixedEdgeHeavy: return "mixed_edge_heavy";
+    case Regime::kMixedCorrelated: return "mixed_correlated";
   }
   return "unknown";
 }
@@ -137,6 +261,14 @@ std::string Scenario::describe() const {
     out += std::to_string(request.faults[i]);
   }
   out += "]";
+  if (!request.edge_faults.empty()) {
+    out += " edge_faults=[";
+    for (std::size_t i = 0; i < request.edge_faults.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(request.edge_faults[i]);
+    }
+    out += "]";
+  }
   return out;
 }
 
@@ -149,6 +281,11 @@ Scenario make_scenario(std::uint64_t seed, Strategy strategy) {
   sc.seed = seed;
   EmbedRequest& req = sc.request;
   req.strategy = strategy;
+
+  if (strategy == Strategy::kMixed) {
+    fill_mixed_scenario(rng, sc);
+    return sc;
+  }
 
   bool node_faults = false;
   if (strategy == Strategy::kFfc) {
@@ -209,6 +346,10 @@ Scenario make_scenario(std::uint64_t seed, Strategy strategy) {
       shuffle(req.faults, rng);
       return sc;
     }
+    case Regime::kMixedNodeHeavy:
+    case Regime::kMixedEdgeHeavy:
+    case Regime::kMixedCorrelated:
+      break;  // unreachable: only fill_mixed_scenario draws these regimes
     case Regime::kLoopEdges: {
       // One or more genuine loop words (harmless by definition) on top of a
       // within-guarantee random set: the guarantee accounting must not
@@ -236,9 +377,11 @@ Scenario make_scenario(std::uint64_t seed, Strategy strategy) {
   return sc;
 }
 
-std::vector<Word> ChurnScript::final_faults() const {
-  std::vector<Word> live;
+service::FaultSet ChurnScript::final_fault_set() const {
+  service::FaultSet set;
   for (const ChurnEvent& e : events) {
+    std::vector<Word>& live =
+        e.kind == service::FaultKind::kEdge ? set.edges : set.nodes;
     const auto it = std::lower_bound(live.begin(), live.end(), e.fault);
     if (e.add) {
       if (it == live.end() || *it != e.fault) live.insert(it, e.fault);
@@ -246,7 +389,14 @@ std::vector<Word> ChurnScript::final_faults() const {
       live.erase(it);
     }
   }
-  return live;
+  return set;
+}
+
+std::vector<Word> ChurnScript::final_faults() const {
+  service::FaultSet set = final_fault_set();
+  std::vector<Word> out = std::move(set.nodes);
+  out.insert(out.end(), set.edges.begin(), set.edges.end());
+  return out;
 }
 
 std::string ChurnScript::describe() const {
@@ -256,10 +406,15 @@ std::string ChurnScript::describe() const {
                     service::to_string(base_request.strategy) + ")";
   out += " kind=";
   out += service::to_string(base_request.fault_kind);
+  const bool mixed = base_request.fault_kind == service::FaultKind::kMixed;
   out += " events=[";
   for (std::size_t i = 0; i < events.size(); ++i) {
     if (i > 0) out += ", ";
     out += events[i].add ? '+' : '-';
+    // Mixed streams tag each event with its word space.
+    if (mixed) {
+      out += events[i].kind == service::FaultKind::kEdge ? "e" : "n";
+    }
     out += std::to_string(events[i].fault);
   }
   out += "]";
@@ -269,7 +424,7 @@ std::string ChurnScript::describe() const {
 ChurnScript make_churn_script(std::uint64_t seed, Strategy strategy,
                               std::size_t event_count) {
   // A split stream disjoint from make_scenario's (which uses split(strategy),
-  // values 0..5), so churn scripts and one-shot scenarios sharing a seed are
+  // values 0..6), so churn scripts and one-shot scenarios sharing a seed are
   // decorrelated.
   Rng rng = Rng(seed).split(100 + static_cast<std::uint64_t>(strategy));
 
@@ -277,6 +432,25 @@ ChurnScript make_churn_script(std::uint64_t seed, Strategy strategy,
   script.seed = seed;
   EmbedRequest& req = script.base_request;
   req.strategy = strategy;
+
+  if (strategy == Strategy::kMixed) {
+    req.fault_kind = FaultKind::kMixed;
+    const GraphShape shape = kEdgeGraphs[rng.below(std::size(kEdgeGraphs))];
+    req.base = shape.d;
+    req.n = shape.n;
+    const WordSpace ws(shape.d, shape.n);
+    // Each track hovers around its own budget: routers around the pull-back
+    // boundary, links around the Proposition 3.4 edge budget, both with a
+    // little beyond-guarantee headroom.
+    const std::uint64_t node_boundary = node_fault_boundary(shape.d);
+    const std::uint64_t edge_boundary =
+        edge_fault_guarantee(Strategy::kEdgeAuto, shape.d);
+    script.events = churn_events_mixed(
+        rng, ws.size(), ws.edge_word_count(),
+        std::max<std::uint64_t>(node_boundary, 1) + 1,
+        std::max<std::uint64_t>(edge_boundary, 1) + 1, event_count);
+    return script;
+  }
 
   bool node_faults = false;
   if (strategy == Strategy::kFfc) {
@@ -309,7 +483,8 @@ ChurnScript make_churn_script(std::uint64_t seed, Strategy strategy,
   // little (so the stream visits kNoEmbedding-legal states) but churns back
   // under it.
   const std::uint64_t max_live = std::max<std::uint64_t>(boundary, 1) + 2;
-  script.events = churn_events(rng, space, max_live, event_count);
+  script.events =
+      churn_events(rng, req.fault_kind, space, max_live, event_count);
   return script;
 }
 
@@ -325,11 +500,18 @@ ChurnScript make_churn_script(std::uint64_t seed,
   script.seed = seed;
   script.base_request = base_request;
   script.base_request.faults.clear();
+  script.base_request.edge_faults.clear();
   const WordSpace ws(base_request.base, base_request.n);
+  if (base_request.fault_kind == FaultKind::kMixed) {
+    script.events = churn_events_mixed(rng, ws.size(), ws.edge_word_count(),
+                                       max_live, max_live, event_count);
+    return script;
+  }
   const std::uint64_t space = base_request.fault_kind == FaultKind::kNode
                                   ? ws.size()
                                   : ws.edge_word_count();
-  script.events = churn_events(rng, space, max_live, event_count);
+  script.events = churn_events(rng, base_request.fault_kind, space, max_live,
+                               event_count);
   return script;
 }
 

@@ -20,6 +20,7 @@
 
 namespace dbr::verify {
 
+/// Fault-set shape of one generated scenario (see the README table).
 enum class Regime : std::uint8_t {
   kFaultFree = 0,       ///< f = 0: the construction must always embed
   kWithinGuarantee,     ///< 1 <= f < boundary for the strategy
@@ -28,8 +29,13 @@ enum class Regime : std::uint8_t {
   kClusteredNecklace,   ///< node faults filling one rotation class
   kLoopEdges,           ///< edge faults including harmless loop words a^(n+1)
   kShuffledDuplicates,  ///< within-guarantee set, duplicated and permuted
+  kMixedNodeHeavy,      ///< mixed: mostly dead routers, a few cut links
+  kMixedEdgeHeavy,      ///< mixed: mostly cut links, at most one dead router
+  kMixedCorrelated,     ///< mixed: dead routers with all 2d incident links
+                        ///< listed too (must collapse in canonicalization)
 };
 
+/// Short snake_case name of the regime (e.g. "mixed_node_heavy").
 const char* to_string(Regime r);
 
 struct Scenario {
@@ -57,9 +63,12 @@ std::vector<Scenario> make_sweep(std::uint64_t base_seed,
 // --- Churn regime: seeded add/remove event streams ---
 
 /// One fault-churn event: a fault appears (add) or is repaired (clear).
+/// `kind` distinguishes a dead router from a cut link in mixed streams; it
+/// stays kNode in homogeneous node streams and kEdge in edge streams.
 struct ChurnEvent {
-  bool add = true;
-  Word fault = 0;
+  bool add = true;                           ///< true = fault, false = repair
+  Word fault = 0;                            ///< node or edge word
+  service::FaultKind kind = service::FaultKind::kNode;  ///< which space `fault` lives in
 
   bool operator==(const ChurnEvent&) const = default;
 };
@@ -75,7 +84,14 @@ struct ChurnScript {
   service::EmbedRequest base_request;
   std::vector<ChurnEvent> events;
 
-  /// The fault set live after replaying every event (sorted, distinct).
+  /// The fault set live after replaying every event, split by kind (each
+  /// list sorted, distinct). Mixed scripts must use this: a node word and
+  /// an edge word may share a numeric value.
+  service::FaultSet final_fault_set() const;
+
+  /// The live words after replaying every event, node faults then edge
+  /// faults (each sorted, distinct). For homogeneous scripts this is simply
+  /// the live fault set.
   std::vector<Word> final_faults() const;
 
   /// Leads with the reproduction tuple "(seed=…, base=…, n=…, strategy=…)",
@@ -86,15 +102,18 @@ struct ChurnScript {
 /// Deterministically expands (seed, strategy) into one churn script of
 /// `event_count` events. Adds draw fresh words, removals draw live ones;
 /// the stream never clears a fault that is not live nor re-adds a live one,
-/// so every event mutates the session's fault set.
+/// so every event mutates the session's fault set. Strategy::kMixed yields
+/// a heterogeneous stream: each event is a router kill/repair or a link
+/// cut/restore, with both kinds hovering around their guarantee budgets.
 ChurnScript make_churn_script(std::uint64_t seed, service::Strategy strategy,
                               std::size_t event_count);
 
 /// Same event grammar over an explicit instance: `base_request` supplies
 /// (base, n, fault kind, strategy) — its fault list is ignored — and the
 /// live set is capped at `max_live` instead of the seed-drawn guarantee
-/// hover. Lets benches churn instances outside the fuzz shape tables while
-/// replaying exactly the regime the test suites exercise.
+/// hover (for kMixed, each kind is capped at `max_live` separately). Lets
+/// benches churn instances outside the fuzz shape tables while replaying
+/// exactly the regime the test suites exercise.
 ChurnScript make_churn_script(std::uint64_t seed,
                               const service::EmbedRequest& base_request,
                               std::size_t event_count, std::uint64_t max_live);

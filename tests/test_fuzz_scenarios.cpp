@@ -42,13 +42,15 @@ std::size_t sweep_size() {
 
 std::uint64_t base_seed() { return env_u64("DBR_FUZZ_SEED", 20260729); }
 
-/// Reversed and with the first fault duplicated: a different presentation
-/// of the same fault set, which canonicalization must collapse onto the
-/// original cache entry.
+/// Reversed and with the first fault duplicated (both word lists): a
+/// different presentation of the same fault set, which canonicalization
+/// must collapse onto the original cache entry.
 EmbedRequest representation_variant(const EmbedRequest& req) {
   EmbedRequest out = req;
   std::reverse(out.faults.begin(), out.faults.end());
   if (!out.faults.empty()) out.faults.push_back(out.faults.back());
+  std::reverse(out.edge_faults.begin(), out.edge_faults.end());
+  if (!out.edge_faults.empty()) out.edge_faults.push_back(out.edge_faults.back());
   return out;
 }
 
@@ -102,6 +104,7 @@ TEST(FuzzScenarios, EdgeAuto) { run_sweep(Strategy::kEdgeAuto); }
 TEST(FuzzScenarios, EdgeScan) { run_sweep(Strategy::kEdgeScan); }
 TEST(FuzzScenarios, EdgePhi) { run_sweep(Strategy::kEdgePhi); }
 TEST(FuzzScenarios, Butterfly) { run_sweep(Strategy::kButterfly); }
+TEST(FuzzScenarios, Mixed) { run_sweep(Strategy::kMixed); }
 
 // The same edge-fault instance served under the scan, the phi-construction
 // and the auto dispatch: every kOk ring must pass the oracle, and auto must
