@@ -15,12 +15,22 @@
 //     served by a stateful EmbedSession (pinned context + result cache)
 //     vs a cold stateless query per event. Reports per-update latency.
 //
+//  3. Incremental repair vs full recompute: the same churn timeline (every
+//     event a single-fault delta) through a repair-enabled session
+//     (EngineOptions::incremental_repair - core/repair necklace splicing)
+//     and a recompute session, result caches off so every event pays its
+//     real serve path. Every answer on both sides is held against the
+//     verify/ oracle; the bench exits nonzero on any violation or any
+//     verdict divergence (other than repair strictly improving on a
+//     beyond-guarantee kNoEmbedding, reported as `improved`).
+//
 // Writes the machine-readable BENCH_fault_churn.json.
 //
 // Knobs (env):   DBR_SEED
-// Knobs (argv):  --queries N   distinct fault sets per family   (default 250)
-//                --events N    churn events in the session part (default 400)
-//                --out PATH    JSON path (default BENCH_fault_churn.json)
+// Knobs (argv):  --queries N        distinct fault sets per family (default 250)
+//                --events N         churn events in the session part (default 400)
+//                --repair-events N  churn events per repair family  (default 300)
+//                --out PATH         JSON path (default BENCH_fault_churn.json)
 
 #include <algorithm>
 #include <chrono>
@@ -38,6 +48,7 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/word.hpp"
+#include "verify/oracle.hpp"
 #include "verify/scenario.hpp"
 
 namespace {
@@ -156,16 +167,19 @@ int main(int argc, char** argv) {
   const std::initializer_list<dbr::bench::UsageFlag> kFlags = {
       {"--queries N", "distinct fault sets per family (default 250)"},
       {"--events N", "churn events in the session part (default 400)"},
+      {"--repair-events N", "churn events per repair family (default 300)"},
       {"--out PATH", "JSON artifact path (default BENCH_fault_churn.json)"},
   };
   std::size_t queries = 250;
   std::size_t events = 400;
+  std::size_t repair_events = 300;
   std::string out_path = "BENCH_fault_churn.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
     if (arg == "--queries") queries = std::strtoull(next(), nullptr, 10);
     else if (arg == "--events") events = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--repair-events") repair_events = std::strtoull(next(), nullptr, 10);
     else if (arg == "--out") out_path = next();
     else return dbr::bench::usage_exit(argv[i], kName, kSummary, kFlags);
   }
@@ -334,6 +348,153 @@ int main(int argc, char** argv) {
       .field("solves", session.stats().solves)
       .field("identical_responses", session_identical)
       .end_object();
+
+  // --- Incremental repair vs full recompute on single-fault deltas. ---
+  dbr::bench::heading("fault churn: incremental repair vs full recompute");
+  struct RepairFamily {
+    const char* name;
+    Digit base;
+    unsigned n;
+    FaultKind kind;
+    Strategy strategy;
+    std::uint64_t max_live;
+  };
+  // One family per repairable construction: FFC necklace splicing, the
+  // psi-scan no-op path, and mixed pull-back detours.
+  constexpr RepairFamily kRepairFamilies[] = {
+      {"ffc_node_b2_n12", 2, 12, FaultKind::kNode, Strategy::kFfc, 4},
+      {"edge_auto_b4_n6", 4, 6, FaultKind::kEdge, Strategy::kEdgeAuto, 2},
+      {"mixed_b2_n10", 2, 10, FaultKind::kMixed, Strategy::kMixed, 3},
+  };
+  bool repair_verdicts_ok = true;
+  std::uint64_t repair_violations = 0;
+  double headline_speedup = 0.0;
+  std::uint64_t headline_fell_back = 0;
+  dbr::TextTable repair_table({"family", "events", "repair_p50_us",
+                               "recompute_p50_us", "speedup_p50", "spliced",
+                               "fell_back"});
+  json.key("repair").begin_object();
+  json.key("families").begin_array();
+  for (const RepairFamily& family : kRepairFamilies) {
+    EmbedRequest instance;
+    instance.base = family.base;
+    instance.n = family.n;
+    instance.fault_kind = family.kind;
+    instance.strategy = family.strategy;
+    const dbr::verify::ChurnScript churn = dbr::verify::make_churn_script(
+        dbr::bench::seed(), instance, repair_events, family.max_live);
+
+    // Result caches off on both sides: every event pays its genuine serve
+    // path (splice vs re-solve), not a cache replay of a revisited state.
+    EngineOptions repair_opts;
+    repair_opts.incremental_repair = true;
+    repair_opts.enable_cache = false;
+    EmbedEngine repair_engine(repair_opts);
+    EmbedSession repair_session(repair_engine, family.base, family.n,
+                                family.kind, family.strategy);
+    EngineOptions recompute_opts;
+    recompute_opts.enable_cache = false;
+    EmbedEngine recompute_engine(recompute_opts);
+    EmbedSession recompute_session(recompute_engine, family.base, family.n,
+                                   family.kind, family.strategy);
+
+    LatencyRecorder repair_lat, recompute_lat;
+    std::uint64_t improved = 0;
+    bool verdicts_ok = true;
+    for (const dbr::verify::ChurnEvent& event : churn.events) {
+      Clock::time_point start = Clock::now();
+      if (event.add) {
+        repair_session.add_fault(event.kind, event.fault);
+      } else {
+        repair_session.clear_fault(event.kind, event.fault);
+      }
+      const EmbedResponse repaired = repair_session.current_ring();
+      repair_lat.record(micros_since(start));
+
+      start = Clock::now();
+      if (event.add) {
+        recompute_session.add_fault(event.kind, event.fault);
+      } else {
+        recompute_session.clear_fault(event.kind, event.fault);
+      }
+      const EmbedResponse recomputed = recompute_session.current_ring();
+      recompute_lat.record(micros_since(start));
+
+      EmbedRequest request = instance;
+      request.faults = repair_session.faults();
+      request.edge_faults = repair_session.edge_faults();
+      if (!repaired.result || !recomputed.result) {
+        verdicts_ok = false;
+        continue;
+      }
+      if (!dbr::verify::check_response(request, *repaired.result).ok() ||
+          !dbr::verify::check_response(request, *recomputed.result).ok()) {
+        ++repair_violations;
+      }
+      if (repaired.result->status == recomputed.result->status) {
+        if (repaired.result->lower_bound != recomputed.result->lower_bound ||
+            repaired.result->upper_bound != recomputed.result->upper_bound) {
+          verdicts_ok = false;  // envelope divergence is a repair bug
+        }
+      } else if (repaired.result->status == dbr::service::EmbedStatus::kOk &&
+                 recomputed.result->status ==
+                     dbr::service::EmbedStatus::kNoEmbedding) {
+        ++improved;  // a surviving spliced ring beats giving up
+      } else {
+        verdicts_ok = false;
+      }
+    }
+    repair_verdicts_ok = repair_verdicts_ok && verdicts_ok;
+
+    const auto& rstats = repair_session.repair_stats();
+    const double speedup = repair_lat.percentile(50) > 0.0
+                               ? recompute_lat.percentile(50) /
+                                     repair_lat.percentile(50)
+                               : 0.0;
+    if (family.strategy == Strategy::kFfc) {
+      headline_speedup = speedup;  // the primary churn family
+      headline_fell_back = rstats.fell_back;
+    }
+    repair_table.new_row()
+        .add(family.name)
+        .add(static_cast<std::uint64_t>(churn.events.size()))
+        .add(repair_lat.percentile(50), 1)
+        .add(recompute_lat.percentile(50), 1)
+        .add(speedup, 2)
+        .add(rstats.spliced)
+        .add(rstats.fell_back);
+    json.begin_object()
+        .field("family", family.name)
+        .field("base", static_cast<std::uint64_t>(family.base))
+        .field("n", family.n)
+        .field("strategy", dbr::service::to_string(family.strategy))
+        .field("events", static_cast<std::uint64_t>(churn.events.size()))
+        .field("repair_p50_micros", repair_lat.percentile(50))
+        .field("repair_p99_micros", repair_lat.percentile(99))
+        .field("repair_mean_micros", repair_lat.mean())
+        .field("recompute_p50_micros", recompute_lat.percentile(50))
+        .field("recompute_p99_micros", recompute_lat.percentile(99))
+        .field("recompute_mean_micros", recompute_lat.mean())
+        .field("speedup_p50", speedup)
+        .field("spliced", rstats.spliced)
+        .field("fell_back", rstats.fell_back)
+        .field("oracle_rejections", rstats.oracle_rejections)
+        .field("improved_over_recompute", improved)
+        .field("verdicts_identical", verdicts_ok)
+        .end_object();
+  }
+  json.end_array();
+  json.field("single_fault_median_speedup", headline_speedup)
+      .field("headline_fell_back", headline_fell_back)
+      .field("oracle_violations", repair_violations)
+      .field("verdicts_identical", repair_verdicts_ok)
+      .end_object();
+  dbr::bench::emit(repair_table);
+  std::cout << "repair speedup on single-fault deltas (ffc family, p50): "
+            << headline_speedup << "x, oracle violations: "
+            << repair_violations << ", verdicts identical: "
+            << (repair_verdicts_ok ? "yes" : "NO") << "\n";
+
   json.field("identical_responses", identical);
   json.end_object();
 
@@ -342,5 +503,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "wrote " << out_path << "\n";
-  return identical ? 0 : 1;
+  return (identical && repair_verdicts_ok && repair_violations == 0) ? 0 : 1;
 }

@@ -74,7 +74,10 @@ void emit_mode_json(dbr::bench::JsonWriter& json, const ModeOutcome& mode) {
       .field("cache_hits", mode.stats.cache_hits())
       .field("hit_rate", mode.stats.hit_rate())
       .field("oracle_checked", mode.validation.checked)
-      .field("oracle_violations", mode.validation.violations);
+      .field("oracle_violations", mode.validation.violations)
+      // Quarantined responses are counted apart and excluded from the
+      // latency percentiles below (they measure the veto, not serving).
+      .field("quarantined", mode.stats.quarantined());
   json.key("latency_micros")
       .begin_object()
       .field("mean", latency.mean())
@@ -146,7 +149,7 @@ int main(int argc, char** argv) {
                                 &cached_plain, &cached_oracle};
 
   dbr::TextTable table({"mode", "qps", "hit_rate", "p50_us", "p99_us",
-                        "checked", "violations"});
+                        "checked", "violations", "quarantined"});
   for (const ModeOutcome* mode : modes) {
     const auto latency = mode->stats.merged_latency();
     table.new_row()
@@ -156,7 +159,8 @@ int main(int argc, char** argv) {
         .add(latency.percentile(50), 1)
         .add(latency.percentile(99), 1)
         .add(mode->validation.checked)
-        .add(mode->validation.violations);
+        .add(mode->validation.violations)
+        .add(mode->stats.quarantined());
   }
   dbr::bench::emit(table);
 

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file
+/// Incremental ring repair: fault-delta splicing on a previously embedded
+/// ring (the churn-session fast path).
+///
+/// The paper's FFC construction is inherently local. A ring H produced by
+/// the Chapter-2 algorithm is fully determined by its node sequence: every
+/// step is either the natural necklace rotation pi(v) or a labeled reroute
+/// exit -> entry with suffix(exit) = prefix(entry) = w, and within one
+/// necklace the entry for label w is exactly pi(exit) (the rotation
+/// successor of the exit node). A previously computed ring therefore *is*
+/// the splice structure — no tree or broadcast state needs to be carried:
+///
+///  * **Excision** (a new faulty necklace, Lemma 3.8 locality): the dying
+///    necklace's arcs are cut out of the cyclic sequence — every in-edge
+///    from outside follows the walk through the necklace to its first
+///    outside successor and is stitched there. Removing arcs from a single
+///    cyclic sequence and reconnecting the remainder in order always
+///    leaves a single cycle, and every stitch x -> t reuses an edge the
+///    old ring already traversed out of the necklace's boundary, so the
+///    stitched steps are genuine B(d,n) edges by construction.
+///
+///  * **Reinsertion** (a repaired necklace): the necklace is laid down as
+///    its own natural rotation cycle, and a *reconnect* pass merges all
+///    cycles into one ring with the FFC Step-2 label move — two edges
+///    sharing an (n-1)-digit label w (every De Bruijn edge u -> v carries
+///    suffix(u) = prefix(v)) cross-stitch into one cycle on genuine edges.
+///    The same pass re-joins anything a multi-label excision split.
+///
+///  * **Pull-back detour** (mixed faults): a newly cut link the ring
+///    traverses is charged to its cheaper endpoint necklace (the
+///    Chapter-2 pull-back rule) and that necklace is excised.
+///
+/// Every repair self-validates before it is served: the spliced successor
+/// function must close into a single cycle over exactly the surviving
+/// cover, the walk must avoid every current fault word (nodes and edges),
+/// and the length must sit inside the same paper envelope a cold solve
+/// would claim. Anything else *falls back* to the full solve — repair can
+/// change which valid ring is served, never whether the answer is valid.
+///
+/// Hamiltonian-route rings (the Section 3.3 edge strategies and the
+/// butterfly lift) admit a cheaper repair: a delta whose new faulty edge
+/// words the ring already avoids is a no-op; a traversed fault needs a
+/// different family member, which is a full re-solve.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/instance_context.hpp"
+#include "debruijn/cycle.hpp"
+
+namespace dbr::core {
+
+/// Why a repair attempt declined and handed the query back to the full
+/// solve path. kNone means the repair was served.
+enum class RepairFallback : std::uint8_t {
+  kNone = 0,         ///< repaired: no fallback needed.
+  kMalformedRing,    ///< the prior ring is not a usable splice structure.
+  kRingVanished,     ///< the delta excised every covered node.
+  kDisconnected,     ///< label moves could not re-merge the spliced cycles.
+  kEnvelope,         ///< the repaired length escapes the paper envelope.
+  kCrossesFamily,    ///< the delta needs a different construction/family
+                     ///< (e.g. a traversed edge fault or a route switch).
+  kTouchesFault,     ///< the spliced walk would visit a live fault word.
+};
+
+/// Short snake_case name of the fallback reason (e.g. "crosses_family").
+const char* to_string(RepairFallback f);
+
+/// Outcome of one repair attempt. On success either `ring` holds the
+/// spliced ring, or `unchanged` reports that the old ring serves the new
+/// fault set as-is (the no-op repair: the caller keeps its existing —
+/// typically shared, allocation-free — result). The bounds are the
+/// recomputed paper envelope for the *new* fault set (what a cold solve
+/// would claim).
+struct RepairOutcome {
+  std::optional<NodeCycle> ring;  ///< the spliced ring, when it changed.
+  bool unchanged = false;         ///< the old ring still serves verbatim.
+  std::uint64_t lower_bound = 0;  ///< recomputed envelope for the new set.
+  std::uint64_t upper_bound = 0;  ///< recomputed envelope for the new set.
+  RepairFallback fallback = RepairFallback::kNone;  ///< why not, otherwise.
+  std::uint64_t spliced_necklaces = 0;  ///< necklaces excised + reinserted.
+
+  /// True when the repair succeeded (a spliced ring or a no-op).
+  bool repaired() const { return unchanged || ring.has_value(); }
+};
+
+/// Repairs a Chapter-2 FFC ring across a node-fault delta. `old_faults`
+/// is the canonical (sorted, distinct) fault set the ring was solved for,
+/// `new_faults` the canonical target set; necklaces newly hit are excised
+/// and necklaces whose last fault cleared are re-attached through the
+/// label-merge pass. Falls back when the label moves cannot keep the
+/// cover on one cycle or the result escapes the Proposition 2.2/2.3
+/// envelope for `new_faults`.
+RepairOutcome repair_node_ring(const InstanceContext& ctx,
+                               const NodeCycle& old_ring,
+                               std::span<const Word> old_faults,
+                               std::span<const Word> new_faults);
+
+/// Repairs a Section-3.3 Hamiltonian ring across an edge-fault delta: an
+/// `unchanged` no-op when the ring traverses none of `new_faults` (fault
+/// words the ring avoids — including every removed fault — cost nothing;
+/// one allocation-free scan of the ring's edge words), a kCrossesFamily
+/// fallback when a new fault sits on a traversed edge (another family
+/// member must be selected, which is the full solve).
+RepairOutcome repair_edge_ring(const InstanceContext& ctx,
+                               const NodeCycle& old_ring,
+                               std::span<const Word> new_faults);
+
+/// Same contract as repair_edge_ring for a lifted butterfly ring: the
+/// ring's F(d,n) edges are pulled back to De Bruijn edge words per
+/// Lemma 3.8 and checked against `new_faults`.
+RepairOutcome repair_butterfly_ring(const InstanceContext& ctx,
+                                    const NodeCycle& old_ring,
+                                    std::span<const Word> new_faults);
+
+/// Repairs a mixed-fault ring (core/mixed_fault.hpp) across a
+/// heterogeneous delta. Hamiltonian-route rings accept avoided-edge
+/// deltas only; FFC-pull-back rings excise newly faulty necklaces, charge
+/// newly traversed edge faults to their cheaper endpoint necklace (the
+/// solver's pull-back rule) and re-attach revived router necklaces. All
+/// four fault lists must be canonical (sorted, distinct); the edge lists
+/// are the *collapsed* solve sets (dominated cuts removed), exactly what
+/// the cold solve would receive.
+RepairOutcome repair_mixed_ring(const InstanceContext& ctx,
+                                const NodeCycle& old_ring,
+                                std::span<const Word> old_node_faults,
+                                std::span<const Word> old_edge_faults,
+                                std::span<const Word> new_node_faults,
+                                std::span<const Word> new_edge_faults);
+
+}  // namespace dbr::core

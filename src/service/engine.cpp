@@ -231,12 +231,24 @@ std::shared_ptr<const EmbedResult> EmbedEngine::compute(
   quarantined.strategy_used = result->strategy_used;
   quarantined.compute_micros = result->compute_micros;
   quarantined.error = "oracle: " + report.to_string();
+  quarantined.quarantined = true;  // batch stats count, never time, these
   return std::make_shared<const EmbedResult>(std::move(quarantined));
 }
 
 ValidationStats EmbedEngine::validation_stats() const {
   return {validations_.load(std::memory_order_relaxed),
           violations_.load(std::memory_order_relaxed)};
+}
+
+void EmbedEngine::clear_cache() {
+  cache_->clear();
+  // The ServeStats layer must restart with the cache it describes: stale
+  // result_hits over a fresh query count would let a post-clear hit_rate
+  // exceed 1.0 in throughput reports.
+  queries_.store(0, std::memory_order_relaxed);
+  result_hits_.store(0, std::memory_order_relaxed);
+  context_hits_.store(0, std::memory_order_relaxed);
+  context_misses_.store(0, std::memory_order_relaxed);
 }
 
 ServeStats EmbedEngine::serve_stats() const {
@@ -315,7 +327,11 @@ std::vector<EmbedResponse> EmbedEngine::query_batch(
       ++w.processed;
       if (responses[i].cache_hit) ++w.cache_hits;
       if (responses[i].context_cache_hit) ++w.context_hits;
-      w.latency.record(responses[i].latency_micros);
+      if (responses[i].result && responses[i].result->quarantined) {
+        ++w.quarantined;  // a vetoed answer is not a served query
+      } else {
+        w.latency.record(responses[i].latency_micros);
+      }
     }
     w.busy_micros = micros_since(busy_start);
   });

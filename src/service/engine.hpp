@@ -29,10 +29,22 @@ struct EngineOptions {
   std::size_t context_cache_capacity = ContextCache::kDefaultCapacity;
   /// Debug mode: run the independent verify/ oracle on every computed
   /// answer (cache misses and compute_uncached). A violation is quarantined
-  /// as kInternalError carrying the oracle's findings, so it is never cached
-  /// or mistaken for a correct embedding. Cache hits are not re-checked:
-  /// they are bit-identical copies of an already-validated computation.
+  /// as kInternalError carrying the oracle's findings (EmbedResult::
+  /// quarantined), so it is never cached or mistaken for a correct
+  /// embedding. Cache hits are not re-checked: they are bit-identical
+  /// copies of an already-validated computation.
   bool validate_responses = false;
+  /// Opt-in churn fast path: stateful EmbedSessions on this engine serve
+  /// fault-set deltas by locally splicing their previous ring (core/repair
+  /// — necklace excision/reinsertion and pull-back detours) instead of a
+  /// full re-solve, falling back to the solve path whenever the delta
+  /// crosses a construction/family boundary or the spliced ring escapes
+  /// the paper's length envelope. Repaired answers are marked
+  /// EmbedResponse::repaired, are validity- and envelope-equivalent to a
+  /// cold solve (and oracle-checked when validate_responses is on), but
+  /// may be a different valid ring; they never enter the result cache.
+  /// Stateless query()/query_batch() traffic is unaffected.
+  bool incremental_repair = false;
 };
 
 /// Counters for the validate_responses debug mode.
@@ -96,9 +108,13 @@ class EmbedEngine {
   ValidationStats validation_stats() const;
   /// Engine-lifetime query/result-hit/context-hit counters (see ServeStats).
   ServeStats serve_stats() const;
-  /// Drops cached results and resets CacheStats counters. Contexts and
-  /// ServeStats are unaffected.
-  void clear_cache() { cache_->clear(); }
+  /// Drops cached results and resets the result-cache observability
+  /// counters *coherently*: CacheStats and the engine-lifetime ServeStats
+  /// (queries/result_hits/context_hits/context_misses) restart together,
+  /// so no post-clear report can mix fresh denominators with stale hit
+  /// counters (a hit_rate artificially above 1). Cached contexts and
+  /// ValidationStats are unaffected.
+  void clear_cache();
 
   /// The engine's context cache. Sessions pin individual contexts (the
   /// shared_ptr values it hands out), not the cache itself.

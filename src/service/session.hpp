@@ -21,6 +21,17 @@ struct SessionStats {
   double solve_micros_total = 0.0;     ///< serve time summed over re-solves
 };
 
+/// Counters for the incremental-repair fast path (populated only under
+/// EngineOptions::incremental_repair).
+struct RepairStats {
+  std::uint64_t spliced = 0;    ///< deltas served by splicing the prior ring
+  std::uint64_t fell_back = 0;  ///< attempts that declined to a full solve
+  /// fell_back attempts vetoed by the validate_responses oracle (always a
+  /// subset of fell_back; any nonzero value is a repair bug worth a report).
+  std::uint64_t oracle_rejections = 0;
+  double repair_micros_total = 0.0;  ///< serve time summed over splices
+};
+
 /// A stateful embedding session over one instance of a production network
 /// whose fault set evolves over time (the fault-churn regime). A
 /// FaultKind::kMixed session tracks dead routers and cut links in one
@@ -33,12 +44,25 @@ struct SessionStats {
 ///    in place - no per-query canonicalization (the one exception: a mixed
 ///    session drops node-dominated edge faults when keying a solve, so its
 ///    answers and cache entries match the stateless engine exactly);
-///  * current_ring() re-solves only when the set changed since the last
-///    call, through the engine's result cache (so revisited fault states -
-///    an add undone by a clear - are served from cache), against the pinned
-///    context (so no re-solve ever pays per-instance precompute);
-///  * answers are identical to a fresh EmbedEngine::query on the same
-///    instance and fault set.
+///  * current_ring() re-solves only when the *canonical solve set* changed
+///    since the last call: an untouched set, or churn that round-trips back
+///    to it (a dominated link cut added and removed), is answered from the
+///    memoized response without consulting the engine;
+///  * under EngineOptions::incremental_repair, a changed set first tries
+///    the core/repair splice of the previous ring across the fault delta
+///    (necklace excision/reinsertion, pull-back detours) and only falls
+///    back to a full engine solve when the repair declines — see
+///    RepairStats and EmbedResponse::repaired;
+///  * full solves go through the engine's result cache (so revisited fault
+///    states - an add undone by a clear - are served from cache), against
+///    the pinned context (so no re-solve ever pays per-instance
+///    precompute).
+///
+/// With incremental_repair off (the default), answers are identical to a
+/// fresh EmbedEngine::query on the same instance and fault set. With it
+/// on, a repaired answer is validity- and envelope-equivalent to that
+/// query but may be a different valid ring (the splice preserves the
+/// previous ring's shape wherever the delta allows).
 ///
 /// Not thread-safe: a session models one network's fault timeline; use one
 /// session per thread (they may share one engine, whose caches are
@@ -86,16 +110,20 @@ class EmbedSession {
   /// Clears a node or edge fault (router repair / link restore).
   bool clear_fault(FaultKind kind, Word fault);
 
-  /// Drops every fault (full repair), both kinds.
+  /// Drops every fault (full repair), both kinds. A reset of an already
+  /// empty session is a cheap no-op (counted in noop_mutations).
   void reset_faults();
 
-  /// The ring for the current fault set. Re-solves only when the set changed
-  /// since the last call; otherwise answers from the memoized response.
-  /// Returned by value (a shared_ptr plus scalars) so snapshots taken across
-  /// churn events stay independent.
+  /// The ring for the current fault set. Re-solves only when the canonical
+  /// solve set changed since the last call; otherwise answers from the
+  /// memoized response. Returned by value (a shared_ptr plus scalars) so
+  /// snapshots taken across churn events stay independent.
   EmbedResponse current_ring();
 
   const SessionStats& stats() const { return stats_; }
+
+  /// Splice-vs-fallback counters of the incremental-repair fast path.
+  const RepairStats& repair_stats() const { return repair_stats_; }
 
   /// The pinned per-instance context (shared with the engine's cache).
   const std::shared_ptr<const core::InstanceContext>& context() const {
@@ -107,6 +135,16 @@ class EmbedSession {
   /// resp. d^(n+1) edge words). Throws on kind/session mismatch.
   std::pair<std::vector<Word>*, Word> track(FaultKind kind);
 
+  /// The canonical engine key for the live set: a copy of key_, with the
+  /// cross-kind domination collapse applied for mixed sessions (so cache
+  /// entries are shared with the equivalent stateless request).
+  CacheKey solve_key() const;
+
+  /// Attempts the core/repair splice of last_ across the delta between
+  /// solved_key_ and `key`. On success installs the repaired response as
+  /// last_ / solved_key_ and returns true; otherwise counts the fallback.
+  bool try_repair(const CacheKey& key);
+
   EmbedEngine* engine_;
   /// Sorted distinct per kind; kMixed sessions keep dominated edge faults
   /// live here and collapse them per-solve (see current_ring).
@@ -116,7 +154,13 @@ class EmbedSession {
   Word edge_limit_ = 0;  ///< d^(n+1), for edge-word faults
   bool dirty_ = true;
   EmbedResponse last_;
+  /// The canonical solve set last_ answers, valid only when have_solved_
+  /// (last_ holds a deterministic kOk/kNoEmbedding answer): the delta base
+  /// for repair and the no-op round-trip memo guard.
+  CacheKey solved_key_;
+  bool have_solved_ = false;
   SessionStats stats_;
+  RepairStats repair_stats_;
 };
 
 }  // namespace dbr::service

@@ -45,6 +45,12 @@ std::uint64_t BatchStats::context_hits() const {
   return total;
 }
 
+std::uint64_t BatchStats::quarantined() const {
+  std::uint64_t total = 0;
+  for (const WorkerStats& w : workers) total += w.quarantined;
+  return total;
+}
+
 double BatchStats::hit_rate() const {
   const std::uint64_t total = processed();
   return total == 0 ? 0.0

@@ -30,8 +30,12 @@ struct WorkerStats {
   std::uint64_t processed = 0;
   std::uint64_t cache_hits = 0;    ///< served whole from the result cache
   std::uint64_t context_hits = 0;  ///< computed, but reusing a shared context
+  /// Responses the validate_responses oracle quarantined as kInternalError.
+  /// Counted here, but excluded from `latency`: a vetoed answer is not a
+  /// served query and must not skew p50/p99 aggregation.
+  std::uint64_t quarantined = 0;
   double busy_micros = 0.0;
-  LatencyRecorder latency;
+  LatencyRecorder latency;  ///< serve latencies, quarantined excluded
 };
 
 /// Aggregate view of one EmbedEngine::query_batch call.
@@ -42,6 +46,8 @@ struct BatchStats {
   std::uint64_t processed() const;
   std::uint64_t cache_hits() const;
   std::uint64_t context_hits() const;
+  /// Oracle-quarantined responses across workers (excluded from latency).
+  std::uint64_t quarantined() const;
   double hit_rate() const;
   /// Queries per second against the batch wall clock.
   double throughput_qps() const;

@@ -141,6 +141,11 @@ struct EmbedResult {
   /// Wall time of the original (uncached) construction.
   double compute_micros = 0.0;
   std::string error;  ///< set when status != kOk
+  /// The validate_responses oracle rejected the computed answer and this
+  /// result is its kInternalError quarantine wrapper (engine.hpp). Never
+  /// cached; batch latency percentiles exclude quarantined responses (they
+  /// measure the oracle's veto path, not serving).
+  bool quarantined = false;
 
   /// Equality of everything deterministic, ignoring compute_micros.
   bool same_embedding(const EmbedResult& o) const {
@@ -159,6 +164,12 @@ struct EmbedResponse {
   /// rebuilding the fault-independent precompute. Always false on a result
   /// cache hit (the context was never consulted).
   bool context_cache_hit = false;
+  /// Provenance: this answer was produced by locally splicing the previous
+  /// ring across a fault-set delta (core/repair via EmbedSession under
+  /// EngineOptions::incremental_repair), not by a full solve. Repaired
+  /// results are validity- and envelope-equivalent to a cold solve but may
+  /// be a different valid ring; they never enter the result cache.
+  bool repaired = false;
   double latency_micros = 0.0;  ///< end-to-end serve time of this query
 
   bool ok() const { return result && result->status == EmbedStatus::kOk; }

@@ -63,6 +63,7 @@ service::EmbedResponse SessionDriver::current_ring() {
   } else {
     ++stats_.no_embeddings;
   }
+  if (response.repaired) ++stats_.repaired_rings;
   return response;
 }
 

@@ -20,6 +20,9 @@ struct ChurnDriveStats {
   std::uint64_t link_restores = 0;   ///< link restorations applied
   std::uint64_t rings_embedded = 0;  ///< events after which a ring existed
   std::uint64_t no_embeddings = 0;   ///< events leaving a beyond-guarantee state
+  /// Rings served by locally splicing the previous ring instead of a full
+  /// re-solve (EngineOptions::incremental_repair; EmbedResponse::repaired).
+  std::uint64_t repaired_rings = 0;
 };
 
 /// Bridges faults of a sim::Engine into a stateful service::EmbedSession

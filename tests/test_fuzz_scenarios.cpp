@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "service/engine.hpp"
+#include "service/session.hpp"
 #include "verify/oracle.hpp"
 #include "verify/scenario.hpp"
 
@@ -105,6 +106,67 @@ TEST(FuzzScenarios, EdgeScan) { run_sweep(Strategy::kEdgeScan); }
 TEST(FuzzScenarios, EdgePhi) { run_sweep(Strategy::kEdgePhi); }
 TEST(FuzzScenarios, Butterfly) { run_sweep(Strategy::kButterfly); }
 TEST(FuzzScenarios, Mixed) { run_sweep(Strategy::kMixed); }
+
+// Incremental repair regime sweep: seeded churn scripts replayed through a
+// repair-enabled session, every served answer held against the oracle and
+// the cold stateless baseline. Repaired rings must be oracle-valid with
+// the cold solve's envelope; the only legal status divergence is repair
+// strictly improving on a beyond-guarantee kNoEmbedding.
+TEST(FuzzScenarios, Repair) {
+  const std::size_t scripts =
+      std::max<std::size_t>(2, sweep_size() / 25);  // scripts x 24 events
+  std::uint64_t spliced = 0;
+  for (Strategy strategy :
+       {Strategy::kFfc, Strategy::kEdgeAuto, Strategy::kEdgeScan,
+        Strategy::kEdgePhi, Strategy::kButterfly, Strategy::kMixed}) {
+    for (std::size_t i = 0; i < scripts; ++i) {
+      const ChurnScript script =
+          make_churn_script(base_seed() + i, strategy, 24);
+      EngineOptions options;
+      options.incremental_repair = true;
+      options.validate_responses = true;  // engine-checked fallback solves
+      EmbedEngine engine(options);
+      service::EmbedSession session(
+          engine, script.base_request.base, script.base_request.n,
+          script.base_request.fault_kind, script.base_request.strategy);
+      EmbedEngine cold(EngineOptions{.enable_cache = false});
+      for (const ChurnEvent& event : script.events) {
+        if (event.add) {
+          session.add_fault(event.kind, event.fault);
+        } else {
+          session.clear_fault(event.kind, event.fault);
+        }
+        const EmbedResponse served = session.current_ring();
+        EmbedRequest request = script.base_request;
+        request.faults = session.faults();
+        request.edge_faults = session.edge_faults();
+        ASSERT_NE(served.result, nullptr)
+            << "FUZZ FAILURE " << script.describe();
+        const OracleReport report = check_response(request, *served.result);
+        ASSERT_TRUE(report.ok()) << "FUZZ FAILURE " << script.describe()
+                                 << ": " << report.to_string();
+        const EmbedResponse baseline = cold.query(request);
+        if (served.result->status == baseline.result->status) {
+          ASSERT_EQ(served.result->lower_bound, baseline.result->lower_bound)
+              << "FUZZ FAILURE " << script.describe();
+          ASSERT_EQ(served.result->upper_bound, baseline.result->upper_bound)
+              << "FUZZ FAILURE " << script.describe();
+        } else {
+          ASSERT_EQ(served.result->status, EmbedStatus::kOk)
+              << "FUZZ FAILURE " << script.describe();
+          ASSERT_EQ(baseline.result->status, EmbedStatus::kNoEmbedding)
+              << "FUZZ FAILURE " << script.describe();
+        }
+      }
+      // A splice the session-level oracle vetoed is a repair bug even
+      // though the fallback kept the served answer correct.
+      ASSERT_EQ(session.repair_stats().oracle_rejections, 0u)
+          << "FUZZ FAILURE " << script.describe();
+      spliced += session.repair_stats().spliced;
+    }
+  }
+  EXPECT_GT(spliced, 0u);
+}
 
 // The same edge-fault instance served under the scan, the phi-construction
 // and the auto dispatch: every kOk ring must pass the oracle, and auto must

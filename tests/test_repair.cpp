@@ -1,0 +1,471 @@
+// Incremental ring repair (core/repair + the EmbedSession fast path):
+// delta splices must produce rings that are oracle-valid and sit in the
+// same paper envelope a cold solve would claim, falling back — never
+// mis-serving — whenever a delta crosses a family boundary, disconnects
+// the cover, or escapes the envelope.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "butterfly/lift.hpp"
+#include "core/edge_fault.hpp"
+#include "core/ffc.hpp"
+#include "core/instance_context.hpp"
+#include "core/mixed_fault.hpp"
+#include "core/repair.hpp"
+#include "debruijn/cycle.hpp"
+#include "service/engine.hpp"
+#include "service/session.hpp"
+#include "sim/session_driver.hpp"
+#include "util/rng.hpp"
+#include "verify/oracle.hpp"
+#include "verify/scenario.hpp"
+
+namespace dbr::core {
+namespace {
+
+using service::EmbedRequest;
+using service::EmbedResult;
+using service::EmbedStatus;
+using service::FaultKind;
+using service::Strategy;
+
+/// Wraps a repair outcome as the EmbedResult a session would serve, so the
+/// verify/ oracle can judge it exactly like an engine answer.
+EmbedResult as_result(const RepairOutcome& out, Strategy strategy) {
+  EmbedResult result;
+  result.status = EmbedStatus::kOk;
+  result.strategy_used = strategy;
+  result.ring = *out.ring;
+  result.ring_length = out.ring->length();
+  result.lower_bound = out.lower_bound;
+  result.upper_bound = out.upper_bound;
+  return result;
+}
+
+EmbedRequest node_request(Digit base, unsigned n, std::vector<Word> faults) {
+  EmbedRequest req;
+  req.base = base;
+  req.n = n;
+  req.fault_kind = FaultKind::kNode;
+  req.strategy = Strategy::kFfc;
+  req.faults = std::move(faults);
+  return req;
+}
+
+TEST(NodeRepairTest, SingleFaultExcisionIsOracleValidAndInEnvelope) {
+  const auto ctx = InstanceContext::make(2, 8);
+  const WordSpace& ws = ctx->words();
+  const FfcResult base = solve_ffc(*ctx, {});
+  ASSERT_TRUE(is_hamiltonian(ws, base.cycle));
+
+  for (Word f : {Word{0}, Word{1}, Word{5}, Word{37}, Word{100}, Word{255}}) {
+    const std::vector<Word> faults = {f};
+    const RepairOutcome out = repair_node_ring(*ctx, base.cycle, {}, faults);
+    ASSERT_TRUE(out.repaired()) << "fault " << f << ": "
+                                << to_string(out.fallback);
+    EXPECT_EQ(out.spliced_necklaces, 1u);
+    EXPECT_TRUE(is_cycle(ws, *out.ring)) << "fault " << f;
+
+    const auto report =
+        verify::check_response(node_request(2, 8, faults),
+                               as_result(out, Strategy::kFfc));
+    EXPECT_TRUE(report.ok()) << "fault " << f << ": " << report.to_string();
+
+    // The splice keeps every survivor of the old cover, so it can never be
+    // shorter than a cold solve (which retreats to the largest SCC).
+    const FfcResult cold = solve_ffc(*ctx, faults);
+    EXPECT_GE(out.ring->length(), cold.cycle.length());
+    const auto [lo, hi] = ffc_cycle_length_bounds(2, 8, 1);
+    EXPECT_EQ(out.lower_bound, lo);
+    EXPECT_EQ(out.upper_bound, hi);
+  }
+}
+
+TEST(NodeRepairTest, AddThenRemoveRestoresTheFullCover) {
+  const auto ctx = InstanceContext::make(2, 8);
+  const WordSpace& ws = ctx->words();
+  const FfcResult base = solve_ffc(*ctx, {});
+  const std::vector<Word> faults = {42};
+  const RepairOutcome excised = repair_node_ring(*ctx, base.cycle, {}, faults);
+  ASSERT_TRUE(excised.repaired());
+  EXPECT_LT(excised.ring->length(), ws.size());
+
+  const RepairOutcome revived =
+      repair_node_ring(*ctx, *excised.ring, faults, {});
+  ASSERT_TRUE(revived.repaired()) << to_string(revived.fallback);
+  EXPECT_TRUE(is_hamiltonian(ws, *revived.ring));
+  EXPECT_EQ(revived.lower_bound, ws.size());
+  EXPECT_EQ(revived.upper_bound, ws.size());
+}
+
+TEST(NodeRepairTest, SecondFaultOnTheSameNecklaceIsANoopSplice) {
+  const auto ctx = InstanceContext::make(2, 8);
+  const WordSpace& ws = ctx->words();
+  const FfcResult base = solve_ffc(*ctx, {});
+  const Word f = 1;
+  const Word rotated = ws.rotate_left(f, 1);  // same necklace, other word
+  const RepairOutcome first = repair_node_ring(*ctx, base.cycle, {}, {{f}});
+  ASSERT_TRUE(first.repaired());
+
+  std::vector<Word> both = {f, rotated};
+  std::sort(both.begin(), both.end());
+  const RepairOutcome second =
+      repair_node_ring(*ctx, *first.ring, {{f}}, both);
+  ASSERT_TRUE(second.repaired());
+  EXPECT_EQ(second.spliced_necklaces, 0u);  // necklace already excised
+  EXPECT_EQ(second.ring->nodes, first.ring->nodes);
+  // The envelope still tracks the *fault count*, not the necklace count.
+  EXPECT_EQ(second.upper_bound, ws.size() - 2);
+}
+
+TEST(NodeRepairTest, FallsBackWhenTheDeltaExcisesEveryNecklace) {
+  const auto ctx = InstanceContext::make(2, 2);
+  const FfcResult base = solve_ffc(*ctx, {});
+  // B(2,2) has necklaces {00}, {01,10}, {11}; these faults cover them all.
+  const RepairOutcome out =
+      repair_node_ring(*ctx, base.cycle, {}, {{0, 1, 3}});
+  EXPECT_FALSE(out.repaired());
+  EXPECT_EQ(out.fallback, RepairFallback::kRingVanished);
+}
+
+TEST(NodeRepairTest, SeededChurnSequenceStaysOracleValid) {
+  const auto ctx = InstanceContext::make(2, 10);
+  const WordSpace& ws = ctx->words();
+  Rng rng(20260729);
+  NodeCycle ring = solve_ffc(*ctx, {}).cycle;
+  std::vector<Word> live;
+  std::uint64_t repaired = 0;
+  for (int event = 0; event < 60; ++event) {
+    std::vector<Word> next = live;
+    if (live.size() < 4 && (live.empty() || rng.below(2) == 0)) {
+      Word f = rng.below(ws.size());
+      while (std::find(next.begin(), next.end(), f) != next.end()) {
+        f = rng.below(ws.size());
+      }
+      next.push_back(f);
+    } else {
+      next.erase(next.begin() + static_cast<long>(rng.below(next.size())));
+    }
+    std::sort(next.begin(), next.end());
+    const RepairOutcome out = repair_node_ring(*ctx, ring, live, next);
+    if (out.repaired()) {
+      const auto report = verify::check_response(
+          node_request(2, 10, next), as_result(out, Strategy::kFfc));
+      ASSERT_TRUE(report.ok())
+          << "event " << event << ": " << report.to_string();
+      ring = *out.ring;
+      ++repaired;
+    } else {
+      ring = solve_ffc(*ctx, next).cycle;  // the documented fallback
+    }
+    live = std::move(next);
+  }
+  // Single-fault deltas are the common case; most must splice.
+  EXPECT_GT(repaired, 40u);
+}
+
+TEST(EdgeRepairTest, AvoidedFaultIsANoopAndTraversedFaultFallsBack) {
+  const auto ctx = InstanceContext::make(4, 4);
+  const WordSpace& ws = ctx->words();
+  const auto hc = solve_edge_auto(*ctx, {});
+  ASSERT_TRUE(hc.has_value());
+  const NodeCycle ring = to_node_cycle(ws, *hc);
+  const std::vector<Word> used = edge_words(ws, ring);
+  const std::unordered_set<Word> used_set(used.begin(), used.end());
+
+  Word unused = ws.edge_word_count();
+  for (Word e = 0; e < ws.edge_word_count(); ++e) {
+    if (!used_set.contains(e)) {
+      unused = e;
+      break;
+    }
+  }
+  ASSERT_LT(unused, ws.edge_word_count());
+
+  const RepairOutcome noop = repair_edge_ring(*ctx, ring, {{unused}});
+  ASSERT_TRUE(noop.repaired());
+  EXPECT_TRUE(noop.unchanged);  // the old ring serves verbatim, no copy
+  EXPECT_FALSE(noop.ring.has_value());
+  EXPECT_EQ(noop.lower_bound, ws.size());
+
+  const RepairOutcome crossed = repair_edge_ring(*ctx, ring, {{used[0]}});
+  EXPECT_FALSE(crossed.repaired());
+  EXPECT_EQ(crossed.fallback, RepairFallback::kCrossesFamily);
+}
+
+TEST(ButterflyRepairTest, PullsRingEdgesBackPerLemma38) {
+  const auto ctx = InstanceContext::make(3, 4);  // gcd(3, 4) = 1
+  const WordSpace& ws = ctx->words();
+  const auto hc = solve_edge_auto(*ctx, {});
+  ASSERT_TRUE(hc.has_value());
+  const NodeCycle base = to_node_cycle(ws, *hc);
+  NodeCycle lifted;
+  lifted.nodes = butterfly::lift_cycle(ctx->butterfly(), base);
+
+  const std::vector<Word> used = edge_words(ws, base);
+  const std::unordered_set<Word> used_set(used.begin(), used.end());
+  Word unused = ws.edge_word_count();
+  for (Word e = 0; e < ws.edge_word_count(); ++e) {
+    if (!used_set.contains(e)) {
+      unused = e;
+      break;
+    }
+  }
+  ASSERT_LT(unused, ws.edge_word_count());
+
+  const RepairOutcome noop = repair_butterfly_ring(*ctx, lifted, {{unused}});
+  ASSERT_TRUE(noop.repaired()) << to_string(noop.fallback);
+  EXPECT_TRUE(noop.unchanged);
+
+  const RepairOutcome crossed =
+      repair_butterfly_ring(*ctx, lifted, {{used[0]}});
+  EXPECT_FALSE(crossed.repaired());
+  EXPECT_EQ(crossed.fallback, RepairFallback::kCrossesFamily);
+}
+
+TEST(MixedRepairTest, TraversedCutsGetPullbackDetours) {
+  const auto ctx = InstanceContext::make(2, 6);
+  const WordSpace& ws = ctx->words();
+  const std::vector<Word> nodes = {1};
+  const MixedResult old = solve_mixed(*ctx, nodes, {});
+  ASSERT_TRUE(old.cycle.has_value());
+  ASSERT_EQ(old.route, MixedRoute::kFfcPullback);
+
+  std::uint64_t detoured = 0;
+  for (const Word e : edge_words(ws, *old.cycle)) {
+    const RepairOutcome out =
+        repair_mixed_ring(*ctx, *old.cycle, nodes, {}, nodes, {{e}});
+    if (!out.repaired()) continue;  // a legal fallback (e.g. disconnection)
+    ++detoured;
+    EXPECT_GE(out.spliced_necklaces, 1u);  // the pull-back excised a necklace
+    EmbedRequest req;
+    req.base = 2;
+    req.n = 6;
+    req.fault_kind = FaultKind::kMixed;
+    req.strategy = Strategy::kMixed;
+    req.faults = nodes;
+    req.edge_faults = {e};
+    const auto report =
+        verify::check_response(req, as_result(out, Strategy::kMixed));
+    EXPECT_TRUE(report.ok()) << "edge " << e << ": " << report.to_string();
+  }
+  EXPECT_GT(detoured, 0u);
+}
+
+TEST(MixedRepairTest, HamiltonianRouteAcceptsAvoidedCutsOnly) {
+  const auto ctx = InstanceContext::make(2, 6);
+  const WordSpace& ws = ctx->words();
+  const MixedResult old = solve_mixed(*ctx, {}, {});
+  ASSERT_TRUE(old.cycle.has_value());
+  ASSERT_EQ(old.route, MixedRoute::kHamiltonian);
+
+  const std::vector<Word> used = edge_words(ws, *old.cycle);
+  const std::unordered_set<Word> used_set(used.begin(), used.end());
+  Word unused = ws.edge_word_count();
+  for (Word e = 0; e < ws.edge_word_count(); ++e) {
+    if (!used_set.contains(e)) {
+      unused = e;
+      break;
+    }
+  }
+  const RepairOutcome noop =
+      repair_mixed_ring(*ctx, *old.cycle, {}, {}, {}, {{unused}});
+  ASSERT_TRUE(noop.repaired()) << to_string(noop.fallback);
+  EXPECT_TRUE(noop.unchanged);
+
+  // A dead router can never ride a Hamiltonian ring: route switch.
+  const RepairOutcome switched =
+      repair_mixed_ring(*ctx, *old.cycle, {}, {}, {{5}}, {});
+  EXPECT_FALSE(switched.repaired());
+  EXPECT_EQ(switched.fallback, RepairFallback::kCrossesFamily);
+}
+
+}  // namespace
+}  // namespace dbr::core
+
+// --------------------------------------------------------------------------
+// Service-layer repair: the EmbedSession fast path under
+// EngineOptions::incremental_repair.
+
+namespace dbr::service {
+namespace {
+
+using verify::ChurnEvent;
+using verify::ChurnScript;
+
+EngineOptions repair_options() {
+  EngineOptions options;
+  options.incremental_repair = true;
+  return options;
+}
+
+void apply(EmbedSession& session, const ChurnEvent& event) {
+  if (event.add) {
+    session.add_fault(event.kind, event.fault);
+  } else {
+    session.clear_fault(event.kind, event.fault);
+  }
+}
+
+EmbedRequest request_for(const ChurnScript& script,
+                         const EmbedSession& session) {
+  EmbedRequest req = script.base_request;
+  req.faults = session.faults();
+  req.edge_faults = session.edge_faults();
+  return req;
+}
+
+TEST(SessionRepairTest, ChurnVerdictsAndEnvelopesMatchColdSolves) {
+  for (Strategy s : {Strategy::kFfc, Strategy::kEdgeAuto, Strategy::kMixed}) {
+    std::uint64_t spliced_total = 0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const ChurnScript script = verify::make_churn_script(seed, s, 24);
+      EmbedEngine engine(repair_options());
+      EmbedSession session(engine, script.base_request.base,
+                           script.base_request.n,
+                           script.base_request.fault_kind,
+                           script.base_request.strategy);
+      EmbedEngine cold(EngineOptions{.enable_cache = false});
+      for (const ChurnEvent& event : script.events) {
+        apply(session, event);
+        const EmbedResponse repaired = session.current_ring();
+        const EmbedRequest request = request_for(script, session);
+        const EmbedResponse baseline = cold.query(request);
+        ASSERT_TRUE(repaired.result && baseline.result) << script.describe();
+        // Byte-identical validity verdict: the repaired answer passes the
+        // same oracle the engine answer does, and its envelope agrees with
+        // the cold solve whenever both embed. The one legal divergence is
+        // a strict improvement — a surviving spliced ring stays kOk where
+        // the constructions give up beyond guarantee — never the reverse.
+        if (repaired.result->status == baseline.result->status) {
+          EXPECT_EQ(repaired.result->lower_bound,
+                    baseline.result->lower_bound)
+              << script.describe();
+          EXPECT_EQ(repaired.result->upper_bound,
+                    baseline.result->upper_bound)
+              << script.describe();
+        } else {
+          EXPECT_EQ(repaired.result->status, EmbedStatus::kOk)
+              << script.describe();
+          EXPECT_EQ(baseline.result->status, EmbedStatus::kNoEmbedding)
+              << script.describe();
+          EXPECT_TRUE(repaired.repaired) << script.describe();
+        }
+        const verify::OracleReport report =
+            verify::check_response(request, *repaired.result);
+        EXPECT_TRUE(report.ok())
+            << script.describe() << " -> " << report.to_string();
+      }
+      spliced_total += session.repair_stats().spliced;
+    }
+    EXPECT_GT(spliced_total, 0u) << "strategy " << to_string(s);
+  }
+}
+
+TEST(SessionRepairTest, RepairedResponsesAreMarkedAndNeverCached) {
+  EmbedEngine engine(repair_options());
+  EmbedSession session(engine, 2, 8, FaultKind::kNode);
+  const EmbedResponse base = session.current_ring();
+  EXPECT_FALSE(base.repaired);  // first solve has no ring to splice
+  const std::uint64_t entries = engine.cache_stats().entries;
+
+  session.add_fault(3);
+  const EmbedResponse spliced = session.current_ring();
+  ASSERT_TRUE(spliced.result);
+  EXPECT_TRUE(spliced.repaired);
+  EXPECT_EQ(spliced.result->status, EmbedStatus::kOk);
+  EXPECT_EQ(session.repair_stats().spliced, 1u);
+  EXPECT_EQ(session.repair_stats().fell_back, 0u);
+  // The splice may serve a different valid ring than a cold solve, so it
+  // must never poison the engine's result cache.
+  EXPECT_EQ(engine.cache_stats().entries, entries);
+  const EmbedResponse stateless = engine.query([] {
+    EmbedRequest req;
+    req.base = 2;
+    req.n = 8;
+    req.fault_kind = FaultKind::kNode;
+    req.faults = {3};
+    return req;
+  }());
+  EXPECT_FALSE(stateless.cache_hit);
+  EXPECT_FALSE(stateless.repaired);
+}
+
+TEST(SessionRepairTest, DefaultEngineKeepsBitIdenticalSessionAnswers) {
+  // With the option off (the default), the session contract is unchanged:
+  // answers are bit-identical to stateless queries, nothing is repaired.
+  EmbedEngine engine;  // incremental_repair = false
+  EmbedSession session(engine, 2, 8, FaultKind::kNode);
+  session.current_ring();
+  session.add_fault(3);
+  const EmbedResponse solved = session.current_ring();
+  EXPECT_FALSE(solved.repaired);
+  EXPECT_EQ(session.repair_stats().spliced, 0u);
+  EXPECT_EQ(session.repair_stats().fell_back, 0u);
+}
+
+TEST(SessionRepairTest, ValidateResponsesNeverRejectsASplice) {
+  EngineOptions options = repair_options();
+  options.validate_responses = true;
+  std::uint64_t spliced = 0;
+  for (Strategy s : {Strategy::kFfc, Strategy::kMixed}) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const ChurnScript script = verify::make_churn_script(seed + 40, s, 20);
+      EmbedEngine engine(options);
+      EmbedSession session(engine, script.base_request.base,
+                           script.base_request.n,
+                           script.base_request.fault_kind,
+                           script.base_request.strategy);
+      for (const ChurnEvent& event : script.events) {
+        apply(session, event);
+        session.current_ring();
+      }
+      EXPECT_EQ(session.repair_stats().oracle_rejections, 0u)
+          << script.describe();
+      spliced += session.repair_stats().spliced;
+    }
+  }
+  EXPECT_GT(spliced, 0u);
+}
+
+}  // namespace
+}  // namespace dbr::service
+
+namespace dbr::sim {
+namespace {
+
+using service::EmbedEngine;
+using service::EmbedSession;
+using service::EngineOptions;
+using service::FaultKind;
+using service::Strategy;
+
+TEST(SessionDriverRepairTest, DriveScriptCountsRepairedRings) {
+  const verify::ChurnScript script =
+      verify::make_churn_script(2, Strategy::kFfc, 24);
+  const WordSpace ws(script.base_request.base, script.base_request.n);
+  const DeBruijnDigraph graph(ws);
+  Engine net(ws.size(),
+             [&graph](NodeId u, NodeId v) { return graph.has_edge(u, v); });
+  EngineOptions options;
+  options.incremental_repair = true;
+  EmbedEngine engine(options);
+  EmbedSession session(engine, script.base_request.base,
+                       script.base_request.n, FaultKind::kNode,
+                       Strategy::kFfc);
+  SessionDriver driver(net, session);
+  const ChurnDriveStats stats = drive_script(driver, script);
+  EXPECT_GT(stats.repaired_rings, 0u) << script.describe();
+  EXPECT_EQ(stats.repaired_rings, session.repair_stats().spliced);
+  // The composed layers still agree: the last ring avoids every dead node.
+  const auto& ring = driver.current_ring();
+  ASSERT_TRUE(ring.result);
+  for (Word v : ring.result->ring.nodes) EXPECT_TRUE(net.alive(v));
+}
+
+}  // namespace
+}  // namespace dbr::sim

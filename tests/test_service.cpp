@@ -639,6 +639,75 @@ TEST(EmbedEngineTest, BatchStatsSeparateResultAndContextHits) {
 // --------------------------------------------------------------------------
 // Stats plumbing.
 
+TEST(EmbedEngineTest, ClearCacheResetsServeStatsCoherently) {
+  // Regression: clear_cache() used to reset CacheStats but keep the
+  // engine-lifetime ServeStats counters, so a post-clear report could pair
+  // stale result_hits with a fresh query count (a hit_rate above 1.0).
+  EmbedEngine engine;
+  const EmbedRequest req = node_request(2, 6, {3});
+  engine.query(req);
+  engine.query(req);
+  engine.query(req);
+  EXPECT_EQ(engine.serve_stats().result_hits, 2u);
+
+  engine.clear_cache();
+  const ServeStats after = engine.serve_stats();
+  EXPECT_EQ(after.queries, 0u);
+  EXPECT_EQ(after.result_hits, 0u);
+  EXPECT_EQ(after.context_hits, 0u);
+  EXPECT_EQ(after.context_misses, 0u);
+
+  // One post-clear miss: both layers describe exactly the same window.
+  engine.query(req);
+  const ServeStats window = engine.serve_stats();
+  EXPECT_EQ(window.queries, 1u);
+  EXPECT_EQ(window.result_hits, 0u);
+  EXPECT_LE(window.result_hit_rate(), 1.0);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+  // Contexts survive a result-cache clear (documented behavior).
+  EXPECT_EQ(engine.context_cache_stats().entries, 1u);
+}
+
+TEST(BatchStatsTest, QuarantinedResponsesAreCountedButNotTimed) {
+  // Regression: a validate_responses quarantine (kInternalError veto) used
+  // to be recorded into the worker's latency samples, skewing the p50/p99
+  // aggregation of bench/verify_overhead.cpp. Quarantined responses are
+  // now a separate counter and never enter the recorder.
+  BatchStats stats;
+  WorkerStats clean;
+  clean.processed = 3;
+  clean.latency.record(10.0);
+  clean.latency.record(20.0);
+  clean.latency.record(30.0);
+  WorkerStats vetoed;
+  vetoed.processed = 2;
+  vetoed.quarantined = 2;  // both answers quarantined: nothing timed
+  stats.workers = {clean, vetoed};
+
+  EXPECT_EQ(stats.processed(), 5u);
+  EXPECT_EQ(stats.quarantined(), 2u);
+  EXPECT_EQ(stats.merged_latency().count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.merged_latency().percentile(100), 30.0);
+}
+
+TEST(EmbedEngineTest, ValidatedBatchTimesEveryNonQuarantinedResponse) {
+  EngineOptions options;
+  options.validate_responses = true;
+  EmbedEngine engine(options);
+  std::vector<EmbedRequest> stream;
+  for (Word f = 0; f < 8; ++f) stream.push_back(node_request(2, 6, {f}));
+  BatchStats stats;
+  const auto responses = engine.query_batch(stream, &stats);
+  ASSERT_EQ(responses.size(), stream.size());
+  for (const EmbedResponse& r : responses) {
+    ASSERT_TRUE(r.result);
+    EXPECT_FALSE(r.result->quarantined);
+  }
+  EXPECT_EQ(stats.quarantined(), 0u);
+  // With no vetoes, the percentile base covers the whole batch.
+  EXPECT_EQ(stats.merged_latency().count(), stream.size());
+}
+
 TEST(LatencyRecorderTest, PercentilesUseNearestRank) {
   LatencyRecorder rec;
   for (int i = 1; i <= 100; ++i) rec.record(static_cast<double>(i));

@@ -223,6 +223,60 @@ TEST(EmbedSessionTest, NoopMutationsDoNotDirtyTheSession) {
   EXPECT_EQ(session.stats().noop_mutations, 2u);
 }
 
+TEST(EmbedSessionTest, ResetFaultsOnAnEmptySessionIsACheapNoop) {
+  EmbedEngine engine;
+  EmbedSession session(engine, 2, 6, FaultKind::kNode);
+  const EmbedResponse first = session.current_ring();
+  session.reset_faults();  // nothing to drop: must not dirty the session
+  const EmbedResponse again = session.current_ring();
+  EXPECT_EQ(session.stats().solves, 1u);
+  EXPECT_EQ(session.stats().memoized, 1u);
+  EXPECT_EQ(session.stats().noop_mutations, 1u);
+  EXPECT_EQ(again.result.get(), first.result.get());  // memoized bytes
+}
+
+TEST(EmbedSessionTest, ChurnRoundTripBackToTheSolvedSetIsMemoized) {
+  // Mutations that round-trip the canonical solve set (an add undone by a
+  // clear before any solve ran) must serve the memoized answer without any
+  // engine traffic, not force a spurious recompute.
+  EmbedEngine engine;
+  EmbedSession session(engine, 2, 6, FaultKind::kNode);
+  session.add_fault(3);
+  const EmbedResponse solved = session.current_ring();
+  session.add_fault(9);
+  session.clear_fault(9);  // back to {3} without an intervening solve
+  const std::uint64_t queries_before = engine.serve_stats().queries;
+  const EmbedResponse again = session.current_ring();
+  EXPECT_EQ(engine.serve_stats().queries, queries_before);  // no engine call
+  EXPECT_EQ(session.stats().solves, 1u);
+  EXPECT_EQ(session.stats().memoized, 1u);
+  EXPECT_EQ(again.result.get(), solved.result.get());
+}
+
+TEST(EmbedSessionTest, DominatedLinkChurnRoundTripIsMemoizedNotResolved) {
+  // A mixed session keeps dominated cuts live (so a router repair can
+  // resurface them), but cutting and restoring a link under a dead router
+  // leaves the canonical solve set untouched — the memoized result must
+  // survive without a spurious engine query.
+  EmbedEngine engine;
+  EmbedSession session(engine, 2, 6, FaultKind::kMixed);
+  session.add_fault(FaultKind::kNode, 3);
+  const EmbedResponse solved = session.current_ring();
+  const WordSpace& ws = session.context()->words();
+  const Word dominated = ws.edge_word(3, 0);  // a link out of dead router 3
+  session.add_fault(FaultKind::kEdge, dominated);
+  const std::uint64_t queries_before = engine.serve_stats().queries;
+  const EmbedResponse cut = session.current_ring();
+  EXPECT_EQ(engine.serve_stats().queries, queries_before);
+  EXPECT_EQ(cut.result.get(), solved.result.get());
+  session.clear_fault(FaultKind::kEdge, dominated);
+  const EmbedResponse restored = session.current_ring();
+  EXPECT_EQ(engine.serve_stats().queries, queries_before);
+  EXPECT_EQ(restored.result.get(), solved.result.get());
+  EXPECT_EQ(session.stats().solves, 1u);
+  EXPECT_EQ(session.stats().memoized, 2u);
+}
+
 TEST(EmbedSessionTest, ResetFaultsReturnsToTheFaultFreeRing) {
   EmbedEngine engine;
   EmbedSession session(engine, 2, 6, FaultKind::kNode);
