@@ -1,0 +1,429 @@
+// Load generator for the net/ embedding service: drives hundreds of
+// concurrent connections of pipelined kSolve traffic against a net::Server
+// and reports saturation throughput, tail latency (p50/p99/p999) and
+// error/backpressure counts, next to the in-process query_batch baseline on
+// the *same* request stream and worker count — the wire tax made visible.
+//
+// Two workload sections, mirroring service_throughput's cache regimes:
+//   hot   repeat-heavy pool draws, Zipf-skewed (--zipf, default 1.1): most
+//         requests hit the result cache (the cached-hot regime);
+//   cold  every request a fresh scenario: full solves (uniform-cold).
+//
+// By default the bench spawns its own in-process server; --connect HOST:PORT
+// drives an external one (the CI smoke job runs examples/embed_server and
+// points the bench at it) and skips the in-process baseline.
+//
+// A reply is counted by wire status; transport failures and undecodable
+// replies count as protocol_errors (the CI smoke asserts this stays 0).
+// Latency samples are per-request burst round-trips: with --pipeline P > 1
+// a sample includes the queueing delay of its burst, which is the honest
+// client-side view of pipelined load.
+//
+// Knobs (env):   DBR_SEED, DBR_THREADS
+// Knobs (argv):  --connections N   concurrent client connections (default 64)
+//                --requests N      requests per section          (default 1200)
+//                --pipeline N      frames in flight per connection (default 4)
+//                --unique N        hot scenario pool size        (default 24)
+//                --zipf S          Zipf skew of the hot section  (default 1.1)
+//                --connect H:P     drive an external server; skips baseline
+//                --no-baseline     skip the in-process query_batch baseline
+//                --workers N       server worker threads (default DBR_THREADS)
+//                --max-pending N   server admission bound (default 1024)
+//                --timeout-ms F    server per-request deadline (default off)
+//                --hot-only / --cold-only
+//                --out PATH        JSON path (default BENCH_server.json)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/engine.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload.hpp"
+
+namespace {
+
+using dbr::Rng;
+using dbr::bench::make_stream;
+using dbr::net::Client;
+using dbr::net::Server;
+using dbr::net::ServerOptions;
+using dbr::net::TransportError;
+using dbr::net::WireStatus;
+using dbr::service::BatchStats;
+using dbr::service::EmbedEngine;
+using dbr::service::EmbedRequest;
+using dbr::service::EmbedStatus;
+using dbr::service::EngineOptions;
+
+using Clock = std::chrono::steady_clock;
+
+double micros_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+struct LoadResult {
+  std::vector<double> latencies;  ///< per-request burst RTT, micros
+  std::uint64_t ok = 0;
+  std::uint64_t no_embedding = 0;  ///< kOk wire status, kNoEmbedding answer
+  std::uint64_t overloaded = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t shutting_down = 0;
+  std::uint64_t other_status = 0;
+  std::uint64_t protocol_errors = 0;
+  double wall_micros = 0.0;
+
+  std::uint64_t replies() const {
+    return ok + no_embedding + overloaded + timeouts + shutting_down +
+           other_status;
+  }
+  double qps() const {
+    return wall_micros > 0.0
+               ? static_cast<double>(replies()) / (wall_micros / 1e6)
+               : 0.0;
+  }
+};
+
+/// Fans `stream` out over `connections` client threads, each pipelining
+/// `pipeline` frames per burst. Every request gets exactly one reply (or
+/// one protocol error).
+LoadResult run_load(const std::string& host, std::uint16_t port,
+                    const std::vector<EmbedRequest>& stream,
+                    std::size_t connections, std::size_t pipeline) {
+  connections = std::max<std::size_t>(1, std::min(connections, stream.size()));
+  pipeline = std::max<std::size_t>(1, pipeline);
+
+  struct PerThread {
+    std::vector<double> latencies;
+    LoadResult counts;  ///< latencies unused; only the counters
+  };
+  std::vector<PerThread> per_thread(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const Clock::time_point start = Clock::now();
+  for (std::size_t t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      PerThread& mine = per_thread[t];
+      try {
+        Client client;
+        client.connect(host, port, /*timeout_ms=*/60000.0);
+        // Static round-robin slice: thread t serves t, t+C, t+2C, ...
+        std::vector<EmbedRequest> burst;
+        for (std::size_t i = t; i < stream.size();) {
+          burst.clear();
+          for (std::size_t k = 0; k < pipeline && i < stream.size();
+               ++k, i += connections)
+            burst.push_back(stream[i]);
+          const Clock::time_point t0 = Clock::now();
+          const std::vector<Client::SolveReply> replies =
+              client.solve_pipeline(burst, /*want_ring=*/false);
+          const double rtt = micros_between(t0, Clock::now());
+          for (const Client::SolveReply& r : replies) {
+            mine.latencies.push_back(rtt);
+            switch (r.status) {
+              case WireStatus::kOk:
+                if (r.embed.status == EmbedStatus::kOk)
+                  ++mine.counts.ok;
+                else
+                  ++mine.counts.no_embedding;
+                break;
+              case WireStatus::kOverloaded: ++mine.counts.overloaded; break;
+              case WireStatus::kTimeout: ++mine.counts.timeouts; break;
+              case WireStatus::kShuttingDown: ++mine.counts.shutting_down; break;
+              default: ++mine.counts.other_status; break;
+            }
+          }
+        }
+      } catch (const TransportError&) {
+        ++mine.counts.protocol_errors;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  LoadResult out;
+  out.wall_micros = micros_between(start, Clock::now());
+  for (PerThread& p : per_thread) {
+    out.latencies.insert(out.latencies.end(), p.latencies.begin(),
+                         p.latencies.end());
+    out.ok += p.counts.ok;
+    out.no_embedding += p.counts.no_embedding;
+    out.overloaded += p.counts.overloaded;
+    out.timeouts += p.counts.timeouts;
+    out.shutting_down += p.counts.shutting_down;
+    out.other_status += p.counts.other_status;
+    out.protocol_errors += p.counts.protocol_errors;
+  }
+  std::sort(out.latencies.begin(), out.latencies.end());
+  return out;
+}
+
+/// One in-flight correctness probe: a want_ring solve whose answer must be
+/// bit-identical to the in-process engine's answer for the same request.
+bool ring_spot_check(const std::string& host, std::uint16_t port,
+                     const EmbedRequest& request, EmbedEngine* baseline) {
+  try {
+    Client client;
+    client.connect(host, port);
+    const Client::SolveReply reply = client.solve(request, /*want_ring=*/true);
+    if (reply.status != WireStatus::kOk) return false;
+    if (baseline == nullptr) return reply.embed.has_ring;
+    const auto local = baseline->query(request);
+    return reply.embed.has_ring &&
+           reply.embed.ring == local.result->ring.nodes &&
+           reply.embed.ring_length == local.result->ring_length;
+  } catch (const TransportError&) {
+    return false;
+  }
+}
+
+void emit_load_json(dbr::bench::JsonWriter& json, LoadResult& load) {
+  json.begin_object()
+      .field("replies", load.replies())
+      .field("wall_micros", load.wall_micros)
+      .field("throughput_qps", load.qps())
+      .field("protocol_errors", load.protocol_errors);
+  json.key("statuses")
+      .begin_object()
+      .field("ok", load.ok)
+      .field("no_embedding", load.no_embedding)
+      .field("overloaded", load.overloaded)
+      .field("timeout", load.timeouts)
+      .field("shutting_down", load.shutting_down)
+      .field("other", load.other_status)
+      .end_object();
+  json.key("latency_micros")
+      .begin_object()
+      .field("p50", percentile(load.latencies, 50))
+      .field("p99", percentile(load.latencies, 99))
+      .field("p999", percentile(load.latencies, 99.9))
+      .end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t connections = 64;
+  std::size_t requests = 1200;
+  std::size_t pipeline = 4;
+  std::size_t unique = 24;
+  double zipf_s = 1.1;
+  std::string connect_to;
+  bool run_baseline = true;
+  bool run_hot = true;
+  bool run_cold = true;
+  std::size_t workers = 0;
+  std::size_t max_pending = 1024;
+  double timeout_ms = 0.0;
+  std::string out_path = "BENCH_server.json";
+
+  constexpr const char* kName = "server_throughput";
+  constexpr const char* kSummary =
+      "multi-connection load against the net/ embed server vs the in-process "
+      "baseline; writes BENCH_server.json";
+  const std::initializer_list<dbr::bench::UsageFlag> kFlags = {
+      {"--connections N", "concurrent client connections (default 64)"},
+      {"--requests N", "requests per section (default 1200)"},
+      {"--pipeline N", "frames in flight per connection (default 4)"},
+      {"--unique N", "hot scenario pool size (default 24)"},
+      {"--zipf S", "Zipf skew of the hot section (default 1.1)"},
+      {"--connect H:P", "drive an external server; skips the baseline"},
+      {"--no-baseline", "skip the in-process query_batch baseline"},
+      {"--workers N", "server worker threads (default DBR_THREADS)"},
+      {"--max-pending N", "server admission bound (default 1024)"},
+      {"--timeout-ms F", "server per-request deadline (default off)"},
+      {"--hot-only", "run only the cached-hot section"},
+      {"--cold-only", "run only the uniform-cold section"},
+      {"--out PATH", "JSON artifact path (default BENCH_server.json)"},
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--connections") connections = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--requests") requests = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--pipeline") pipeline = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--unique") unique = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--zipf") zipf_s = std::strtod(next(), nullptr);
+    else if (arg == "--connect") connect_to = next();
+    else if (arg == "--no-baseline") run_baseline = false;
+    else if (arg == "--workers") workers = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--max-pending") max_pending = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--timeout-ms") timeout_ms = std::strtod(next(), nullptr);
+    else if (arg == "--hot-only") run_cold = false;
+    else if (arg == "--cold-only") run_hot = false;
+    else if (arg == "--out") out_path = next();
+    else return dbr::bench::usage_exit(argv[i], kName, kSummary, kFlags);
+  }
+  if (workers == 0) workers = dbr::worker_count();
+
+  // Resolve the target server: external (--connect) or in-process.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::unique_ptr<EmbedEngine> server_engine;
+  std::unique_ptr<Server> server;
+  if (!connect_to.empty()) {
+    const std::size_t colon = connect_to.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--connect expects HOST:PORT\n";
+      return 64;
+    }
+    host = connect_to.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::strtoul(connect_to.c_str() + colon + 1, nullptr, 10));
+    run_baseline = false;  // no handle on the remote engine
+  } else {
+    server_engine = std::make_unique<EmbedEngine>();
+    ServerOptions sopts;
+    sopts.workers = workers;
+    sopts.max_pending = max_pending;
+    sopts.request_timeout_ms = timeout_ms;
+    server = std::make_unique<Server>(*server_engine, sopts);
+    server->start();
+    port = server->port();
+  }
+
+  dbr::bench::heading("server throughput: wire service vs in-process engine");
+  std::cout << "target=" << host << ":" << port
+            << (server ? " (in-process)" : " (external)")
+            << " connections=" << connections << " pipeline=" << pipeline
+            << " requests/section=" << requests << " workers=" << workers
+            << " zipf=" << zipf_s << "\n";
+
+  struct Section {
+    std::string name;
+    std::vector<EmbedRequest> stream;
+    std::optional<double> baseline_qps;
+    LoadResult load;
+    bool ring_ok = false;
+  };
+  std::vector<Section> sections;
+  Rng rng(dbr::bench::seed());
+  if (run_hot) {
+    Section s;
+    s.name = "hot";
+    s.stream = make_stream(rng, requests, unique, /*repeat_fraction=*/0.9,
+                           zipf_s);
+    sections.push_back(std::move(s));
+  }
+  if (run_cold) {
+    Section s;
+    s.name = "cold";
+    s.stream = make_stream(rng, requests, unique, /*repeat_fraction=*/0.0);
+    sections.push_back(std::move(s));
+  }
+
+  dbr::TextTable table({"section", "replies", "qps", "baseline_qps", "ratio",
+                        "p50_us", "p99_us", "p999_us", "proto_err"});
+  for (Section& s : sections) {
+    if (run_baseline) {
+      // Equal footing: a fresh engine and the same stream, solved by the
+      // in-process batch path on the same number of workers.
+      EmbedEngine baseline;
+      BatchStats stats;
+      baseline.query_batch(s.stream, &stats);
+      s.baseline_qps = stats.throughput_qps();
+    }
+    s.load = run_load(host, port, s.stream, connections, pipeline);
+    s.ring_ok = ring_spot_check(host, port, s.stream.front(),
+                                server_engine.get());
+    const double ratio =
+        s.baseline_qps && *s.baseline_qps > 0 ? s.load.qps() / *s.baseline_qps
+                                              : 0.0;
+    table.new_row()
+        .add(s.name)
+        .add(s.load.replies())
+        .add(s.load.qps(), 1)
+        .add(s.baseline_qps.value_or(0.0), 1)
+        .add(ratio, 3)
+        .add(percentile(s.load.latencies, 50), 1)
+        .add(percentile(s.load.latencies, 99), 1)
+        .add(percentile(s.load.latencies, 99.9), 1)
+        .add(s.load.protocol_errors);
+  }
+  dbr::bench::emit(table);
+
+  std::uint64_t total_protocol_errors = 0;
+  bool rings_ok = true;
+  for (const Section& s : sections) {
+    total_protocol_errors += s.load.protocol_errors;
+    rings_ok = rings_ok && s.ring_ok;
+  }
+
+  dbr::bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", "server_throughput")
+      .field("seed", dbr::bench::seed())
+      .field("workers", static_cast<std::uint64_t>(workers));
+  json.key("config")
+      .begin_object()
+      .field("connections", static_cast<std::uint64_t>(connections))
+      .field("requests_per_section", static_cast<std::uint64_t>(requests))
+      .field("pipeline", static_cast<std::uint64_t>(pipeline))
+      .field("unique_scenarios", static_cast<std::uint64_t>(unique))
+      .field("zipf_s", zipf_s)
+      .field("max_pending", static_cast<std::uint64_t>(max_pending))
+      .field("request_timeout_ms", timeout_ms)
+      .field("external_server", server == nullptr)
+      .end_object();
+  json.key("sections").begin_object();
+  for (Section& s : sections) {
+    json.key(s.name).begin_object();
+    if (s.baseline_qps)
+      json.key("baseline_inprocess")
+          .begin_object()
+          .field("throughput_qps", *s.baseline_qps)
+          .end_object();
+    json.key("server");
+    emit_load_json(json, s.load);
+    if (s.baseline_qps && *s.baseline_qps > 0)
+      json.field("saturation_ratio", s.load.qps() / *s.baseline_qps);
+    json.field("ring_spot_check", s.ring_ok);
+    json.end_object();
+  }
+  json.end_object();
+  json.field("protocol_errors_total", total_protocol_errors);
+  json.end_object();
+
+  if (server) {
+    server->drain();
+    server->wait();
+  }
+
+  if (!json.write_file(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+  if (total_protocol_errors > 0) {
+    std::cerr << "protocol errors: " << total_protocol_errors << "\n";
+    return 1;
+  }
+  if (!rings_ok) {
+    std::cerr << "ring spot check failed\n";
+    return 1;
+  }
+  return 0;
+}

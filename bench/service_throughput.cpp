@@ -10,6 +10,7 @@
 // Knobs (argv):  --requests N          stream length            (default 1200)
 //                --unique N            hot scenario pool size   (default 24)
 //                --repeat-fraction F   P(query drawn from pool) (default 0.9)
+//                --zipf S              Zipf skew of pool draws; 0 = uniform
 //                --no-cache            run only the uncached mode
 //                --cache-only          run only the cached mode
 //                --out PATH            JSON path (default BENCH_service_throughput.json)
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
   std::size_t requests = 1200;
   std::size_t unique = 24;
   double repeat_fraction = 0.9;
+  double zipf_s = 0.0;
   bool run_cached = true;
   bool run_uncached = true;
   std::string out_path = "BENCH_service_throughput.json";
@@ -125,6 +127,7 @@ int main(int argc, char** argv) {
       {"--requests N", "total queries in the stream (default 1200)"},
       {"--unique N", "distinct fault sets (default 24)"},
       {"--repeat-fraction F", "fraction of repeated queries (default 0.9)"},
+      {"--zipf S", "Zipf exponent for hot-pool draws (0 = uniform, default)"},
       {"--no-cache", "run the uncached mode only"},
       {"--cache-only", "run the cached mode only"},
       {"--out PATH", "JSON artifact path (default BENCH_service_throughput.json)"},
@@ -137,6 +140,7 @@ int main(int argc, char** argv) {
     if (arg == "--requests") requests = std::strtoull(next(), nullptr, 10);
     else if (arg == "--unique") unique = std::strtoull(next(), nullptr, 10);
     else if (arg == "--repeat-fraction") repeat_fraction = std::strtod(next(), nullptr);
+    else if (arg == "--zipf") zipf_s = std::strtod(next(), nullptr);
     else if (arg == "--no-cache") run_cached = false;
     else if (arg == "--cache-only") run_uncached = false;
     else if (arg == "--out") out_path = next();
@@ -145,11 +149,11 @@ int main(int argc, char** argv) {
 
   Rng rng(dbr::bench::seed());
   const std::vector<EmbedRequest> stream =
-      make_stream(rng, requests, unique, repeat_fraction);
+      make_stream(rng, requests, unique, repeat_fraction, zipf_s);
 
   dbr::bench::heading("service throughput: mixed embedding query workload");
   std::cout << "requests=" << requests << " unique=" << unique
-            << " repeat_fraction=" << repeat_fraction
+            << " repeat_fraction=" << repeat_fraction << " zipf=" << zipf_s
             << " threads=" << dbr::worker_count() << "\n";
 
   std::optional<ModeOutcome> cached, uncached;
@@ -183,6 +187,7 @@ int main(int argc, char** argv) {
       .field("requests", static_cast<std::uint64_t>(requests))
       .field("unique_scenarios", static_cast<std::uint64_t>(unique))
       .field("repeat_fraction", repeat_fraction)
+      .field("zipf_s", zipf_s)
       .end_object();
   json.key("modes").begin_object();
   if (uncached) { json.key("uncached"); emit_mode_json(json, *uncached); }

@@ -6,6 +6,8 @@
 // pool of repeated queries. Shared by service_throughput and
 // verify_overhead so both measure the same traffic shape.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -60,16 +62,48 @@ inline service::EmbedRequest random_scenario(Rng& rng, std::uint64_t variant) {
   return req;
 }
 
+/// Zipf(s) sampler over ranks [0, n): rank k is drawn with probability
+/// proportional to 1 / (k+1)^s. Precomputes the CDF once (the pool is
+/// small), then samples by binary search — the standard hot-key model for
+/// cache benchmarks: s ~ 1 concentrates most draws on a handful of ranks,
+/// s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) {
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t operator()(Rng& rng) const {
+    const double u =
+        static_cast<double>(rng.below(1u << 30)) / static_cast<double>(1u << 30);
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
 /// A request stream of length `requests`: with probability `repeat_fraction`
 /// a draw from a hot pool of `unique` scenarios, otherwise a fresh one.
+/// `zipf_s` > 0 skews pool draws Zipf(s) by rank (the hot-key regime:
+/// rank 0 dominates); 0 keeps the uniform pool of the original workload.
 inline std::vector<service::EmbedRequest> make_stream(Rng& rng,
                                                       std::size_t requests,
                                                       std::size_t unique,
-                                                      double repeat_fraction) {
+                                                      double repeat_fraction,
+                                                      double zipf_s = 0.0) {
   std::vector<service::EmbedRequest> pool;
   pool.reserve(unique);
   for (std::size_t i = 0; i < unique; ++i)
     pool.push_back(random_scenario(rng, i));
+  const ZipfSampler zipf(pool.size(), zipf_s);
 
   std::vector<service::EmbedRequest> stream;
   stream.reserve(requests);
@@ -78,7 +112,9 @@ inline std::vector<service::EmbedRequest> make_stream(Rng& rng,
     const bool repeat =
         static_cast<double>(rng.below(1u << 20)) / (1u << 20) < repeat_fraction;
     if (repeat && !pool.empty()) {
-      stream.push_back(pool[rng.below(pool.size())]);
+      const std::size_t rank =
+          zipf_s > 0.0 ? zipf(rng) : static_cast<std::size_t>(rng.below(pool.size()));
+      stream.push_back(pool[rank]);
     } else {
       stream.push_back(random_scenario(rng, fresh_variant++));
     }

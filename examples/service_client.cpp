@@ -1,0 +1,159 @@
+// The service_demo walkthrough, over the wire: connect to an embed server,
+// run a stateless solve, then drive a fault-churn session — inject faults,
+// solve, heal one fault (served by an incremental repair splice), reset —
+// and finish with the STATS snapshot. Run from the build directory:
+//
+//   ./service_client                         # spawns its own in-process server
+//   ./service_client --connect 127.0.0.1:4800   # drives a running embed_server
+//
+// The self-hosted mode enables incremental repair so the clear_fault step
+// demonstrates a repaired=true splice, mirroring examples/service_demo.cpp
+// where the same flow runs in-process.
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/engine.hpp"
+#include "util/table.hpp"
+#include "util/word.hpp"
+
+using namespace dbr;
+using namespace dbr::net;
+using namespace dbr::service;
+
+namespace {
+
+void add_row(TextTable& table, const std::string& step,
+             const Client::SolveReply& reply) {
+  table.new_row()
+      .add(step)
+      .add(std::string(to_string(reply.status)))
+      .add(reply.status == WireStatus::kOk
+               ? std::string(to_string(reply.embed.status))
+               : std::string("-"))
+      .add(reply.embed.ring_length)
+      .add(reply.embed.lower_bound)
+      .add(reply.embed.upper_bound)
+      .add(std::string(reply.embed.cache_hit
+                           ? "hit"
+                           : (reply.embed.repaired ? "repaired" : "solve")))
+      .add(reply.embed.latency_micros, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect_to;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_to = argv[++i];
+    } else {
+      std::cerr << "usage: service_client [--connect HOST:PORT]\n";
+      return 64;
+    }
+  }
+
+  // Self-host unless pointed at a running server.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::unique_ptr<EmbedEngine> engine;
+  std::unique_ptr<Server> server;
+  if (connect_to.empty()) {
+    EngineOptions eopts;
+    eopts.incremental_repair = true;  // make the healing step a splice
+    engine = std::make_unique<EmbedEngine>(eopts);
+    server = std::make_unique<Server>(*engine);
+    server->start();
+    port = server->port();
+    std::cout << "self-hosted embed server on port " << port << "\n\n";
+  } else {
+    const std::size_t colon = connect_to.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--connect expects HOST:PORT\n";
+      return 64;
+    }
+    host = connect_to.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::strtoul(connect_to.c_str() + colon + 1, nullptr, 10));
+  }
+
+  try {
+    Client client;
+    client.connect(host, port);
+
+    TextTable table({"step", "wire", "embed", "|ring|", "lower", "upper",
+                     "served_by", "latency_us"});
+
+    // 1. A stateless solve: Example 2.1's node faults {020, 112} in B(3,3).
+    const WordSpace ws(3, 3);
+    EmbedRequest req;
+    req.base = 3;
+    req.n = 3;
+    req.fault_kind = FaultKind::kNode;
+    req.faults = {ws.from_digits(std::vector<Digit>{0, 2, 0}),
+                  ws.from_digits(std::vector<Digit>{1, 1, 2})};
+    add_row(table, "solve B(3,3) f={020,112}", client.solve(req));
+
+    // 2. A fault-churn session on B(2,11): faults arrive one at a time...
+    const Client::Reply configured =
+        client.configure_session(2, 11, FaultKind::kNode);
+    if (configured.status != WireStatus::kOk) {
+      std::cerr << "session config failed: " << configured.message << "\n";
+      return 1;
+    }
+    for (const Word fault : {Word{3}, Word{200}, Word{777}}) {
+      client.add_fault(FaultKind::kNode, fault);
+      add_row(table, "session +fault " + std::to_string(fault),
+              client.session_solve());
+    }
+
+    // 3. ...then one heals: with incremental repair on, this delta is
+    // served by splicing the previous ring (served_by says "repaired").
+    client.clear_fault(FaultKind::kNode, 200);
+    add_row(table, "session -fault 200", client.session_solve());
+
+    // 4. Back to a fault-free instance.
+    client.reset_faults();
+    add_row(table, "session reset", client.session_solve());
+
+    std::cout << table.to_string();
+
+    // 5. The STATS wire op: one coherent engine/server/session snapshot.
+    const Client::StatsReply stats = client.stats();
+    if (stats.status != WireStatus::kOk) {
+      std::cerr << "stats failed: " << stats.message << "\n";
+      return 1;
+    }
+    const auto& engine_stats = stats.stats.engine;
+    const auto& server_stats = stats.stats.server;
+    std::cout << "\nengine: " << engine_stats.serve.queries << " queries, "
+              << engine_stats.serve.result_hits << " result hits, "
+              << engine_stats.contexts.hits << " context hits\n"
+              << "server: " << server_stats.solves << " solves over "
+              << server_stats.frames_in << " frames in / "
+              << server_stats.frames_out << " frames out, "
+              << server_stats.connections << " open connections\n";
+    if (stats.stats.has_session) {
+      std::cout << "session: " << stats.stats.session.adds << " adds, "
+                << stats.stats.session.removes << " removes, "
+                << stats.stats.session.solves << " solves, "
+                << stats.stats.repair.spliced << " repair splices ("
+                << stats.stats.repair.fell_back << " fell back)\n";
+    }
+  } catch (const TransportError& e) {
+    std::cerr << "transport error: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (server) {
+    server->drain();
+    server->wait();
+  }
+  return 0;
+}

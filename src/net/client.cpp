@@ -1,0 +1,273 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dbr::net {
+
+namespace {
+
+/// Reads the leading WireStatus byte and, for non-kOk, the error string.
+/// Returns false when even that prologue is malformed.
+bool read_status(WireReader& r, WireStatus* status, std::string* message) {
+  const std::uint8_t raw = r.u8();
+  if (!r.ok() || raw > static_cast<std::uint8_t>(WireStatus::kInternal))
+    return false;
+  *status = static_cast<WireStatus>(raw);
+  if (*status != WireStatus::kOk) {
+    *message = r.str();
+    return r.exhausted();
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      parser_(std::move(other.parser_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    parser_ = std::move(other.parser_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port,
+                     double timeout_ms) {
+  close();
+  const std::string addr_str = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, addr_str.c_str(), &addr.sin_addr) != 1)
+    throw TransportError("bad address: " + host);
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0)
+    throw TransportError(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    throw TransportError("connect " + host + ":" + std::to_string(port) +
+                         ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  parser_ = FrameParser();
+}
+
+void Client::send_bytes(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t w = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw TransportError(std::string("send: ") + std::strerror(errno));
+  }
+}
+
+void Client::send_frame(Op op, std::uint32_t request_id,
+                        std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) throw TransportError("client is not connected");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderSize + payload.size());
+  encode_header(frame, static_cast<std::uint8_t>(op), request_id,
+                static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  send_bytes(frame.data(), frame.size());
+}
+
+Frame Client::recv_reply(Op op, std::uint32_t request_id) {
+  Frame frame;
+  for (;;) {
+    const FrameParser::Result res = parser_.next(&frame);
+    if (res == FrameParser::Result::kFrame) break;
+    if (res == FrameParser::Result::kError)
+      throw TransportError("unparseable reply stream from server");
+    std::uint8_t buf[64 * 1024];
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      parser_.feed(std::span<const std::uint8_t>(
+          buf, static_cast<std::size_t>(r)));
+      continue;
+    }
+    if (r == 0) throw TransportError("server closed the connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw TransportError("receive timed out");
+    throw TransportError(std::string("recv: ") + std::strerror(errno));
+  }
+  const std::uint8_t expect =
+      static_cast<std::uint8_t>(op) | kReplyBit;
+  if (frame.header.opcode != expect || frame.header.request_id != request_id)
+    throw TransportError("reply frame does not match the request");
+  return frame;
+}
+
+Client::SolveReply Client::parse_solve_reply(const Frame& frame) {
+  SolveReply reply;
+  WireReader r(frame.payload);
+  if (!read_status(r, &reply.status, &reply.message))
+    throw TransportError("malformed reply payload");
+  if (reply.status == WireStatus::kOk && !decode_embed(r, &reply.embed))
+    throw TransportError("malformed solve reply payload");
+  return reply;
+}
+
+Client::SolveReply Client::solve(const service::EmbedRequest& request,
+                                 bool want_ring) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> payload;
+  encode_request(payload, request, want_ring);
+  send_frame(Op::kSolve, id, payload);
+  return parse_solve_reply(recv_reply(Op::kSolve, id));
+}
+
+std::vector<Client::SolveReply> Client::solve_pipeline(
+    std::span<const service::EmbedRequest> requests, bool want_ring) {
+  if (fd_ < 0) throw TransportError("client is not connected");
+  std::vector<std::uint32_t> ids;
+  ids.reserve(requests.size());
+  std::vector<std::uint8_t> burst;
+  std::vector<std::uint8_t> payload;
+  for (const service::EmbedRequest& request : requests) {
+    payload.clear();
+    encode_request(payload, request, want_ring);
+    const std::uint32_t id = next_id_++;
+    ids.push_back(id);
+    encode_header(burst, static_cast<std::uint8_t>(Op::kSolve), id,
+                  static_cast<std::uint32_t>(payload.size()));
+    burst.insert(burst.end(), payload.begin(), payload.end());
+  }
+  send_bytes(burst.data(), burst.size());
+  std::vector<SolveReply> replies;
+  replies.reserve(requests.size());
+  for (const std::uint32_t id : ids)
+    replies.push_back(parse_solve_reply(recv_reply(Op::kSolve, id)));
+  return replies;
+}
+
+Client::Reply Client::configure_session(Digit base, unsigned n,
+                                        service::FaultKind kind,
+                                        service::Strategy strategy) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u32(base);
+  w.u32(n);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u8(static_cast<std::uint8_t>(strategy));
+  w.u16(0);  // reserved
+  send_frame(Op::kSessionConfig, id, payload);
+  const Frame frame = recv_reply(Op::kSessionConfig, id);
+  Reply reply;
+  WireReader r(frame.payload);
+  if (!read_status(r, &reply.status, &reply.message))
+    throw TransportError("malformed reply payload");
+  return reply;
+}
+
+Client::FaultReply Client::add_fault(service::FaultKind kind, Word fault) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(fault);
+  send_frame(Op::kFaultAdd, id, payload);
+  const Frame frame = recv_reply(Op::kFaultAdd, id);
+  FaultReply reply;
+  WireReader r(frame.payload);
+  if (!read_status(r, &reply.status, &reply.message))
+    throw TransportError("malformed reply payload");
+  if (reply.status == WireStatus::kOk) {
+    reply.changed = r.u8() != 0;
+    if (!r.exhausted()) throw TransportError("malformed fault reply payload");
+  }
+  return reply;
+}
+
+Client::FaultReply Client::clear_fault(service::FaultKind kind, Word fault) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(fault);
+  send_frame(Op::kFaultRemove, id, payload);
+  const Frame frame = recv_reply(Op::kFaultRemove, id);
+  FaultReply reply;
+  WireReader r(frame.payload);
+  if (!read_status(r, &reply.status, &reply.message))
+    throw TransportError("malformed reply payload");
+  if (reply.status == WireStatus::kOk) {
+    reply.changed = r.u8() != 0;
+    if (!r.exhausted()) throw TransportError("malformed fault reply payload");
+  }
+  return reply;
+}
+
+Client::Reply Client::reset_faults() {
+  const std::uint32_t id = next_id_++;
+  send_frame(Op::kFaultReset, id, {});
+  const Frame frame = recv_reply(Op::kFaultReset, id);
+  Reply reply;
+  WireReader r(frame.payload);
+  if (!read_status(r, &reply.status, &reply.message))
+    throw TransportError("malformed reply payload");
+  return reply;
+}
+
+Client::SolveReply Client::session_solve(bool want_ring) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u8(want_ring ? 1 : 0);
+  send_frame(Op::kSessionSolve, id, payload);
+  return parse_solve_reply(recv_reply(Op::kSessionSolve, id));
+}
+
+Client::StatsReply Client::stats() {
+  const std::uint32_t id = next_id_++;
+  send_frame(Op::kStats, id, {});
+  const Frame frame = recv_reply(Op::kStats, id);
+  StatsReply reply;
+  WireReader r(frame.payload);
+  if (!read_status(r, &reply.status, &reply.message))
+    throw TransportError("malformed reply payload");
+  if (reply.status == WireStatus::kOk && !decode_stats(r, &reply.stats))
+    throw TransportError("malformed stats reply payload");
+  return reply;
+}
+
+}  // namespace dbr::net

@@ -5,6 +5,7 @@
 #include <functional>
 #include <numeric>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "butterfly/lift.hpp"
@@ -241,14 +242,52 @@ ValidationStats EmbedEngine::validation_stats() const {
 }
 
 void EmbedEngine::clear_cache() {
-  cache_->clear();
+  // Seqlock write side: hold the epoch odd across the cache clear and the
+  // counter resets so a concurrent stats_snapshot() retries instead of
+  // observing half-reset state (e.g. fresh queries with stale result_hits).
+  stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
   // The ServeStats layer must restart with the cache it describes: stale
   // result_hits over a fresh query count would let a post-clear hit_rate
-  // exceed 1.0 in throughput reports.
+  // exceed 1.0 in throughput reports. Reset order matters even inside the
+  // odd-epoch window, because queries keep flowing during the clear:
+  // denominators (queries) reset first, hit counters after, and the shard
+  // counters of the cache itself last. Traffic interleaving with the clear
+  // then regrows every numerator only *alongside* an already-reset
+  // denominator, so the post-clear state keeps hit counts within an
+  // in-flight-thread bound of the query count — the reverse order would let
+  // a preempted clear strand thousands of regrown cache hits against a
+  // zeroed query count.
   queries_.store(0, std::memory_order_relaxed);
   result_hits_.store(0, std::memory_order_relaxed);
   context_hits_.store(0, std::memory_order_relaxed);
   context_misses_.store(0, std::memory_order_relaxed);
+  cache_->clear();
+  stats_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+EngineStatsSnapshot EmbedEngine::stats_snapshot() const {
+  for (;;) {
+    const std::uint64_t before = stats_epoch_.load(std::memory_order_acquire);
+    if (before & 1) {  // a clear is mid-flight; wait it out
+      std::this_thread::yield();
+      continue;
+    }
+    EngineStatsSnapshot snap;
+    // Read counters in *reverse* increment order (a query bumps queries_
+    // first, then its hit counters): numerators are captured before their
+    // denominator, so concurrent traffic between the loads can only make
+    // the later-read query count larger — hit counts never overshoot it,
+    // even when the reader is preempted mid-snapshot.
+    snap.cache = cache_->stats();
+    snap.contexts = contexts_->stats();
+    snap.validation = validation_stats();
+    snap.serve.result_hits = result_hits_.load(std::memory_order_relaxed);
+    snap.serve.context_hits = context_hits_.load(std::memory_order_relaxed);
+    snap.serve.context_misses = context_misses_.load(std::memory_order_relaxed);
+    snap.serve.queries = queries_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (stats_epoch_.load(std::memory_order_relaxed) == before) return snap;
+  }
 }
 
 ServeStats EmbedEngine::serve_stats() const {

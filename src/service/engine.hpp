@@ -53,6 +53,16 @@ struct ValidationStats {
   std::uint64_t violations = 0;  ///< answers the oracle rejected
 };
 
+/// Every engine counter family captured as one coherent snapshot (see
+/// EmbedEngine::stats_snapshot). The STATS wire op of the networked service
+/// serializes exactly this struct.
+struct EngineStatsSnapshot {
+  ServeStats serve;          ///< engine-lifetime query/hit counters
+  CacheStats cache;          ///< result-cache hit/miss/eviction counters
+  ContextCacheStats contexts;  ///< per-(base, n) context cache counters
+  ValidationStats validation;  ///< validate_responses oracle counters
+};
+
 /// Thread-safe ring-embedding query engine over the paper's constructions.
 ///
 /// A query names an instance (base, n, fault set, strategy); the engine
@@ -108,6 +118,15 @@ class EmbedEngine {
   ValidationStats validation_stats() const;
   /// Engine-lifetime query/result-hit/context-hit counters (see ServeStats).
   ServeStats serve_stats() const;
+  /// One *coherent* snapshot of every counter family, safe against a
+  /// concurrent clear_cache(): a seqlock around the clear guarantees the
+  /// snapshot never mixes pre-clear hit counters with post-clear query
+  /// counts (a torn read that would report hit rates above 1). Queries in
+  /// flight during the clear may still contribute a hit whose query count
+  /// was wiped, so per-counter skew is bounded by the number of concurrently
+  /// serving threads — never by the discarded history. This is what the
+  /// networked service's STATS op serves.
+  EngineStatsSnapshot stats_snapshot() const;
   /// Drops cached results and resets the result-cache observability
   /// counters *coherently*: CacheStats and the engine-lifetime ServeStats
   /// (queries/result_hits/context_hits/context_misses) restart together,
@@ -132,6 +151,10 @@ class EmbedEngine {
   std::unique_ptr<ContextCache> contexts_;
   mutable std::atomic<std::uint64_t> validations_{0};
   mutable std::atomic<std::uint64_t> violations_{0};
+  /// Seqlock guarding clear_cache() against stats_snapshot(): odd while a
+  /// clear is resetting the counter families below, bumped to even when the
+  /// reset is complete. Snapshot readers retry across any overlap.
+  mutable std::atomic<std::uint64_t> stats_epoch_{0};
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> result_hits_{0};
   std::atomic<std::uint64_t> context_hits_{0};

@@ -5,12 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "service/context_cache.hpp"
+#include "service/engine.hpp"
 #include "util/require.hpp"
 
 namespace dbr::service {
@@ -120,6 +123,66 @@ TEST(ContextCacheTest, ClearDropsEntriesAndResetsCountersButNotPins) {
   const auto rebuilt = cache.get_or_build(2, 6, &hit);
   EXPECT_FALSE(hit);
   EXPECT_NE(rebuilt.get(), pinned.get());
+}
+
+// --------------------------------------------------------------------------
+// Coherent stats snapshots under concurrent clear_cache().
+
+// Regression hammer for EmbedEngine::stats_snapshot(): reader threads pull
+// snapshots while one thread serves queries and another repeatedly calls
+// clear_cache(). Without the seqlock around the clear, a snapshot can catch
+// the counter families mid-reset — e.g. pre-clear result_hits against a
+// freshly zeroed query count, a hit rate above 1 that no execution ever
+// produced. The invariant checked on *every* snapshot: result_hits never
+// exceeds queries by more than the number of concurrently serving threads
+// (the documented bound — an in-flight query may contribute a hit whose
+// query count was wiped, so the slack is the serve concurrency, never the
+// discarded history).
+TEST(EngineStatsSnapshotTest, CoherentUnderConcurrentClear) {
+  EmbedEngine engine;
+  EmbedRequest req;
+  req.base = 2;
+  req.n = 11;
+  req.fault_kind = FaultKind::kNode;
+  req.faults = {3};
+  engine.query(req);  // seed the cache so hits dominate
+
+  constexpr int kQueryThreads = 2;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    queriers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) engine.query(req);
+    });
+  }
+  std::thread clearer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      engine.clear_cache();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const EngineStatsSnapshot snap = engine.stats_snapshot();
+        if (snap.serve.result_hits > snap.serve.queries + kQueryThreads)
+          violations.fetch_add(1, std::memory_order_relaxed);
+        // Cross-family coherence: the result cache's own hit counter must
+        // also stay consistent with the serve-side query count.
+        if (snap.cache.hits > snap.serve.queries + kQueryThreads)
+          violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : queriers) t.join();
+  clearer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
 }
 
 }  // namespace
