@@ -84,8 +84,18 @@ NecklaceAdjacency FfcSolver::necklace_adjacency(const std::vector<bool>& active)
   const WordSpace& ws = graph_.words();
   require(active.size() == ws.size(), "active mask size mismatch");
   NecklaceAdjacency out;
-  for (Word x = 0; x < ws.size(); ++x) {
-    if (active[x] && min_rot(x) == x) out.reps.push_back(x);
+  if (necklaces_ != nullptr) {
+    // The context already stores every representative in ascending order;
+    // filtering it by the mask yields exactly the set the full scan would
+    // ({x : active[x] and min_rot(x) == x} == {rep : active[rep]}) without
+    // rescanning all d^n words.
+    for (Word rep : necklaces_->reps) {
+      if (active[rep]) out.reps.push_back(rep);
+    }
+  } else {
+    for (Word x = 0; x < ws.size(); ++x) {
+      if (active[x] && min_rot(x) == x) out.reps.push_back(x);
+    }
   }
   // For every (n-1)-digit value w, the active nodes of the form a.w sit in
   // pairwise-distinct necklaces; each unordered pair yields two antiparallel

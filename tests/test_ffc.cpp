@@ -411,5 +411,40 @@ TEST(TreeStructure, TreeSpansComponentNecklaces) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Context-backed solver parity: the ctx path serves necklace representatives
+// straight from InstanceContext::necklaces() (no O(d^n) min-rotation rescan);
+// its adjacency output must stay byte-equal to the legacy scan's.
+
+TEST(ContextBackedSolver, NecklaceAdjacencyMatchesLegacyScan) {
+  for (const auto& [base, n] : {std::pair<Digit, unsigned>{2, 7},
+                                {3, 4},
+                                {4, 3}}) {
+    const InstanceContext ctx(base, n);
+    const FfcSolver legacy((DeBruijnDigraph(base, n)));
+    const FfcSolver backed(ctx);
+    const WordSpace& ws = ctx.words();
+    Rng rng(20260808u + base * 100 + n);
+    for (unsigned trial = 0; trial < 10; ++trial) {
+      const auto faults = rng.sample_distinct(ws.size(), rng.below(4));
+      const auto active = legacy.active_mask(faults);
+      const NecklaceAdjacency want = legacy.necklace_adjacency(active);
+      const NecklaceAdjacency got = backed.necklace_adjacency(active);
+      ASSERT_EQ(got.reps, want.reps)
+          << "B(" << base << "," << n << ") trial " << trial;
+      ASSERT_EQ(got.edges, want.edges)
+          << "B(" << base << "," << n << ") trial " << trial;
+    }
+    // Component masks (not just whole-necklace fault masks) go through the
+    // same filter: any mask closed under rotation agrees with the scan.
+    const auto active = legacy.active_mask(std::vector<Word>{1});
+    const auto comp = legacy.component_of(active, 0);
+    const NecklaceAdjacency want = legacy.necklace_adjacency(comp);
+    const NecklaceAdjacency got = backed.necklace_adjacency(comp);
+    EXPECT_EQ(got.reps, want.reps);
+    EXPECT_EQ(got.edges, want.edges);
+  }
+}
+
 }  // namespace
 }  // namespace dbr::core
