@@ -15,7 +15,14 @@
 //     served by a stateful EmbedSession (pinned context + result cache)
 //     vs a cold stateless query per event. Reports per-update latency.
 //
-//  3. Incremental repair vs full recompute: the same churn timeline (every
+//  3. Raw cold-solve speed: the allocation-free arena path (solve_ffc into
+//     a reused SolveScratch, leaning on the context's precomputed
+//     label-merge tables) vs the legacy per-call-allocation reference
+//     (FfcSolver::solve) on the same shared context. Results are asserted
+//     bit-identical field for field; the JSON `cold_solve_speedup` field is
+//     the number CI's fault-churn smoke gates on.
+//
+//  4. Incremental repair vs full recompute: the same churn timeline (every
 //     event a single-fault delta) through a repair-enabled session
 //     (EngineOptions::incremental_repair - core/repair necklace splicing)
 //     and a recompute session, result caches off so every event pays its
@@ -42,6 +49,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/ffc.hpp"
+#include "core/instance_context.hpp"
+#include "core/solve_scratch.hpp"
 #include "service/engine.hpp"
 #include "service/session.hpp"
 #include "service/stats.hpp"
@@ -64,6 +74,7 @@ using dbr::service::EmbedSession;
 using dbr::service::EngineOptions;
 using dbr::service::FaultKind;
 using dbr::service::LatencyRecorder;
+using dbr::service::LatencySnapshot;
 using dbr::service::Strategy;
 
 using Clock = std::chrono::steady_clock;
@@ -246,6 +257,69 @@ int main(int argc, char** argv) {
             << overall_speedup << "x, identical responses: "
             << (identical ? "yes" : "NO") << "\n";
 
+  // --- Raw cold-solve speed: arena path vs legacy allocation path. ---
+  dbr::bench::heading("fault churn: raw FFC solve, arena vs legacy allocation");
+  const Family& raw_family = kFamilies[0];  // ffc_node_b2_n12
+  const std::vector<EmbedRequest> raw_stream =
+      distinct_fault_stream(raw_family, rng, queries);
+  const auto raw_ctx =
+      dbr::core::InstanceContext::make(raw_family.base, raw_family.n);
+  const dbr::core::FfcSolver raw_solver(*raw_ctx);
+  dbr::core::SolveScratch raw_scratch;
+
+  // Solve first, compare after: the identity audit stays out of both
+  // timed loops.
+  std::vector<dbr::core::FfcResult> legacy_results, arena_results;
+  legacy_results.reserve(raw_stream.size());
+  arena_results.reserve(raw_stream.size());
+  const Clock::time_point legacy_start = Clock::now();
+  for (const EmbedRequest& req : raw_stream)
+    legacy_results.push_back(raw_solver.solve(req.faults));
+  const double legacy_wall = micros_since(legacy_start);
+  const Clock::time_point arena_start = Clock::now();
+  for (const EmbedRequest& req : raw_stream)
+    arena_results.push_back(dbr::core::solve_ffc(*raw_ctx, req.faults, raw_scratch));
+  const double arena_wall = micros_since(arena_start);
+
+  bool raw_identical = true;
+  for (std::size_t i = 0; i < raw_stream.size(); ++i) {
+    const dbr::core::FfcResult& a = legacy_results[i];
+    const dbr::core::FfcResult& b = arena_results[i];
+    raw_identical = raw_identical && a.cycle == b.cycle && a.root == b.root &&
+                    a.bstar_size == b.bstar_size &&
+                    a.root_eccentricity == b.root_eccentricity &&
+                    a.faulty_necklace_reps == b.faulty_necklace_reps &&
+                    a.faulty_node_count == b.faulty_node_count &&
+                    a.necklace_count == b.necklace_count &&
+                    a.tree_edges == b.tree_edges &&
+                    a.modified_edges == b.modified_edges;
+  }
+  identical = identical && raw_identical;
+
+  const double cold_solve_speedup =
+      arena_wall > 0.0 ? legacy_wall / arena_wall : 0.0;
+  dbr::TextTable raw_table(
+      {"family", "queries", "legacy_us/q", "arena_us/q", "speedup"});
+  raw_table.new_row()
+      .add(raw_family.name)
+      .add(static_cast<std::uint64_t>(raw_stream.size()))
+      .add(legacy_wall / static_cast<double>(raw_stream.size()), 1)
+      .add(arena_wall / static_cast<double>(raw_stream.size()), 1)
+      .add(cold_solve_speedup, 2);
+  dbr::bench::emit(raw_table);
+  std::cout << "raw cold-solve speedup (arena vs legacy): "
+            << cold_solve_speedup << "x, bit-identical results: "
+            << (raw_identical ? "yes" : "NO") << "\n";
+  json.key("raw_speed")
+      .begin_object()
+      .field("family", raw_family.name)
+      .field("queries", static_cast<std::uint64_t>(raw_stream.size()))
+      .field("legacy_wall_micros", legacy_wall)
+      .field("arena_wall_micros", arena_wall)
+      .field("cold_solve_speedup", cold_solve_speedup)
+      .field("identical_results", raw_identical)
+      .end_object();
+
   // --- Session incremental updates vs stateless cold queries. ---
   dbr::bench::heading("fault churn: session incremental updates");
   const Family session_family = kFamilies[0];  // FFC node churn
@@ -311,20 +385,22 @@ int main(int argc, char** argv) {
 
   const double session_speedup =
       session_wall > 0.0 ? stateless_wall / session_wall : 0.0;
+  const LatencySnapshot session_snap = session_lat.snapshot();
+  const LatencySnapshot stateless_snap = stateless_lat.snapshot();
   dbr::TextTable session_table(
       {"mode", "events", "mean_us", "p50_us", "p99_us"});
   session_table.new_row()
       .add("session")
       .add(static_cast<std::uint64_t>(churn.events.size()))
-      .add(session_lat.mean(), 1)
-      .add(session_lat.percentile(50), 1)
-      .add(session_lat.percentile(99), 1);
+      .add(session_snap.mean(), 1)
+      .add(session_snap.percentile(50), 1)
+      .add(session_snap.percentile(99), 1);
   session_table.new_row()
       .add("stateless_cold")
       .add(static_cast<std::uint64_t>(churn.events.size()))
-      .add(stateless_lat.mean(), 1)
-      .add(stateless_lat.percentile(50), 1)
-      .add(stateless_lat.percentile(99), 1);
+      .add(stateless_snap.mean(), 1)
+      .add(stateless_snap.percentile(50), 1)
+      .add(stateless_snap.percentile(99), 1);
   dbr::bench::emit(session_table);
   std::cout << "session speedup vs stateless cold: " << session_speedup
             << "x (result-cache hits on revisited states: "
@@ -338,12 +414,12 @@ int main(int argc, char** argv) {
       .field("session_wall_micros", session_wall)
       .field("stateless_wall_micros", stateless_wall)
       .field("speedup", session_speedup)
-      .field("session_mean_micros", session_lat.mean())
-      .field("session_p50_micros", session_lat.percentile(50))
-      .field("session_p99_micros", session_lat.percentile(99))
-      .field("stateless_mean_micros", stateless_lat.mean())
-      .field("stateless_p50_micros", stateless_lat.percentile(50))
-      .field("stateless_p99_micros", stateless_lat.percentile(99))
+      .field("session_mean_micros", session_snap.mean())
+      .field("session_p50_micros", session_snap.percentile(50))
+      .field("session_p99_micros", session_snap.percentile(99))
+      .field("stateless_mean_micros", stateless_snap.mean())
+      .field("stateless_p50_micros", stateless_snap.percentile(50))
+      .field("stateless_p99_micros", stateless_snap.percentile(99))
       .field("result_cache_hits", session.stats().result_cache_hits)
       .field("solves", session.stats().solves)
       .field("identical_responses", session_identical)
@@ -447,9 +523,11 @@ int main(int argc, char** argv) {
     repair_verdicts_ok = repair_verdicts_ok && verdicts_ok;
 
     const auto& rstats = repair_session.repair_stats();
-    const double speedup = repair_lat.percentile(50) > 0.0
-                               ? recompute_lat.percentile(50) /
-                                     repair_lat.percentile(50)
+    const LatencySnapshot repair_snap = repair_lat.snapshot();
+    const LatencySnapshot recompute_snap = recompute_lat.snapshot();
+    const double speedup = repair_snap.percentile(50) > 0.0
+                               ? recompute_snap.percentile(50) /
+                                     repair_snap.percentile(50)
                                : 0.0;
     if (family.strategy == Strategy::kFfc) {
       headline_speedup = speedup;  // the primary churn family
@@ -458,8 +536,8 @@ int main(int argc, char** argv) {
     repair_table.new_row()
         .add(family.name)
         .add(static_cast<std::uint64_t>(churn.events.size()))
-        .add(repair_lat.percentile(50), 1)
-        .add(recompute_lat.percentile(50), 1)
+        .add(repair_snap.percentile(50), 1)
+        .add(recompute_snap.percentile(50), 1)
         .add(speedup, 2)
         .add(rstats.spliced)
         .add(rstats.fell_back);
@@ -469,12 +547,12 @@ int main(int argc, char** argv) {
         .field("n", family.n)
         .field("strategy", dbr::service::to_string(family.strategy))
         .field("events", static_cast<std::uint64_t>(churn.events.size()))
-        .field("repair_p50_micros", repair_lat.percentile(50))
-        .field("repair_p99_micros", repair_lat.percentile(99))
-        .field("repair_mean_micros", repair_lat.mean())
-        .field("recompute_p50_micros", recompute_lat.percentile(50))
-        .field("recompute_p99_micros", recompute_lat.percentile(99))
-        .field("recompute_mean_micros", recompute_lat.mean())
+        .field("repair_p50_micros", repair_snap.percentile(50))
+        .field("repair_p99_micros", repair_snap.percentile(99))
+        .field("repair_mean_micros", repair_snap.mean())
+        .field("recompute_p50_micros", recompute_snap.percentile(50))
+        .field("recompute_p99_micros", recompute_snap.percentile(99))
+        .field("recompute_mean_micros", recompute_snap.mean())
         .field("speedup_p50", speedup)
         .field("spliced", rstats.spliced)
         .field("fell_back", rstats.fell_back)

@@ -158,22 +158,23 @@ int main(int argc, char** argv) {
       {"regime", "queries", "ok", "no_embed", "mean_us", "p50_us", "p99_us"});
   json.key("regimes").begin_array();
   for (auto& [regime, stats] : regimes) {
+    const dbr::service::LatencySnapshot snap = stats.latency.snapshot();
     table.new_row()
         .add(dbr::verify::to_string(regime))
         .add(stats.queries)
         .add(stats.embedded)
         .add(stats.no_embedding)
-        .add(stats.latency.mean(), 1)
-        .add(stats.latency.percentile(50), 1)
-        .add(stats.latency.percentile(99), 1);
+        .add(snap.mean(), 1)
+        .add(snap.percentile(50), 1)
+        .add(snap.percentile(99), 1);
     json.begin_object()
         .field("regime", dbr::verify::to_string(regime))
         .field("queries", stats.queries)
         .field("embedded", stats.embedded)
         .field("no_embedding", stats.no_embedding)
-        .field("mean_micros", stats.latency.mean())
-        .field("p50_micros", stats.latency.percentile(50))
-        .field("p99_micros", stats.latency.percentile(99))
+        .field("mean_micros", snap.mean())
+        .field("p50_micros", snap.percentile(50))
+        .field("p99_micros", snap.percentile(99))
         .end_object();
   }
   json.end_array();
@@ -279,19 +280,21 @@ int main(int argc, char** argv) {
   }
   const double session_speedup =
       session_wall > 0.0 ? stateless_wall / session_wall : 0.0;
+  const dbr::service::LatencySnapshot session_snap = session_lat.snapshot();
+  const dbr::service::LatencySnapshot stateless_snap = stateless_lat.snapshot();
   dbr::TextTable session_table({"mode", "events", "mean_us", "p50_us", "p99_us"});
   session_table.new_row()
       .add("session")
       .add(static_cast<std::uint64_t>(churn.events.size()))
-      .add(session_lat.mean(), 1)
-      .add(session_lat.percentile(50), 1)
-      .add(session_lat.percentile(99), 1);
+      .add(session_snap.mean(), 1)
+      .add(session_snap.percentile(50), 1)
+      .add(session_snap.percentile(99), 1);
   session_table.new_row()
       .add("stateless_cold")
       .add(static_cast<std::uint64_t>(churn.events.size()))
-      .add(stateless_lat.mean(), 1)
-      .add(stateless_lat.percentile(50), 1)
-      .add(stateless_lat.percentile(99), 1);
+      .add(stateless_snap.mean(), 1)
+      .add(stateless_snap.percentile(50), 1)
+      .add(stateless_snap.percentile(99), 1);
   dbr::bench::emit(session_table);
   std::cout << "session speedup vs stateless cold: " << session_speedup
             << "x (result-cache hits on revisited states: "
@@ -305,10 +308,10 @@ int main(int argc, char** argv) {
       .field("session_wall_micros", session_wall)
       .field("stateless_wall_micros", stateless_wall)
       .field("speedup", session_speedup)
-      .field("session_p50_micros", session_lat.percentile(50))
-      .field("session_p99_micros", session_lat.percentile(99))
-      .field("stateless_p50_micros", stateless_lat.percentile(50))
-      .field("stateless_p99_micros", stateless_lat.percentile(99))
+      .field("session_p50_micros", session_snap.percentile(50))
+      .field("session_p99_micros", session_snap.percentile(99))
+      .field("stateless_p50_micros", stateless_snap.percentile(50))
+      .field("stateless_p99_micros", stateless_snap.percentile(99))
       .field("result_cache_hits", session.stats().result_cache_hits)
       .field("identical_responses", session_identical)
       .end_object();

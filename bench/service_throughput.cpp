@@ -55,7 +55,7 @@ ModeOutcome run_mode(const std::vector<EmbedRequest>& stream, bool cached) {
 }
 
 void emit_mode_json(dbr::bench::JsonWriter& json, const ModeOutcome& mode) {
-  const auto latency = mode.stats.merged_latency();
+  const auto latency = mode.stats.merged_latency().snapshot();
   std::uint64_t ok = 0, no_embedding = 0, bad_request = 0, internal_error = 0;
   for (const EmbedResponse& r : mode.responses) {
     switch (r.result->status) {
@@ -88,9 +88,10 @@ void emit_mode_json(dbr::bench::JsonWriter& json, const ModeOutcome& mode) {
         .field("worker", static_cast<std::uint64_t>(w.worker))
         .field("processed", w.processed)
         .field("cache_hits", w.cache_hits)
-        .field("busy_micros", w.busy_micros)
-        .field("p50_micros", w.latency.percentile(50))
-        .field("p99_micros", w.latency.percentile(99))
+        .field("busy_micros", w.busy_micros);
+    const auto worker_latency = w.latency.snapshot();
+    json.field("p50_micros", worker_latency.percentile(50))
+        .field("p99_micros", worker_latency.percentile(99))
         .end_object();
   }
   json.end_array().end_object();
@@ -98,7 +99,7 @@ void emit_mode_json(dbr::bench::JsonWriter& json, const ModeOutcome& mode) {
 
 void print_mode(dbr::TextTable& table, const std::string& name,
                 const ModeOutcome& mode) {
-  const auto latency = mode.stats.merged_latency();
+  const auto latency = mode.stats.merged_latency().snapshot();
   table.new_row()
       .add(name)
       .add(mode.stats.processed())

@@ -66,7 +66,7 @@ bool same_answers(const ModeOutcome& a, const ModeOutcome& b) {
 }
 
 void emit_mode_json(dbr::bench::JsonWriter& json, const ModeOutcome& mode) {
-  const auto latency = mode.stats.merged_latency();
+  const auto latency = mode.stats.merged_latency().snapshot();
   json.begin_object()
       .field("processed", mode.stats.processed())
       .field("wall_micros", mode.stats.wall_micros)
@@ -151,7 +151,7 @@ int main(int argc, char** argv) {
   dbr::TextTable table({"mode", "qps", "hit_rate", "p50_us", "p99_us",
                         "checked", "violations", "quarantined"});
   for (const ModeOutcome* mode : modes) {
-    const auto latency = mode->stats.merged_latency();
+    const auto latency = mode->stats.merged_latency().snapshot();
     table.new_row()
         .add(mode->name)
         .add(mode->stats.throughput_qps(), 1)

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/instance_context.hpp"
+#include "core/solve_scratch.hpp"
 #include "debruijn/cycle.hpp"
 #include "debruijn/debruijn.hpp"
 #include "debruijn/necklaces.hpp"
@@ -98,8 +99,21 @@ class FfcSolver {
 
   const DeBruijnDigraph& graph() const { return graph_; }
 
-  /// Runs the full FFC algorithm.
+  /// Runs the full FFC algorithm (reference implementation). Allocates all
+  /// working state per call; kept verbatim as the differential-testing
+  /// baseline and the raw-speed yardstick for the arena path below (the
+  /// fuzz suite holds the two bit-identical).
   FfcResult solve(std::span<const Word> faulty_nodes, const FfcOptions& options = {}) const;
+
+  /// Allocation-free FFC solve into a reusable arena; requires a
+  /// context-backed solver (the arena path leans on the precomputed
+  /// label-merge tables). Bit-identical to solve(): every tie-break of the
+  /// reference (broadcast min-predecessor parents, largest-component
+  /// max-size/min-node selection, Step-2 ascending member order) is
+  /// order-independent, so reorganizing the computation around the arena
+  /// preserves the exact result bytes.
+  FfcResult solve(std::span<const Word> faulty_nodes, SolveScratch& scratch,
+                  const FfcOptions& options = {}) const;
 
   /// Active-node mask after removing faulty necklaces (true = in play).
   std::vector<bool> active_mask(std::span<const Word> faulty_nodes) const;
@@ -123,13 +137,24 @@ class FfcSolver {
                                  : graph_.words().min_rotation(x);
   }
 
+  /// Arena solve internals (definitions in ffc.cpp).
+  std::pair<Word, std::uint64_t> largest_component_arena(SolveScratch& s) const;
+
   DeBruijnDigraph graph_;
   const NecklaceTable* necklaces_ = nullptr;  // borrowed; may be null
+  const InstanceContext* ctx_ = nullptr;      // borrowed; may be null
 };
 
 /// The solve phase of the context/solve split: runs the FFC algorithm on a
-/// shared InstanceContext, paying only fault-dependent work.
+/// shared InstanceContext, paying only fault-dependent work. Uses the
+/// calling thread's scratch arena (solve_scratch_tls), so steady-state
+/// solves allocate only their result.
 FfcResult solve_ffc(const InstanceContext& ctx, std::span<const Word> faulty_nodes,
                     const FfcOptions& options = {});
+
+/// solve_ffc against an explicit scratch arena (sessions own one; the
+/// scratch-less overload routes to the thread-local arena).
+FfcResult solve_ffc(const InstanceContext& ctx, std::span<const Word> faulty_nodes,
+                    SolveScratch& scratch, const FfcOptions& options = {});
 
 }  // namespace dbr::core

@@ -1,11 +1,31 @@
 #include "core/instance_context.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "nt/numtheory.hpp"
 #include "util/require.hpp"
 
 namespace dbr::core {
+
+Word LabelMergeTable::exit_of(const WordSpace& ws, std::uint32_t i,
+                              Word label) const {
+  const auto begin = exit_sorted.begin() + static_cast<std::ptrdiff_t>(member_begin[i]);
+  const auto end = exit_sorted.begin() + static_cast<std::ptrdiff_t>(member_begin[i + 1]);
+  const auto it = std::lower_bound(
+      begin, end, label, [&ws](Word v, Word key) { return ws.suffix(v) < key; });
+  return (it != end && ws.suffix(*it) == label) ? *it : kNoWord;
+}
+
+Word LabelMergeTable::entry_of(const WordSpace& ws, std::uint32_t i,
+                               Word label) const {
+  const auto begin = entry_sorted.begin() + static_cast<std::ptrdiff_t>(member_begin[i]);
+  const auto end = entry_sorted.begin() + static_cast<std::ptrdiff_t>(member_begin[i + 1]);
+  const auto it = std::lower_bound(
+      begin, end, label, [&ws](Word v, Word key) { return ws.prefix(v) < key; });
+  return (it != end && ws.prefix(*it) == label) ? *it : kNoWord;
+}
 
 std::optional<std::size_t> PsiFamilyIndex::first_avoiding(
     std::span<const Word> faulty_edge_words) const {
@@ -48,6 +68,57 @@ const NecklaceTable& InstanceContext::necklaces() const {
     necklace_table_ = std::move(t);
   });
   return necklace_table_;
+}
+
+const LabelMergeTable& InstanceContext::label_merge() const {
+  std::call_once(label_merge_once_, [this] {
+    const NecklaceTable& nt = necklaces();
+    const WordSpace& ws = words();
+    const Word size = ws.size();
+    require(nt.reps.size() <
+                std::numeric_limits<std::uint32_t>::max(),
+            "necklace count exceeds the 32-bit index range");
+    LabelMergeTable t;
+    t.necklace_index.assign(size, 0);
+    t.rot_next.assign(size, 0);
+    t.members.reserve(size);
+    t.member_begin.reserve(nt.reps.size() + 1);
+    t.member_begin.push_back(0);
+    for (std::uint32_t i = 0; i < nt.reps.size(); ++i) {
+      Word v = nt.reps[i];
+      do {
+        t.necklace_index[v] = i;
+        t.members.push_back(v);
+        const Word next = ws.rotate_left(v, 1);
+        t.rot_next[v] = next;
+        v = next;
+      } while (v != nt.reps[i]);
+      t.member_begin.push_back(t.members.size());
+    }
+    // Label views: each member slice re-sorted by its exit (suffix) resp.
+    // entry (prefix) label. Within one necklace both label maps are
+    // injective — a.w and b.w (resp. w.a and w.b) cannot share a rotation
+    // class (Section 2.2) — which is what makes exit_of/entry_of total
+    // functions on the labels a necklace exposes; verified here once so
+    // every solve may rely on it.
+    t.exit_sorted = t.members;
+    t.entry_sorted = t.members;
+    for (std::uint32_t i = 0; i < nt.reps.size(); ++i) {
+      const auto begin = static_cast<std::ptrdiff_t>(t.member_begin[i]);
+      const auto end = static_cast<std::ptrdiff_t>(t.member_begin[i + 1]);
+      std::sort(t.exit_sorted.begin() + begin, t.exit_sorted.begin() + end,
+                [&ws](Word a, Word b) { return ws.suffix(a) < ws.suffix(b); });
+      std::sort(t.entry_sorted.begin() + begin, t.entry_sorted.begin() + end);
+      for (std::ptrdiff_t j = begin + 1; j < end; ++j) {
+        ensure(ws.suffix(t.exit_sorted[j - 1]) != ws.suffix(t.exit_sorted[j]),
+               "exit labels are unique within a necklace (Section 2.2)");
+        ensure(ws.prefix(t.entry_sorted[j - 1]) != ws.prefix(t.entry_sorted[j]),
+               "entry labels are unique within a necklace (Section 2.2)");
+      }
+    }
+    label_merge_table_ = std::move(t);
+  });
+  return label_merge_table_;
 }
 
 const PsiFamilyIndex& InstanceContext::psi_family() const {

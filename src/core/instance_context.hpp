@@ -24,6 +24,37 @@ struct NecklaceTable {
   std::vector<Word> reps;     ///< sorted representatives of all necklaces
 };
 
+/// Precomputed Step-2 "label merge" structure of Section 2.2, shared by
+/// every FFC-family solve on the instance: the necklace member lists
+/// flattened into CSR form (members of necklace i occupy
+/// members[member_begin[i], member_begin[i+1]) in rotation order from the
+/// representative), the necklace index of every word, the rotation
+/// successor of every word, and per-necklace label lookups — the same
+/// member slices re-sorted by (n-1)-digit suffix (exit labels) resp.
+/// prefix (entry labels). With these, Step 1.2 leader election walks a
+/// CSR slice, and the Step-3 D-edge reroute finds "the node of [x] with
+/// suffix w" by binary search — no per-solve necklace rescans and no
+/// rebuilding of lists the context already knows.
+struct LabelMergeTable {
+  std::vector<std::uint32_t> necklace_index;  ///< word -> index into NecklaceTable::reps
+  std::vector<std::uint64_t> member_begin;    ///< CSR offsets; size reps + 1
+  std::vector<Word> members;      ///< words grouped by necklace, rotation order
+  std::vector<Word> rot_next;     ///< rotate_left(x, 1) for every word x
+  std::vector<Word> exit_sorted;  ///< member slices re-sorted by suffix
+  std::vector<Word> entry_sorted; ///< member slices re-sorted by prefix
+
+  /// Rotation period (member count) of necklace i.
+  std::uint64_t period(std::uint32_t i) const {
+    return member_begin[i + 1] - member_begin[i];
+  }
+  /// The unique member of necklace i with the given (n-1)-digit suffix, or
+  /// kNoWord (~0) when the necklace does not expose that exit label.
+  Word exit_of(const WordSpace& ws, std::uint32_t i, Word label) const;
+  /// The unique member of necklace i with the given (n-1)-digit prefix, or
+  /// kNoWord (~0) when the necklace does not expose that entry label.
+  Word entry_of(const WordSpace& ws, std::uint32_t i, Word label) const;
+};
+
 /// The psi(d) pairwise disjoint Hamiltonian cycles of Proposition 3.2, plus
 /// an inverted index from edge word to the family members traversing it.
 /// Because members are pairwise edge-disjoint each edge maps to at most one
@@ -70,6 +101,11 @@ class InstanceContext {
   /// Necklace decomposition behind the Chapter-2 FFC construction.
   const NecklaceTable& necklaces() const;
 
+  /// Precomputed Step-2 label-merge tables (CSR necklace members plus
+  /// per-necklace exit/entry node-by-label lookups); built lazily on first
+  /// use like every other section.
+  const LabelMergeTable& label_merge() const;
+
   /// True when the Section-3.3 edge-fault constructions apply (n >= 2).
   bool supports_edge_faults() const { return words().length() >= 2; }
 
@@ -94,6 +130,9 @@ class InstanceContext {
 
   mutable std::once_flag necklace_once_;
   mutable NecklaceTable necklace_table_;
+
+  mutable std::once_flag label_merge_once_;
+  mutable LabelMergeTable label_merge_table_;
 
   mutable std::once_flag psi_once_;
   mutable PsiFamilyIndex psi_;

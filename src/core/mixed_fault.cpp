@@ -1,7 +1,6 @@
 #include "core/mixed_fault.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "core/disjoint_hc.hpp"
 #include "core/edge_fault.hpp"
@@ -17,6 +16,14 @@ std::vector<Word> sorted_distinct(std::span<const Word> in) {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+/// sorted_distinct into a reusable scratch vector (no allocation in steady
+/// state).
+void sorted_distinct_into(std::span<const Word> in, std::vector<Word>& out) {
+  out.assign(in.begin(), in.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 /// True for the loop word a^(n+1) (the edge a^n -> a^n). Loop faults are
@@ -78,10 +85,20 @@ std::pair<std::uint64_t, std::uint64_t> mixed_ring_length_bounds(
 MixedResult solve_mixed(const InstanceContext& ctx,
                         std::span<const Word> faulty_nodes,
                         std::span<const Word> faulty_edge_words) {
+  return solve_mixed(ctx, faulty_nodes, faulty_edge_words,
+                     solve_scratch_tls());
+}
+
+MixedResult solve_mixed(const InstanceContext& ctx,
+                        std::span<const Word> faulty_nodes,
+                        std::span<const Word> faulty_edge_words,
+                        SolveScratch& s) {
   const WordSpace& ws = ctx.words();
   require(ws.length() >= 2, "mixed-fault solve requires n >= 2");
-  const std::vector<Word> nodes = sorted_distinct(faulty_nodes);
-  std::vector<Word> edges = sorted_distinct(faulty_edge_words);
+  sorted_distinct_into(faulty_nodes, s.nodes_tmp);
+  sorted_distinct_into(faulty_edge_words, s.edges_tmp);
+  const std::vector<Word>& nodes = s.nodes_tmp;
+  const std::vector<Word>& edges = s.edges_tmp;
   for (Word v : nodes) {
     require(v < ws.size(),
             "faulty node word " + std::to_string(v) + " out of range");
@@ -104,25 +121,32 @@ MixedResult solve_mixed(const InstanceContext& ctx,
   }
 
   // FFC pull-back route. Track the faulty necklaces and how many nodes
-  // their removal costs, exactly as the FFC excision will see them.
+  // their removal costs, exactly as the FFC excision will see them; a flat
+  // per-necklace bit replaces the reference unordered_set of reps.
   const NecklaceTable& necklaces = ctx.necklaces();
-  std::unordered_set<Word> faulty_reps;
+  const LabelMergeTable& lm = ctx.label_merge();
+  s.faulty_neck.assign(necklaces.reps.size(), false);
   std::uint64_t removed = 0;
   const auto retire = [&](Word v) {
-    const Word rep = necklaces.min_rot[v];
-    if (faulty_reps.insert(rep).second) removed += ws.period(rep);
+    const std::uint32_t i = lm.necklace_index[v];
+    if (!s.faulty_neck.test(i)) {
+      s.faulty_neck.set(i);
+      removed += lm.period(i);
+    }
   };
   for (Word v : nodes) retire(v);
   // Mirrors the FFC request contract: a request whose own faulty necklaces
   // cover B(d,n) is invalid, not merely unembeddable.
   require(removed < ws.size(), "faulty necklaces cover every node of B(d,n)");
 
-  std::vector<Word> pullback = nodes;
+  std::vector<Word>& pullback = s.pullback_tmp;
+  pullback.assign(nodes.begin(), nodes.end());
   for (Word e : edges) {
     if (is_loop_edge(ws, e)) continue;
     const auto [u, v] = ws.edge_endpoints(e);
-    if (faulty_reps.contains(necklaces.min_rot[u]) ||
-        faulty_reps.contains(necklaces.min_rot[v])) {
+    const std::uint32_t iu = lm.necklace_index[u];
+    const std::uint32_t iv = lm.necklace_index[v];
+    if (s.faulty_neck.test(iu) || s.faulty_neck.test(iv)) {
       continue;  // an endpoint's necklace is already excised
     }
     // Charge the endpoint whose necklace removes fewer nodes (smaller
@@ -130,8 +154,8 @@ MixedResult solve_mixed(const InstanceContext& ctx,
     // choice is presentation-independent.
     const Word ru = necklaces.min_rot[u];
     const Word rv = necklaces.min_rot[v];
-    const unsigned pu = ws.period(ru);
-    const unsigned pv = ws.period(rv);
+    const std::uint64_t pu = lm.period(iu);
+    const std::uint64_t pv = lm.period(iv);
     const Word pick = (pv < pu || (pv == pu && rv < ru)) ? v : u;
     pullback.push_back(pick);
     out.pulled_back.push_back(pick);
@@ -144,7 +168,7 @@ MixedResult solve_mixed(const InstanceContext& ctx,
       out.route = MixedRoute::kNone;  // the pull-back consumed every node
       return out;
     }
-    FfcResult ffc = solve_ffc(ctx, pullback);
+    FfcResult ffc = solve_ffc(ctx, pullback, s);
     if (ffc.cycle.length() == 1) {
       // A single-node ring a^n closes over the loop word a^(n+1); if that
       // loop is faulty the ring is unusable, so retire the node and retry

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/instance_context.hpp"
+#include "core/solve_scratch.hpp"
 #include "debruijn/cycle.hpp"
 
 namespace dbr::core {
@@ -102,5 +103,13 @@ std::pair<std::uint64_t, std::uint64_t> mixed_ring_length_bounds(
 MixedResult solve_mixed(const InstanceContext& ctx,
                         std::span<const Word> faulty_nodes,
                         std::span<const Word> faulty_edge_words);
+
+/// solve_mixed against an explicit scratch arena; the overload above routes
+/// to the calling thread's arena (solve_scratch_tls), so steady-state
+/// mixed solves allocate only their result.
+MixedResult solve_mixed(const InstanceContext& ctx,
+                        std::span<const Word> faulty_nodes,
+                        std::span<const Word> faulty_edge_words,
+                        SolveScratch& scratch);
 
 }  // namespace dbr::core

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <iterator>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/ffc.hpp"
@@ -13,14 +11,14 @@ namespace dbr::core {
 
 namespace {
 
-constexpr Word kAbsent = ~Word{0};
+constexpr Word kAbsent = kNoWord;
 
-/// Sorted-span set difference a \ b.
-std::vector<Word> difference(std::span<const Word> a, std::span<const Word> b) {
-  std::vector<Word> out;
+/// Sorted-span set difference a \ b into a reusable scratch vector.
+void difference_into(std::span<const Word> a, std::span<const Word> b,
+                     std::vector<Word>& out) {
+  out.clear();
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
                       std::back_inserter(out));
-  return out;
 }
 
 /// True for the loop word a^(n+1); loop faults never constrain a ring of
@@ -48,8 +46,14 @@ bool necklace_faulty(const WordSpace& ws, Word rep,
 /// what makes whole-necklace excision and reinsertion purely local edits.
 class RingSplicer {
  public:
-  explicit RingSplicer(const InstanceContext& ctx)
-      : ws_(ctx.words()), min_rot_(ctx.necklaces().min_rot) {}
+  /// Borrows the ring maps and reconnect workspaces from `s`; the splicer
+  /// must not outlive the scratch arena or share it with another splicer.
+  RingSplicer(const InstanceContext& ctx, SolveScratch& s)
+      : ws_(ctx.words()),
+        min_rot_(ctx.necklaces().min_rot),
+        s_(s),
+        next_(s.ring_next),
+        pred_(s.ring_pred) {}
 
   /// Indexes the ring into successor/predecessor maps. False when the
   /// sequence is not a simple cycle of genuine B(d,n) edges.
@@ -149,7 +153,8 @@ class RingSplicer {
   bool reconnect() {
     if (cover_ == 0) return false;
     constexpr std::uint32_t kNoComp = ~std::uint32_t{0};
-    std::vector<std::uint32_t> comp(ws_.size(), kNoComp);
+    std::vector<std::uint32_t>& comp = s_.ring_comp;
+    comp.assign(ws_.size(), kNoComp);
     std::uint32_t components = 0;
     for (Word v = 0; v < ws_.size(); ++v) {
       if (!covered(v) || comp[v] != kNoComp) continue;
@@ -161,19 +166,25 @@ class RingSplicer {
       ++components;
     }
     if (components == 1) return true;
-    std::vector<std::uint32_t> parent(components);
+    std::vector<std::uint32_t>& parent = s_.uf_parent;
+    parent.resize(components);
     for (std::uint32_t c = 0; c < components; ++c) parent[c] = c;
     const auto find = [&parent](std::uint32_t c) {
       while (parent[c] != c) c = parent[c] = parent[parent[c]];
       return c;
     };
-    std::unordered_map<Word, Word> anchor;  // label -> smallest covered node
+    // label -> smallest covered node; labels are (n-1)-digit values.
+    EpochMap& anchor = s_.anchor;
+    anchor.begin(ws_.size() / ws_.radix());
     std::uint32_t merged = components;
     for (Word u = 0; u < ws_.size() && merged > 1; ++u) {
       if (!covered(u)) continue;
-      const auto [it, inserted] = anchor.try_emplace(ws_.suffix(u), u);
-      if (inserted) continue;
-      const Word a = it->second;
+      const Word label = ws_.suffix(u);
+      if (!anchor.contains(label)) {
+        anchor.put(label, u);
+        continue;
+      }
+      const Word a = anchor.get(label);
       const std::uint32_t ra = find(comp[a]);
       const std::uint32_t ru = find(comp[u]);
       if (ra == ru) continue;
@@ -186,7 +197,8 @@ class RingSplicer {
     if (merged == 1) return true;
     // Keep the largest label-component (ties toward whichever reaches the
     // shared maximum count first in the ascending scan — deterministic).
-    std::vector<std::uint64_t> size(components, 0);
+    std::vector<std::uint64_t>& size = s_.ring_comp_size;
+    size.assign(components, 0);
     std::uint32_t best = kNoComp;
     for (Word v = 0; v < ws_.size(); ++v) {
       if (!covered(v)) continue;
@@ -206,11 +218,11 @@ class RingSplicer {
   /// Walks the spliced successor map from the smallest covered node. The
   /// map is a permutation of the cover, so the walk closes; it must close
   /// after exactly cover() steps (one cycle) without touching a forbidden
-  /// node or traversing a forbidden edge word.
-  std::optional<NodeCycle> extract(
-      const std::unordered_set<Word>& forbidden_nodes,
-      const std::unordered_set<Word>& forbidden_edges,
-      RepairFallback* why) const {
+  /// node or traversing a forbidden edge word. Both forbidden lists must
+  /// be sorted (the canonical fault sets are).
+  std::optional<NodeCycle> extract(std::span<const Word> forbidden_nodes,
+                                   std::span<const Word> forbidden_edges,
+                                   RepairFallback* why) const {
     if (cover_ == 0) {
       *why = RepairFallback::kRingVanished;
       return std::nullopt;
@@ -230,13 +242,15 @@ class RingSplicer {
         *why = RepairFallback::kMalformedRing;
         return std::nullopt;
       }
-      if (forbidden_nodes.contains(cur)) {
+      if (std::binary_search(forbidden_nodes.begin(), forbidden_nodes.end(),
+                             cur)) {
         *why = RepairFallback::kTouchesFault;
         return std::nullopt;
       }
       const Word nxt = next_[cur];
       if (!forbidden_edges.empty() &&
-          forbidden_edges.contains(ws_.edge_word(cur, ws_.tail(nxt)))) {
+          std::binary_search(forbidden_edges.begin(), forbidden_edges.end(),
+                             ws_.edge_word(cur, ws_.tail(nxt)))) {
         *why = RepairFallback::kTouchesFault;
         return std::nullopt;
       }
@@ -258,8 +272,9 @@ class RingSplicer {
  private:
   const WordSpace& ws_;
   const std::vector<Word>& min_rot_;  // borrowed from the context
-  std::vector<Word> next_;            // kAbsent = not covered
-  std::vector<Word> pred_;
+  SolveScratch& s_;                   // reconnect workspaces
+  std::vector<Word>& next_;           // scratch ring_next; kAbsent = not covered
+  std::vector<Word>& pred_;           // scratch ring_pred
   std::uint64_t cover_ = 0;
 };
 
@@ -305,6 +320,15 @@ RepairOutcome repair_node_ring(const InstanceContext& ctx,
                                const NodeCycle& old_ring,
                                std::span<const Word> old_faults,
                                std::span<const Word> new_faults) {
+  return repair_node_ring(ctx, old_ring, old_faults, new_faults,
+                          solve_scratch_tls());
+}
+
+RepairOutcome repair_node_ring(const InstanceContext& ctx,
+                               const NodeCycle& old_ring,
+                               std::span<const Word> old_faults,
+                               std::span<const Word> new_faults,
+                               SolveScratch& s) {
   const WordSpace& ws = ctx.words();
   RepairOutcome out;
   const auto [lo, hi] =
@@ -312,13 +336,14 @@ RepairOutcome repair_node_ring(const InstanceContext& ctx,
   out.lower_bound = lo;
   out.upper_bound = hi;
 
-  RingSplicer splicer(ctx);
+  RingSplicer splicer(ctx, s);
   if (!splicer.load(old_ring)) {
     out.fallback = RepairFallback::kMalformedRing;
     return out;
   }
 
-  for (Word f : difference(new_faults, old_faults)) {
+  difference_into(new_faults, old_faults, s.delta_tmp);
+  for (Word f : s.delta_tmp) {
     if (f >= ws.size()) {
       out.fallback = RepairFallback::kMalformedRing;
       return out;
@@ -331,7 +356,8 @@ RepairOutcome repair_node_ring(const InstanceContext& ctx,
     }
     ++out.spliced_necklaces;
   }
-  for (Word f : difference(old_faults, new_faults)) {
+  difference_into(old_faults, new_faults, s.delta_tmp);
+  for (Word f : s.delta_tmp) {
     if (f >= ws.size()) {
       out.fallback = RepairFallback::kMalformedRing;
       return out;
@@ -352,9 +378,7 @@ RepairOutcome repair_node_ring(const InstanceContext& ctx,
     return out;
   }
   RepairFallback why = RepairFallback::kNone;
-  const std::unordered_set<Word> forbidden(new_faults.begin(),
-                                           new_faults.end());
-  std::optional<NodeCycle> ring = splicer.extract(forbidden, {}, &why);
+  std::optional<NodeCycle> ring = splicer.extract(new_faults, {}, &why);
   if (!ring) {
     out.fallback = why;
     return out;
@@ -433,6 +457,18 @@ RepairOutcome repair_mixed_ring(const InstanceContext& ctx,
                                 std::span<const Word> old_edge_faults,
                                 std::span<const Word> new_node_faults,
                                 std::span<const Word> new_edge_faults) {
+  return repair_mixed_ring(ctx, old_ring, old_node_faults, old_edge_faults,
+                           new_node_faults, new_edge_faults,
+                           solve_scratch_tls());
+}
+
+RepairOutcome repair_mixed_ring(const InstanceContext& ctx,
+                                const NodeCycle& old_ring,
+                                std::span<const Word> old_node_faults,
+                                std::span<const Word> old_edge_faults,
+                                std::span<const Word> new_node_faults,
+                                std::span<const Word> new_edge_faults,
+                                SolveScratch& s) {
   const WordSpace& ws = ctx.words();
   RepairOutcome out;
   const auto [lo, hi] = mixed_ring_length_bounds(
@@ -459,14 +495,21 @@ RepairOutcome repair_mixed_ring(const InstanceContext& ctx,
 
   // FFC pull-back ring: necklace splicing, with newly traversed cuts
   // charged to their cheaper endpoint necklace (the solver's rule).
-  RingSplicer splicer(ctx);
+  RingSplicer splicer(ctx, s);
   if (!splicer.load(old_ring)) {
     out.fallback = RepairFallback::kMalformedRing;
     return out;
   }
 
-  std::unordered_set<Word> excised;  // reps this repair retired
-  for (Word f : difference(new_node_faults, old_node_faults)) {
+  // Reps this repair retired, kept sorted for the revival pass below.
+  std::vector<Word>& excised = s.excised_tmp;
+  excised.clear();
+  const auto retire_rep = [&excised](Word rep) {
+    const auto it = std::lower_bound(excised.begin(), excised.end(), rep);
+    if (it == excised.end() || *it != rep) excised.insert(it, rep);
+  };
+  difference_into(new_node_faults, old_node_faults, s.delta_tmp);
+  for (Word f : s.delta_tmp) {
     if (f >= ws.size()) {
       out.fallback = RepairFallback::kMalformedRing;
       return out;
@@ -477,10 +520,11 @@ RepairOutcome repair_mixed_ring(const InstanceContext& ctx,
       out.fallback = RepairFallback::kMalformedRing;
       return out;
     }
-    excised.insert(rep);
+    retire_rep(rep);
     ++out.spliced_necklaces;
   }
-  for (Word e : difference(new_edge_faults, old_edge_faults)) {
+  difference_into(new_edge_faults, old_edge_faults, s.delta_tmp);
+  for (Word e : s.delta_tmp) {
     if (e >= ws.edge_word_count()) {
       out.fallback = RepairFallback::kMalformedRing;
       return out;
@@ -497,16 +541,20 @@ RepairOutcome repair_mixed_ring(const InstanceContext& ctx,
       out.fallback = RepairFallback::kMalformedRing;
       return out;
     }
-    excised.insert(pick);
+    retire_rep(pick);
     ++out.spliced_necklaces;
   }
-  for (Word f : difference(old_node_faults, new_node_faults)) {
+  difference_into(old_node_faults, new_node_faults, s.delta_tmp);
+  for (Word f : s.delta_tmp) {
     if (f >= ws.size()) {
       out.fallback = RepairFallback::kMalformedRing;
       return out;
     }
     const Word rep = splicer.rep_of(f);
-    if (splicer.covered(rep) || excised.contains(rep)) continue;
+    if (splicer.covered(rep) ||
+        std::binary_search(excised.begin(), excised.end(), rep)) {
+      continue;
+    }
     if (necklace_faulty(ws, rep, new_node_faults)) continue;
     // Re-attach the revived router necklace; a resurfaced cut inside it is
     // caught by the forbidden-edge check on the final walk.
@@ -523,12 +571,8 @@ RepairOutcome repair_mixed_ring(const InstanceContext& ctx,
     return out;
   }
   RepairFallback why = RepairFallback::kNone;
-  const std::unordered_set<Word> forbidden_nodes(new_node_faults.begin(),
-                                                 new_node_faults.end());
-  const std::unordered_set<Word> forbidden_edges(new_edge_faults.begin(),
-                                                 new_edge_faults.end());
   std::optional<NodeCycle> ring =
-      splicer.extract(forbidden_nodes, forbidden_edges, &why);
+      splicer.extract(new_node_faults, new_edge_faults, &why);
   if (!ring) {
     out.fallback = why;
     return out;

@@ -49,6 +49,7 @@
 #include <span>
 
 #include "core/instance_context.hpp"
+#include "core/solve_scratch.hpp"
 #include "debruijn/cycle.hpp"
 
 namespace dbr::core {
@@ -99,6 +100,15 @@ RepairOutcome repair_node_ring(const InstanceContext& ctx,
                                std::span<const Word> old_faults,
                                std::span<const Word> new_faults);
 
+/// repair_node_ring against an explicit scratch arena (sessions own one);
+/// the overload above routes to the calling thread's arena, so a
+/// steady-state repair allocates only its result.
+RepairOutcome repair_node_ring(const InstanceContext& ctx,
+                               const NodeCycle& old_ring,
+                               std::span<const Word> old_faults,
+                               std::span<const Word> new_faults,
+                               SolveScratch& scratch);
+
 /// Repairs a Section-3.3 Hamiltonian ring across an edge-fault delta: an
 /// `unchanged` no-op when the ring traverses none of `new_faults` (fault
 /// words the ring avoids — including every removed fault — cost nothing;
@@ -130,5 +140,17 @@ RepairOutcome repair_mixed_ring(const InstanceContext& ctx,
                                 std::span<const Word> old_edge_faults,
                                 std::span<const Word> new_node_faults,
                                 std::span<const Word> new_edge_faults);
+
+/// repair_mixed_ring against an explicit scratch arena; same relationship
+/// to the overload above as the repair_node_ring pair. (repair_edge_ring
+/// and repair_butterfly_ring are already allocation-free scans and need no
+/// arena.)
+RepairOutcome repair_mixed_ring(const InstanceContext& ctx,
+                                const NodeCycle& old_ring,
+                                std::span<const Word> old_node_faults,
+                                std::span<const Word> old_edge_faults,
+                                std::span<const Word> new_node_faults,
+                                std::span<const Word> new_edge_faults,
+                                SolveScratch& scratch);
 
 }  // namespace dbr::core

@@ -1,0 +1,10 @@
+#include "core/solve_scratch.hpp"
+
+namespace dbr::core {
+
+SolveScratch& solve_scratch_tls() {
+  thread_local SolveScratch scratch;
+  return scratch;
+}
+
+}  // namespace dbr::core

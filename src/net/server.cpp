@@ -555,7 +555,21 @@ void Server::execute_op(Connection& conn, OpItem& op,
   } slot{this, op.is_solve};
 
   const auto expired = [&] {
-    return op.has_deadline && Clock::now() > op.deadline;
+    // >= : a reply landing exactly at the deadline is already late, and a
+    // coarse clock tick would otherwise let a 1 ms budget never expire.
+    return op.has_deadline && Clock::now() >= op.deadline;
+  };
+  // Solve replies enforce the deadline at reply-enqueue time: encoding a
+  // large ring can itself overrun a tight budget, and what the client
+  // observes is when the reply is enqueued, not when the solve finished.
+  // An expired kOk payload is replaced by kTimeout and counted.
+  const auto finish_solve = [&] {
+    if (expired()) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      error_reply(WireStatus::kTimeout, "solve exceeded the deadline");
+      return;
+    }
+    finish();
   };
   if (op.is_solve) {
     if (options_.debug_solve_delay_ms > 0) {
@@ -582,15 +596,10 @@ void Server::execute_op(Connection& conn, OpItem& op,
         }
         const service::EmbedResponse response = engine_->query(request);
         solves_.fetch_add(1, std::memory_order_relaxed);
-        if (expired()) {  // the solve itself overran the deadline
-          timeouts_.fetch_add(1, std::memory_order_relaxed);
-          error_reply(WireStatus::kTimeout, "solve exceeded the deadline");
-          return;
-        }
         WireWriter w(payload);
         w.u8(static_cast<std::uint8_t>(WireStatus::kOk));
         encode_embed(w, response, want_ring);
-        finish();
+        finish_solve();  // deadline enforced as the reply is enqueued
         return;
       }
       case Op::kSessionConfig: {
@@ -685,15 +694,10 @@ void Server::execute_op(Connection& conn, OpItem& op,
         }
         const service::EmbedResponse response = conn.session->current_ring();
         solves_.fetch_add(1, std::memory_order_relaxed);
-        if (expired()) {
-          timeouts_.fetch_add(1, std::memory_order_relaxed);
-          error_reply(WireStatus::kTimeout, "solve exceeded the deadline");
-          return;
-        }
         WireWriter w(payload);
         w.u8(static_cast<std::uint8_t>(WireStatus::kOk));
         encode_embed(w, response, ring != 0);
-        finish();
+        finish_solve();  // deadline enforced as the reply is enqueued
         return;
       }
       case Op::kStats: {

@@ -68,9 +68,10 @@ struct ServerOptions {
   /// bound (they are O(1) and keep sessions inspectable under overload).
   std::size_t max_pending = 1024;
   /// Per-request deadline in milliseconds, measured from frame arrival.
-  /// An op past its deadline answers kTimeout — checked both when a worker
-  /// dequeues it (expired in queue) and after the solve (overran). 0
-  /// disables timeouts.
+  /// An op at or past its deadline answers kTimeout — checked when a
+  /// worker dequeues it (expired in queue) and again when the encoded
+  /// reply is enqueued (solve or encoding overran), so a reply never
+  /// leaves after its budget. 0 disables timeouts.
   double request_timeout_ms = 0.0;
   /// Connections beyond this are accepted and immediately closed.
   std::size_t max_connections = 4096;

@@ -1,15 +1,15 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "service/types.hpp"
+#include "util/rcu_snapshot.hpp"
 
 namespace dbr::service {
 
@@ -56,21 +56,32 @@ struct CacheStats {
 };
 
 /// Sharded LRU map from canonical request keys to computed embeddings.
-/// Keys are distributed across shards by hash; each shard owns its mutex,
-/// LRU list and index, so concurrent workers contend only when they land on
-/// the same shard. Values are immutable shared_ptrs: a get() returns the
-/// exact object a put() stored, so cached answers are bit-identical to the
-/// original computation.
+/// Keys are distributed across shards by hash. Values are immutable
+/// shared_ptrs: a get() returns the exact object a put() stored, so cached
+/// answers are bit-identical to the original computation.
+///
+/// The hit path is read-side lock-free (RCU): each shard publishes an
+/// immutable snapshot of its map through a util::RcuSnapshot cell, and
+/// get() resolves keys against the snapshot without ever taking the shard
+/// mutex (wait-free: two counter bumps and one pointer load).
+/// LRU recency is kept *exact* without a mutex either — every entry carries
+/// an atomic last-used tick that the hit stores into, and eviction (under
+/// the writer mutex) scans for the minimum tick, which names the same
+/// victim a recency list would. Writers (put/clear) serialize on the shard
+/// mutex, mutate the authoritative map, and publish a fresh snapshot;
+/// in-flight readers keep the old snapshot alive until they drop it.
 class ShardedLruCache {
  public:
   /// `capacity` is the total entry budget, split evenly across shards
   /// (at least one entry per shard). `shard_count` >= 1.
   explicit ShardedLruCache(std::size_t capacity, std::size_t shard_count = 16);
 
-  /// Returns the cached value and refreshes its LRU position, or nullptr.
+  /// Returns the cached value and refreshes its LRU recency, or nullptr.
+  /// Lock-free: touches only the shard's published snapshot and atomics.
   std::shared_ptr<const EmbedResult> get(const CacheKey& key);
 
-  /// Inserts or refreshes `key`, evicting the shard's LRU tail if full.
+  /// Inserts or refreshes `key`, evicting the shard's least-recently-used
+  /// entry if full, and publishes the shard's next read snapshot.
   void put(const CacheKey& key, std::shared_ptr<const EmbedResult> value);
 
   void clear();
@@ -79,20 +90,38 @@ class ShardedLruCache {
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t size() const;
 
-  /// Aggregated over shards; a consistent snapshot per shard, not globally.
+  /// Aggregated over shards from the atomic counters; counters may be
+  /// mid-update, so totals are approximate under concurrent traffic.
   CacheStats stats() const;
 
  private:
-  struct Shard {
-    using LruList = std::list<std::pair<CacheKey, std::shared_ptr<const EmbedResult>>>;
+  /// One cached value plus its recency tick. Shared between the
+  /// authoritative map and every published snapshot, so a lock-free hit
+  /// can refresh recency in place; `value` is immutable after construction
+  /// (a put-refresh installs a *new* Entry rather than mutating this one).
+  struct Entry {
+    Entry(std::shared_ptr<const EmbedResult> v, std::uint64_t t)
+        : value(std::move(v)), last_used(t) {}
 
-    mutable std::mutex mu;
-    LruList lru;  // front = most recently used
-    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> index;
+    std::shared_ptr<const EmbedResult> value;
+    std::atomic<std::uint64_t> last_used;
+  };
+
+  struct Shard {
+    using Map =
+        std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash>;
+
+    /// The read path: an immutable map published by the last writer.
+    /// Readers pin it with a ReadGuard; retired snapshots are reclaimed
+    /// by later writers once the guards drain (see util/rcu_snapshot.hpp).
+    util::RcuSnapshot<Map> snapshot;
+    mutable std::mutex mu;  ///< writers only (put/clear)
+    Map index;              ///< authoritative map, guarded by mu
     std::size_t capacity = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    std::atomic<std::uint64_t> tick{0};  ///< recency clock, one per touch
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
   };
 
   Shard& shard_for(const CacheKey& key);

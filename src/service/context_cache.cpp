@@ -8,25 +8,54 @@ ContextCache::ContextCache(std::size_t capacity) : capacity_(capacity) {
   require(capacity >= 1, "ContextCache requires capacity >= 1");
 }
 
+void ContextCache::publish() {
+  snapshot_.publish(std::make_shared<const Map>(map_));
+}
+
 std::shared_ptr<const core::InstanceContext> ContextCache::get_or_build(
     Digit base, unsigned n, bool* hit) {
   const std::uint64_t key = key_of(base, n);
+  // Lock-free fast path: a built context found in the published snapshot is
+  // returned after one atomic recency store. An entry whose build is still
+  // in flight (ready unset) falls through to the future protocol below.
+  if (const util::RcuSnapshot<Map>::ReadGuard snap{snapshot_}) {
+    const auto it = snap->find(key);
+    if (it != snap->end()) {
+      if (it->second->ready.load(std::memory_order_acquire) != nullptr) {
+        // The acquire load above makes the builder's one-time write of
+        // ready_owner visible; copying it extends ownership past the guard.
+        ContextPtr ctx = it->second->ready_owner;
+        it->second->last_used.store(
+            tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (hit != nullptr) *hit = true;
+        return ctx;
+      }
+    }
+  }
+
   std::promise<ContextPtr> promise;
   Future future;
+  std::shared_ptr<Entry> entry;
   bool builder = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       if (hit != nullptr) *hit = true;
-      it->second.last_used = ++tick_;
-      future = it->second.future;
+      it->second->last_used.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      future = it->second->future;
     } else {
-      ++misses_;
+      misses_.fetch_add(1, std::memory_order_relaxed);
       if (hit != nullptr) *hit = false;
       future = promise.get_future().share();
-      map_.emplace(key, Entry{future, ++tick_});
+      entry = std::make_shared<Entry>(
+          future, tick_.fetch_add(1, std::memory_order_relaxed) + 1);
+      map_.emplace(key, entry);
       builder = true;
       if (map_.size() > capacity_) {
         // Evict the least recently used entry (never the one just
@@ -36,23 +65,33 @@ std::shared_ptr<const core::InstanceContext> ContextCache::get_or_build(
         for (auto e = map_.begin(); e != map_.end(); ++e) {
           if (e->first == key) continue;
           if (victim == map_.end() ||
-              e->second.last_used < victim->second.last_used) {
+              e->second->last_used.load(std::memory_order_relaxed) <
+                  victim->second->last_used.load(std::memory_order_relaxed)) {
             victim = e;
           }
         }
         map_.erase(victim);
       }
+      publish();
     }
   }
   if (builder) {
     try {
-      promise.set_value(core::InstanceContext::make(base, n));
+      ContextPtr built = core::InstanceContext::make(base, n);
+      // Open the lock-free path first, then wake the future's waiters; the
+      // shared Entry makes the stored context visible through every
+      // snapshot that contains it. Ownership lands in ready_owner *before*
+      // the release-store of the raw pointer readers gate on.
+      entry->ready_owner = built;
+      entry->ready.store(built.get(), std::memory_order_release);
+      promise.set_value(std::move(built));
     } catch (...) {
       {
         // Drop the entry before waking waiters so lookups racing the wake
         // never find a dead future; invalid instances are never cached.
         const std::lock_guard<std::mutex> lock(mu_);
         map_.erase(key);
+        publish();
       }
       promise.set_exception(std::current_exception());
     }
@@ -64,9 +103,11 @@ std::shared_ptr<const core::InstanceContext> ContextCache::get_or_build(
       // A waiter that joined a build which then failed did not reuse
       // anything: reclassify its lookup as a miss ("wait failed"). The
       // decrement saturates so a concurrent clear() cannot underflow it.
-      const std::lock_guard<std::mutex> lock(mu_);
-      if (hits_ > 0) --hits_;
-      ++misses_;
+      std::uint64_t h = hits_.load(std::memory_order_relaxed);
+      while (h > 0 && !hits_.compare_exchange_weak(h, h - 1,
+                                                   std::memory_order_relaxed)) {
+      }
+      misses_.fetch_add(1, std::memory_order_relaxed);
       if (hit != nullptr) *hit = false;
     }
     throw;
@@ -76,8 +117,9 @@ std::shared_ptr<const core::InstanceContext> ContextCache::get_or_build(
 void ContextCache::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  snapshot_.publish(nullptr);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 std::size_t ContextCache::size() const {
@@ -86,8 +128,12 @@ std::size_t ContextCache::size() const {
 }
 
 ContextCacheStats ContextCache::stats() const {
+  ContextCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(mu_);
-  return {hits_, misses_, map_.size()};
+  out.entries = map_.size();
+  return out;
 }
 
 }  // namespace dbr::service

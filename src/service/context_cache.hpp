@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <future>
@@ -8,6 +9,7 @@
 #include <unordered_map>
 
 #include "core/instance_context.hpp"
+#include "util/rcu_snapshot.hpp"
 
 namespace dbr::service {
 
@@ -37,6 +39,16 @@ struct ContextCacheStats {
 /// Entries are bounded: beyond `capacity` distinct keys the least recently
 /// used entry is dropped (its context stays alive for whoever pinned it),
 /// so a workload spanning many instances cannot grow memory without limit.
+///
+/// Hits on a *built* context are read-side lock-free (RCU): the cache
+/// publishes an immutable snapshot of its entries through a
+/// util::RcuSnapshot cell, and an entry exposes its context through an
+/// atomic raw pointer the builder sets on completion — so the steady-state
+/// lookup (the one every request pays) touches no mutex. Recency stays
+/// exact: each entry's
+/// last-used tick is atomic and shared with the authoritative map, where
+/// the eviction scan reads it under the writer mutex. Misses and waits on
+/// an in-flight build keep the original mutex + shared-future protocol.
 class ContextCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 64;
@@ -46,7 +58,7 @@ class ContextCache {
   /// Returns the shared context for (base, n), building it if absent. When
   /// `hit` is non-null it is set to true iff an existing (possibly still
   /// in-flight) context was reused. Throws precondition_error for instances
-  /// WordSpace rejects.
+  /// WordSpace rejects. Lock-free when the context is built and published.
   std::shared_ptr<const core::InstanceContext> get_or_build(Digit base,
                                                             unsigned n,
                                                             bool* hit = nullptr);
@@ -63,21 +75,37 @@ class ContextCache {
   using ContextPtr = std::shared_ptr<const core::InstanceContext>;
   using Future = std::shared_future<ContextPtr>;
 
+  /// Shared between the authoritative map and every published snapshot.
+  /// The builder writes `ready_owner` exactly once, then release-stores the
+  /// raw pointer into `ready`; a reader that acquire-loads `ready` non-null
+  /// may therefore copy `ready_owner` without synchronization (it is
+  /// immutable from that point on). `last_used` is the shared recency tick
+  /// lock-free hits store into.
   struct Entry {
+    Entry(Future f, std::uint64_t t) : future(std::move(f)), last_used(t) {}
+
     Future future;
-    std::uint64_t last_used = 0;
+    ContextPtr ready_owner;  ///< written once by the builder, then frozen
+    std::atomic<const core::InstanceContext*> ready{nullptr};
+    std::atomic<std::uint64_t> last_used;
   };
+
+  using Map = std::unordered_map<std::uint64_t, std::shared_ptr<Entry>>;
 
   static std::uint64_t key_of(Digit base, unsigned n) {
     return (static_cast<std::uint64_t>(base) << 32) | n;
   }
 
+  /// Re-publishes the read snapshot from map_; callers hold mu_.
+  void publish();
+
   std::size_t capacity_;
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, Entry> map_;
-  std::uint64_t tick_ = 0;  ///< LRU clock; bumped on every touch
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  Map map_;
+  util::RcuSnapshot<Map> snapshot_;  ///< lock-free read view
+  std::atomic<std::uint64_t> tick_{0};  ///< LRU clock; bumped on every touch
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace dbr::service

@@ -161,7 +161,8 @@ bool EmbedSession::try_repair(const CacheKey& key) {
   switch (key_.strategy) {
     case Strategy::kFfc:
       outcome = core::repair_node_ring(*context_, last_.result->ring,
-                                       solved_key_.faults, key.faults);
+                                       solved_key_.faults, key.faults,
+                                       scratch_);
       break;
     case Strategy::kEdgeAuto:
     case Strategy::kEdgeScan:
@@ -177,7 +178,7 @@ bool EmbedSession::try_repair(const CacheKey& key) {
       outcome = core::repair_mixed_ring(*context_, last_.result->ring,
                                         solved_key_.faults,
                                         solved_key_.edge_faults, key.faults,
-                                        key.edge_faults);
+                                        key.edge_faults, scratch_);
       break;
     case Strategy::kAuto:
       ensure(false, "resolve_strategy never returns kAuto");

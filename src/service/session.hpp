@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/solve_scratch.hpp"
 #include "service/cache.hpp"
 #include "service/engine.hpp"
 #include "service/types.hpp"
@@ -161,6 +162,10 @@ class EmbedSession {
   bool have_solved_ = false;
   SessionStats stats_;
   RepairStats repair_stats_;
+  /// Session-owned solve/repair arena: the splice fast path reuses these
+  /// buffers across the whole churn timeline (sessions are single-threaded,
+  /// so no TLS indirection is needed).
+  core::SolveScratch scratch_;
 };
 
 }  // namespace dbr::service

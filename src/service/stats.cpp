@@ -6,6 +6,26 @@
 
 namespace dbr::service {
 
+LatencySnapshot::LatencySnapshot(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  // Sum in recording order before sorting so mean() is bit-identical to
+  // LatencyRecorder::mean() (floating-point addition is order-sensitive).
+  if (!sorted_.empty()) {
+    mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+            static_cast<double>(sorted_.size());
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double LatencySnapshot::percentile(double p) const {
+  if (sorted_.empty()) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: ceil(p/100 * N), 1-indexed.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted_.size())));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
 void LatencyRecorder::merge(const LatencyRecorder& other) {
   samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
 }
@@ -17,14 +37,7 @@ double LatencyRecorder::mean() const {
 }
 
 double LatencyRecorder::percentile(double p) const {
-  if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  const double clamped = std::clamp(p, 0.0, 100.0);
-  // Nearest-rank: ceil(p/100 * N), 1-indexed.
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
-  return sorted[rank == 0 ? 0 : rank - 1];
+  return snapshot().percentile(p);
 }
 
 std::uint64_t BatchStats::processed() const {

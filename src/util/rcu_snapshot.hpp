@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace dbr::util {
+
+/// Read-copy-update publication cell: writers publish immutable snapshots,
+/// readers resolve against the latest one without taking any mutex.
+///
+/// The reader side is wait-free — one counter increment, one pointer load,
+/// one counter decrement — and, unlike libstdc++'s atomic<shared_ptr>
+/// (whose load() unlocks its embedded spinlock with a relaxed RMW and is
+/// therefore formally racy, which ThreadSanitizer rightly reports), every
+/// cross-thread edge here is an explicit acquire/release or seq_cst
+/// operation on a std::atomic, so the protocol is clean under TSan.
+///
+/// Protocol. Readers: increment `readers_` (seq_cst), load the raw
+/// snapshot pointer (seq_cst), use it, decrement (release). Writers
+/// (externally serialized — hold your writer mutex): store the new raw
+/// pointer (seq_cst), retire the previous owning shared_ptr, then reclaim
+/// retired snapshots once `readers_` is observed 0 (seq_cst/acquire load).
+///
+/// Safety argument. In the seq_cst total order, a writer's reclaim load
+/// that observes 0 precedes any still-unseen reader increment, and the
+/// writer's pointer store precedes that load — so such a reader's pointer
+/// load returns the *new* snapshot, never a retired one. A reader that
+/// was counted has decremented with release order before the writer's
+/// acquire observation of 0, so all its reads happen-before the free.
+/// Readers that hold shared state *inside* a snapshot beyond the guard's
+/// lifetime must copy an owning pointer out while the guard is live.
+///
+/// Reclamation is deferred, not blocking: when readers are in flight the
+/// retired snapshot just joins a retire list that later publishes retry.
+/// Only if the list reaches kMaxRetired does the writer spin for the
+/// (microsecond-scale) reader sections to drain, bounding memory.
+template <typename T>
+class RcuSnapshot {
+ public:
+  /// Pins the current snapshot for the guard's lifetime. Cheap enough to
+  /// construct per lookup; never blocks, never takes a mutex.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const RcuSnapshot& cell) : cell_(cell) {
+      cell_.readers_.fetch_add(1, std::memory_order_seq_cst);
+      ptr_ = cell_.current_.load(std::memory_order_seq_cst);
+    }
+    ~ReadGuard() { cell_.readers_.fetch_sub(1, std::memory_order_release); }
+
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    /// The pinned snapshot; nullptr when nothing has been published.
+    const T* get() const { return ptr_; }
+    const T* operator->() const { return ptr_; }
+    const T& operator*() const { return *ptr_; }
+    explicit operator bool() const { return ptr_ != nullptr; }
+
+   private:
+    const RcuSnapshot& cell_;
+    const T* ptr_;
+  };
+
+  RcuSnapshot() = default;
+  RcuSnapshot(const RcuSnapshot&) = delete;
+  RcuSnapshot& operator=(const RcuSnapshot&) = delete;
+
+  /// Publishes `next` (may be null to publish "empty") and retires the
+  /// previous snapshot. Writers must be externally serialized; concurrent
+  /// readers keep draining off whichever snapshot they pinned.
+  void publish(std::shared_ptr<const T> next) {
+    current_.store(next.get(), std::memory_order_seq_cst);
+    if (owner_ != nullptr) retired_.push_back(std::move(owner_));
+    owner_ = std::move(next);
+    reclaim();
+  }
+
+ private:
+  /// Frees retired snapshots once no reader can still hold one. Memory
+  /// bound: past kMaxRetired deferred snapshots the writer waits out the
+  /// in-flight readers instead of deferring again.
+  void reclaim() {
+    static constexpr std::size_t kMaxRetired = 16;
+    if (retired_.empty()) return;
+    if (readers_.load(std::memory_order_seq_cst) == 0) {
+      retired_.clear();
+      return;
+    }
+    if (retired_.size() < kMaxRetired) return;
+    while (readers_.load(std::memory_order_acquire) != 0) {
+    }
+    retired_.clear();
+  }
+
+  std::atomic<const T*> current_{nullptr};  ///< what readers resolve against
+  mutable std::atomic<std::size_t> readers_{0};  ///< in-flight ReadGuards
+  std::shared_ptr<const T> owner_;  ///< keeps `current_` alive (writer-owned)
+  std::vector<std::shared_ptr<const T>> retired_;  ///< awaiting quiescence
+};
+
+}  // namespace dbr::util

@@ -1,5 +1,6 @@
 #include "util/word.hpp"
 
+#include <bit>
 #include <limits>
 
 #include "util/require.hpp"
@@ -139,6 +140,26 @@ Word WordSpace::alternating(Digit a, Digit b) const {
 std::pair<Word, Word> WordSpace::edge_endpoints(Word e) const {
   require(e < edge_word_count(), "edge word out of range");
   return {e / d_, e % size_};
+}
+
+void BitVec::assign(std::size_t n, bool value) {
+  size_ = n;
+  limbs_.assign((n + 63) / 64, value ? ~std::uint64_t{0} : 0);
+  // Keep the unused tail bits clear so count() never sees garbage.
+  if (value && (n & 63) != 0) {
+    limbs_.back() &= (std::uint64_t{1} << (n & 63)) - 1;
+  }
+}
+
+std::uint64_t BitVec::count() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t limb : limbs_) total += std::popcount(limb);
+  return total;
+}
+
+void BitVec::and_with(const BitVec& other) {
+  require(other.size_ == size_, "BitVec size mismatch");
+  for (std::size_t i = 0; i < limbs_.size(); ++i) limbs_[i] &= other.limbs_[i];
 }
 
 }  // namespace dbr

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -13,6 +14,9 @@ using Word = std::uint64_t;
 
 /// Digit of a word (an element of Z_d).
 using Digit = std::uint32_t;
+
+/// Sentinel for "no word": all bits set, never a valid word of any space.
+inline constexpr Word kNoWord = ~Word{0};
 
 /// Algebra of fixed-length d-ary words: digit access, rotations, necklace
 /// canonical forms, weights, and the (n+1)-word edge codec used throughout
@@ -93,6 +97,35 @@ class WordSpace {
   Word size_;         // d^n
   Word suffix_size_;  // d^(n-1)
   std::vector<Word> place_;  // place_[i] = d^(n-1-i), weight of digit i
+};
+
+/// Bit-packed boolean mask over words (one bit per node) backed by uint64_t
+/// limbs. The reusable solve arenas (core::SolveScratch) keep their
+/// active/component/visited masks in this form: assign() is a limb fill
+/// instead of a per-element vector<bool> walk, count() is a popcount sweep,
+/// and and_with() intersects two masks 64 nodes at a time.
+class BitVec {
+ public:
+  /// Resizes to `n` bits, all set to `value`.
+  void assign(std::size_t n, bool value);
+  /// Number of bits.
+  std::size_t size() const { return size_; }
+  /// Bit `i`; `i` must be < size() (unchecked).
+  bool test(std::size_t i) const {
+    return (limbs_[i >> 6] >> (i & 63)) & 1u;
+  }
+  /// Sets bit `i` (unchecked).
+  void set(std::size_t i) { limbs_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  /// Clears bit `i` (unchecked).
+  void reset(std::size_t i) { limbs_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+  /// Number of set bits.
+  std::uint64_t count() const;
+  /// In-place intersection with an equally sized mask.
+  void and_with(const BitVec& other);
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> limbs_;
 };
 
 }  // namespace dbr

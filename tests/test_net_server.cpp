@@ -212,6 +212,24 @@ TEST(NetServer, RequestPastDeadlineAnswersTimeout) {
   EXPECT_EQ(rig.client.stats().status, WireStatus::kOk);
 }
 
+TEST(NetServer, TightDeadlineEnforcedAtReplyEnqueue) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.request_timeout_ms = 1.0;  // tighter than any cold solve
+  Rig rig(opts);
+  // No debug delay: a genuine cold solve of B(2,15) (context build plus the
+  // full FFC construction over 32768 nodes, ring encoding included) takes
+  // well over a millisecond, so its kOk payload is ready only after the
+  // budget. The server must swap it for kTimeout when the reply is
+  // enqueued — a late success must never reach the wire.
+  const Client::SolveReply reply =
+      rig.client.solve(node_request(2, 15, {42}), /*want_ring=*/true);
+  EXPECT_EQ(reply.status, WireStatus::kTimeout);
+  EXPECT_GE(rig.server->stats().timeouts, 1u);
+  // The connection is still healthy after the timeout reply.
+  EXPECT_EQ(rig.client.stats().status, WireStatus::kOk);
+}
+
 TEST(NetServer, GracefulDrainFinishesInFlightAndRejectsNew) {
   ServerOptions opts;
   opts.workers = 1;

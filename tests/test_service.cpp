@@ -723,5 +723,27 @@ TEST(LatencyRecorderTest, PercentilesUseNearestRank) {
   EXPECT_DOUBLE_EQ(other.percentile(100), 1000.0);
 }
 
+TEST(LatencyRecorderTest, SnapshotMatchesPerCallPercentiles) {
+  // The sorted snapshot pays the sort once; every rank it reports must be
+  // bit-identical to the per-call path, insertion order notwithstanding.
+  Rng rng(7);
+  LatencyRecorder rec;
+  for (int i = 0; i < 997; ++i) {
+    rec.record(static_cast<double>(rng.below(100000)) / 7.0);
+  }
+  const LatencySnapshot snap = rec.snapshot();
+  EXPECT_EQ(snap.count(), rec.count());
+  EXPECT_DOUBLE_EQ(snap.mean(), rec.mean());
+  for (const double p :
+       {0.0, 0.1, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(snap.percentile(p), rec.percentile(p)) << "p=" << p;
+  }
+  // Out-of-range ranks clamp identically on both paths.
+  EXPECT_DOUBLE_EQ(snap.percentile(-5.0), rec.percentile(-5.0));
+  EXPECT_DOUBLE_EQ(snap.percentile(400.0), rec.percentile(400.0));
+  EXPECT_DOUBLE_EQ(LatencySnapshot({}).percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(LatencySnapshot({}).mean(), 0.0);
+}
+
 }  // namespace
 }  // namespace dbr::service
