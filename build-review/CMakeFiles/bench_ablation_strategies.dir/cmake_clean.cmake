@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_strategies.dir/bench/ablation_strategies.cpp.o"
+  "CMakeFiles/bench_ablation_strategies.dir/bench/ablation_strategies.cpp.o.d"
+  "ablation_strategies"
+  "ablation_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_all_to_all.dir/bench/all_to_all.cpp.o"
+  "CMakeFiles/bench_all_to_all.dir/bench/all_to_all.cpp.o.d"
+  "all_to_all"
+  "all_to_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_all_to_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_all_to_all.
+# This may be replaced when dependencies are built.

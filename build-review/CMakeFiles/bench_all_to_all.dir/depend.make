@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_all_to_all.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compare_hypercube.dir/bench/compare_hypercube.cpp.o"
+  "CMakeFiles/bench_compare_hypercube.dir/bench/compare_hypercube.cpp.o.d"
+  "compare_hypercube"
+  "compare_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compare_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

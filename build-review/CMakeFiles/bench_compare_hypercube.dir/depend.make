@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_compare_hypercube.
+# This may be replaced when dependencies are built.

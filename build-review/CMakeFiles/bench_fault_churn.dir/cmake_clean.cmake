@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_churn.dir/bench/fault_churn.cpp.o"
+  "CMakeFiles/bench_fault_churn.dir/bench/fault_churn.cpp.o.d"
+  "fault_churn"
+  "fault_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ffc_scaling.dir/bench/ffc_scaling.cpp.o"
+  "CMakeFiles/bench_ffc_scaling.dir/bench/ffc_scaling.cpp.o.d"
+  "ffc_scaling"
+  "ffc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ffc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_1_1_1_2.dir/bench/fig_1_1_1_2.cpp.o"
+  "CMakeFiles/bench_fig_1_1_1_2.dir/bench/fig_1_1_1_2.cpp.o.d"
+  "fig_1_1_1_2"
+  "fig_1_1_1_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_1_1_1_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig_1_1_1_2.
+# This may be replaced when dependencies are built.

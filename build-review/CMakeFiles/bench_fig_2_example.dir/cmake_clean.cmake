@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_2_example.dir/bench/fig_2_example.cpp.o"
+  "CMakeFiles/bench_fig_2_example.dir/bench/fig_2_example.cpp.o.d"
+  "fig_2_example"
+  "fig_2_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_2_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_2_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_3_2_conflicts.dir/bench/fig_3_2_conflicts.cpp.o"
+  "CMakeFiles/bench_fig_3_2_conflicts.dir/bench/fig_3_2_conflicts.cpp.o.d"
+  "fig_3_2_conflicts"
+  "fig_3_2_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_3_2_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

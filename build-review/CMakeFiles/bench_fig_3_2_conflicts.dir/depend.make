@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_3_2_conflicts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_3_3_umb.dir/bench/fig_3_3_umb.cpp.o"
+  "CMakeFiles/bench_fig_3_3_umb.dir/bench/fig_3_3_umb.cpp.o.d"
+  "fig_3_3_umb"
+  "fig_3_3_umb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_3_3_umb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_3_4_3_5_butterfly.dir/bench/fig_3_4_3_5_butterfly.cpp.o"
+  "CMakeFiles/bench_fig_3_4_3_5_butterfly.dir/bench/fig_3_4_3_5_butterfly.cpp.o.d"
+  "fig_3_4_3_5_butterfly"
+  "fig_3_4_3_5_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_3_4_3_5_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

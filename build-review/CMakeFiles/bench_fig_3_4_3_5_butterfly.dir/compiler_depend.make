@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig_3_4_3_5_butterfly.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig_3_4_3_5_butterfly.
+# This may be replaced when dependencies are built.

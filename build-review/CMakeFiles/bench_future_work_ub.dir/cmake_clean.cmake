@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_work_ub.dir/bench/future_work_ub.cpp.o"
+  "CMakeFiles/bench_future_work_ub.dir/bench/future_work_ub.cpp.o.d"
+  "future_work_ub"
+  "future_work_ub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_work_ub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

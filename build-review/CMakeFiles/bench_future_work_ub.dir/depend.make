@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_future_work_ub.
+# This may be replaced when dependencies are built.

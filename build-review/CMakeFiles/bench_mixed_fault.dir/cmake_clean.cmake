@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_fault.dir/bench/mixed_fault.cpp.o"
+  "CMakeFiles/bench_mixed_fault.dir/bench/mixed_fault.cpp.o.d"
+  "mixed_fault"
+  "mixed_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

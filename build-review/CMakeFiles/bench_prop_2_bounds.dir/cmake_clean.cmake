@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop_2_bounds.dir/bench/prop_2_bounds.cpp.o"
+  "CMakeFiles/bench_prop_2_bounds.dir/bench/prop_2_bounds.cpp.o.d"
+  "prop_2_bounds"
+  "prop_2_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop_2_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_prop_2_bounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop_3_butterfly.dir/bench/prop_3_butterfly.cpp.o"
+  "CMakeFiles/bench_prop_3_butterfly.dir/bench/prop_3_butterfly.cpp.o.d"
+  "prop_3_butterfly"
+  "prop_3_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop_3_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

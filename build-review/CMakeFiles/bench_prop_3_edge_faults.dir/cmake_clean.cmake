@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop_3_edge_faults.dir/bench/prop_3_edge_faults.cpp.o"
+  "CMakeFiles/bench_prop_3_edge_faults.dir/bench/prop_3_edge_faults.cpp.o.d"
+  "prop_3_edge_faults"
+  "prop_3_edge_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop_3_edge_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_prop_3_edge_faults.
+# This may be replaced when dependencies are built.

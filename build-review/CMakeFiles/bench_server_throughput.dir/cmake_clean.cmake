@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_server_throughput.dir/bench/server_throughput.cpp.o"
+  "CMakeFiles/bench_server_throughput.dir/bench/server_throughput.cpp.o.d"
+  "server_throughput"
+  "server_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_server_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

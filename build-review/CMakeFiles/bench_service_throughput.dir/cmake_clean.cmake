@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service_throughput.dir/bench/service_throughput.cpp.o"
+  "CMakeFiles/bench_service_throughput.dir/bench/service_throughput.cpp.o.d"
+  "service_throughput"
+  "service_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

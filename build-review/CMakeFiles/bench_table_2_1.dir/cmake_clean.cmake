@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_2_1.dir/bench/table_2_1.cpp.o"
+  "CMakeFiles/bench_table_2_1.dir/bench/table_2_1.cpp.o.d"
+  "table_2_1"
+  "table_2_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_2_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

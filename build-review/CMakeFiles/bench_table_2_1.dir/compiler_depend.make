@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table_2_1.
+# This may be replaced when dependencies are built.

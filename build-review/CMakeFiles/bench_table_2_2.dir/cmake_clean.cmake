@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_2_2.dir/bench/table_2_2.cpp.o"
+  "CMakeFiles/bench_table_2_2.dir/bench/table_2_2.cpp.o.d"
+  "table_2_2"
+  "table_2_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_2_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table_3_1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table_3_2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_ch4_counts.dir/bench/table_ch4_counts.cpp.o"
+  "CMakeFiles/bench_table_ch4_counts.dir/bench/table_ch4_counts.cpp.o.d"
+  "table_ch4_counts"
+  "table_ch4_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_ch4_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table_ch4_counts.
+# This may be replaced when dependencies are built.

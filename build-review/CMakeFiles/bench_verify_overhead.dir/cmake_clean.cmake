@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verify_overhead.dir/bench/verify_overhead.cpp.o"
+  "CMakeFiles/bench_verify_overhead.dir/bench/verify_overhead.cpp.o.d"
+  "verify_overhead"
+  "verify_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verify_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_verify_overhead.
+# This may be replaced when dependencies are built.

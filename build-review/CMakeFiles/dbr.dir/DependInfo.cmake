@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/butterfly/butterfly.cpp" "CMakeFiles/dbr.dir/src/butterfly/butterfly.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/butterfly/butterfly.cpp.o.d"
+  "/root/repo/src/butterfly/lift.cpp" "CMakeFiles/dbr.dir/src/butterfly/lift.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/butterfly/lift.cpp.o.d"
+  "/root/repo/src/core/butterfly_embedding.cpp" "CMakeFiles/dbr.dir/src/core/butterfly_embedding.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/butterfly_embedding.cpp.o.d"
+  "/root/repo/src/core/disjoint_hc.cpp" "CMakeFiles/dbr.dir/src/core/disjoint_hc.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/disjoint_hc.cpp.o.d"
+  "/root/repo/src/core/distributed_ffc.cpp" "CMakeFiles/dbr.dir/src/core/distributed_ffc.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/distributed_ffc.cpp.o.d"
+  "/root/repo/src/core/edge_fault.cpp" "CMakeFiles/dbr.dir/src/core/edge_fault.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/edge_fault.cpp.o.d"
+  "/root/repo/src/core/ffc.cpp" "CMakeFiles/dbr.dir/src/core/ffc.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/ffc.cpp.o.d"
+  "/root/repo/src/core/instance_context.cpp" "CMakeFiles/dbr.dir/src/core/instance_context.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/instance_context.cpp.o.d"
+  "/root/repo/src/core/mixed_fault.cpp" "CMakeFiles/dbr.dir/src/core/mixed_fault.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/mixed_fault.cpp.o.d"
+  "/root/repo/src/core/mod_debruijn.cpp" "CMakeFiles/dbr.dir/src/core/mod_debruijn.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/mod_debruijn.cpp.o.d"
+  "/root/repo/src/core/repair.cpp" "CMakeFiles/dbr.dir/src/core/repair.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/repair.cpp.o.d"
+  "/root/repo/src/core/solve_scratch.cpp" "CMakeFiles/dbr.dir/src/core/solve_scratch.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/core/solve_scratch.cpp.o.d"
+  "/root/repo/src/debruijn/cycle.cpp" "CMakeFiles/dbr.dir/src/debruijn/cycle.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/debruijn/cycle.cpp.o.d"
+  "/root/repo/src/debruijn/debruijn.cpp" "CMakeFiles/dbr.dir/src/debruijn/debruijn.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/debruijn/debruijn.cpp.o.d"
+  "/root/repo/src/debruijn/kautz.cpp" "CMakeFiles/dbr.dir/src/debruijn/kautz.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/debruijn/kautz.cpp.o.d"
+  "/root/repo/src/debruijn/necklaces.cpp" "CMakeFiles/dbr.dir/src/debruijn/necklaces.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/debruijn/necklaces.cpp.o.d"
+  "/root/repo/src/debruijn/shuffle_exchange.cpp" "CMakeFiles/dbr.dir/src/debruijn/shuffle_exchange.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/debruijn/shuffle_exchange.cpp.o.d"
+  "/root/repo/src/gf/field.cpp" "CMakeFiles/dbr.dir/src/gf/field.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/gf/field.cpp.o.d"
+  "/root/repo/src/gf/lfsr.cpp" "CMakeFiles/dbr.dir/src/gf/lfsr.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/gf/lfsr.cpp.o.d"
+  "/root/repo/src/gf/poly.cpp" "CMakeFiles/dbr.dir/src/gf/poly.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/gf/poly.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "CMakeFiles/dbr.dir/src/graph/digraph.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/euler.cpp" "CMakeFiles/dbr.dir/src/graph/euler.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/graph/euler.cpp.o.d"
+  "/root/repo/src/graph/longest_cycle.cpp" "CMakeFiles/dbr.dir/src/graph/longest_cycle.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/graph/longest_cycle.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "CMakeFiles/dbr.dir/src/graph/union_find.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/graph/union_find.cpp.o.d"
+  "/root/repo/src/hypercube/fault_free_cycle.cpp" "CMakeFiles/dbr.dir/src/hypercube/fault_free_cycle.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/hypercube/fault_free_cycle.cpp.o.d"
+  "/root/repo/src/hypercube/hypercube.cpp" "CMakeFiles/dbr.dir/src/hypercube/hypercube.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/hypercube/hypercube.cpp.o.d"
+  "/root/repo/src/necklace/count.cpp" "CMakeFiles/dbr.dir/src/necklace/count.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/necklace/count.cpp.o.d"
+  "/root/repo/src/net/client.cpp" "CMakeFiles/dbr.dir/src/net/client.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/net/client.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "CMakeFiles/dbr.dir/src/net/server.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/net/server.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "CMakeFiles/dbr.dir/src/net/wire.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/net/wire.cpp.o.d"
+  "/root/repo/src/nt/numtheory.cpp" "CMakeFiles/dbr.dir/src/nt/numtheory.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/nt/numtheory.cpp.o.d"
+  "/root/repo/src/service/cache.cpp" "CMakeFiles/dbr.dir/src/service/cache.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/cache.cpp.o.d"
+  "/root/repo/src/service/context_cache.cpp" "CMakeFiles/dbr.dir/src/service/context_cache.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/context_cache.cpp.o.d"
+  "/root/repo/src/service/engine.cpp" "CMakeFiles/dbr.dir/src/service/engine.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/engine.cpp.o.d"
+  "/root/repo/src/service/session.cpp" "CMakeFiles/dbr.dir/src/service/session.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/session.cpp.o.d"
+  "/root/repo/src/service/stats.cpp" "CMakeFiles/dbr.dir/src/service/stats.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/stats.cpp.o.d"
+  "/root/repo/src/service/types.cpp" "CMakeFiles/dbr.dir/src/service/types.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/types.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/dbr.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/session_driver.cpp" "CMakeFiles/dbr.dir/src/sim/session_driver.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/sim/session_driver.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "CMakeFiles/dbr.dir/src/util/parallel.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/util/parallel.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/dbr.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/word.cpp" "CMakeFiles/dbr.dir/src/util/word.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/util/word.cpp.o.d"
+  "/root/repo/src/verify/oracle.cpp" "CMakeFiles/dbr.dir/src/verify/oracle.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/verify/oracle.cpp.o.d"
+  "/root/repo/src/verify/scenario.cpp" "CMakeFiles/dbr.dir/src/verify/scenario.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/verify/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_butterfly_rings.dir/examples/butterfly_rings.cpp.o"
+  "CMakeFiles/example_butterfly_rings.dir/examples/butterfly_rings.cpp.o.d"
+  "butterfly_rings"
+  "butterfly_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_butterfly_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_trace.dir/examples/distributed_trace.cpp.o"
+  "CMakeFiles/example_distributed_trace.dir/examples/distributed_trace.cpp.o.d"
+  "distributed_trace"
+  "distributed_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_edge_fault_rings.dir/examples/edge_fault_rings.cpp.o"
+  "CMakeFiles/example_edge_fault_rings.dir/examples/edge_fault_rings.cpp.o.d"
+  "edge_fault_rings"
+  "edge_fault_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_edge_fault_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

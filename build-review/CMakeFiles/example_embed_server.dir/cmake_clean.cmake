@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_embed_server.dir/examples/embed_server.cpp.o"
+  "CMakeFiles/example_embed_server.dir/examples/embed_server.cpp.o.d"
+  "embed_server"
+  "embed_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_embed_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_necklace_census.dir/examples/necklace_census.cpp.o"
+  "CMakeFiles/example_necklace_census.dir/examples/necklace_census.cpp.o.d"
+  "necklace_census"
+  "necklace_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_necklace_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_necklace_census.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ring_allreduce.dir/examples/ring_allreduce.cpp.o"
+  "CMakeFiles/example_ring_allreduce.dir/examples/ring_allreduce.cpp.o.d"
+  "ring_allreduce"
+  "ring_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ring_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_ring_allreduce.
+# This may be replaced when dependencies are built.

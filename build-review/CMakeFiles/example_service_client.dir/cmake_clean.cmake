@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_service_client.dir/examples/service_client.cpp.o"
+  "CMakeFiles/example_service_client.dir/examples/service_client.cpp.o.d"
+  "service_client"
+  "service_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_service_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

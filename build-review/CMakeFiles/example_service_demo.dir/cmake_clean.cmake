@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_service_demo.dir/examples/service_demo.cpp.o"
+  "CMakeFiles/example_service_demo.dir/examples/service_demo.cpp.o.d"
+  "service_demo"
+  "service_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_service_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_viterbi_decoder.dir/examples/viterbi_decoder.cpp.o"
+  "CMakeFiles/example_viterbi_decoder.dir/examples/viterbi_decoder.cpp.o.d"
+  "viterbi_decoder"
+  "viterbi_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_viterbi_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_viterbi_decoder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_viterbi_decoder.
+# This may be replaced when dependencies are built.

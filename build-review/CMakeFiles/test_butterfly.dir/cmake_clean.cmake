@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_butterfly.dir/tests/test_butterfly.cpp.o"
+  "CMakeFiles/test_butterfly.dir/tests/test_butterfly.cpp.o.d"
+  "test_butterfly"
+  "test_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_cache.dir/tests/test_context_cache.cpp.o"
+  "CMakeFiles/test_context_cache.dir/tests/test_context_cache.cpp.o.d"
+  "test_context_cache"
+  "test_context_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debruijn.dir/tests/test_debruijn.cpp.o"
+  "CMakeFiles/test_debruijn.dir/tests/test_debruijn.cpp.o.d"
+  "test_debruijn"
+  "test_debruijn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debruijn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disjoint_hc.dir/tests/test_disjoint_hc.cpp.o"
+  "CMakeFiles/test_disjoint_hc.dir/tests/test_disjoint_hc.cpp.o.d"
+  "test_disjoint_hc"
+  "test_disjoint_hc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disjoint_hc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

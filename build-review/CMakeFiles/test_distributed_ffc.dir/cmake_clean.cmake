@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_ffc.dir/tests/test_distributed_ffc.cpp.o"
+  "CMakeFiles/test_distributed_ffc.dir/tests/test_distributed_ffc.cpp.o.d"
+  "test_distributed_ffc"
+  "test_distributed_ffc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_ffc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_fault.dir/tests/test_edge_fault.cpp.o"
+  "CMakeFiles/test_edge_fault.dir/tests/test_edge_fault.cpp.o.d"
+  "test_edge_fault"
+  "test_edge_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ffc.dir/tests/test_ffc.cpp.o"
+  "CMakeFiles/test_ffc.dir/tests/test_ffc.cpp.o.d"
+  "test_ffc"
+  "test_ffc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ffc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_field.dir/tests/test_field.cpp.o"
+  "CMakeFiles/test_field.dir/tests/test_field.cpp.o.d"
+  "test_field"
+  "test_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_scenarios.dir/tests/test_fuzz_scenarios.cpp.o"
+  "CMakeFiles/test_fuzz_scenarios.dir/tests/test_fuzz_scenarios.cpp.o.d"
+  "test_fuzz_scenarios"
+  "test_fuzz_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

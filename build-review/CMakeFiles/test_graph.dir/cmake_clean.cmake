@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/tests/test_graph.cpp.o"
+  "CMakeFiles/test_graph.dir/tests/test_graph.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

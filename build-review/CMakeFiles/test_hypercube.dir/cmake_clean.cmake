@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hypercube.dir/tests/test_hypercube.cpp.o"
+  "CMakeFiles/test_hypercube.dir/tests/test_hypercube.cpp.o.d"
+  "test_hypercube"
+  "test_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instance_context.dir/tests/test_instance_context.cpp.o"
+  "CMakeFiles/test_instance_context.dir/tests/test_instance_context.cpp.o.d"
+  "test_instance_context"
+  "test_instance_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instance_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_fault.dir/tests/test_mixed_fault.cpp.o"
+  "CMakeFiles/test_mixed_fault.dir/tests/test_mixed_fault.cpp.o.d"
+  "test_mixed_fault"
+  "test_mixed_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

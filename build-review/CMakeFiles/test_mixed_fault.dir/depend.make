@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mixed_fault.
+# This may be replaced when dependencies are built.

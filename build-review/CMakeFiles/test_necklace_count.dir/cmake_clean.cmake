@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_necklace_count.dir/tests/test_necklace_count.cpp.o"
+  "CMakeFiles/test_necklace_count.dir/tests/test_necklace_count.cpp.o.d"
+  "test_necklace_count"
+  "test_necklace_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_necklace_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_necklace_count.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_server.dir/tests/test_net_server.cpp.o"
+  "CMakeFiles/test_net_server.dir/tests/test_net_server.cpp.o.d"
+  "test_net_server"
+  "test_net_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

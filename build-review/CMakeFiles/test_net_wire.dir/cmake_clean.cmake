@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_wire.dir/tests/test_net_wire.cpp.o"
+  "CMakeFiles/test_net_wire.dir/tests/test_net_wire.cpp.o.d"
+  "test_net_wire"
+  "test_net_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_net_wire.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numtheory.dir/tests/test_numtheory.cpp.o"
+  "CMakeFiles/test_numtheory.dir/tests/test_numtheory.cpp.o.d"
+  "test_numtheory"
+  "test_numtheory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numtheory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

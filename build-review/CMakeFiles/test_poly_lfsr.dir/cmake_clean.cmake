@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poly_lfsr.dir/tests/test_poly_lfsr.cpp.o"
+  "CMakeFiles/test_poly_lfsr.dir/tests/test_poly_lfsr.cpp.o.d"
+  "test_poly_lfsr"
+  "test_poly_lfsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poly_lfsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repair.dir/tests/test_repair.cpp.o"
+  "CMakeFiles/test_repair.dir/tests/test_repair.cpp.o.d"
+  "test_repair"
+  "test_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

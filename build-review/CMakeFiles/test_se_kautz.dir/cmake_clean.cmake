@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_se_kautz.dir/tests/test_se_kautz.cpp.o"
+  "CMakeFiles/test_se_kautz.dir/tests/test_se_kautz.cpp.o.d"
+  "test_se_kautz"
+  "test_se_kautz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_se_kautz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

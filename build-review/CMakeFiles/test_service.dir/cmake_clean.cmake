@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service.dir/tests/test_service.cpp.o"
+  "CMakeFiles/test_service.dir/tests/test_service.cpp.o.d"
+  "test_service"
+  "test_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

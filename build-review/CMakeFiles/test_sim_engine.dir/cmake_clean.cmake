@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_engine.dir/tests/test_sim_engine.cpp.o"
+  "CMakeFiles/test_sim_engine.dir/tests/test_sim_engine.cpp.o.d"
+  "test_sim_engine"
+  "test_sim_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solve_arena.dir/tests/test_solve_arena.cpp.o"
+  "CMakeFiles/test_solve_arena.dir/tests/test_solve_arena.cpp.o.d"
+  "test_solve_arena"
+  "test_solve_arena.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solve_arena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

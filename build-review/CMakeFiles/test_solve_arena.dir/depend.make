@@ -1,0 +1,2 @@
+# Empty dependencies file for test_solve_arena.
+# This may be replaced when dependencies are built.

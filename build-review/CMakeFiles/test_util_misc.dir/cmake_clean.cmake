@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_misc.dir/tests/test_util_misc.cpp.o"
+  "CMakeFiles/test_util_misc.dir/tests/test_util_misc.cpp.o.d"
+  "test_util_misc"
+  "test_util_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

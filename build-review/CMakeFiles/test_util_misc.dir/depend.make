@@ -1,0 +1,2 @@
+# Empty dependencies file for test_util_misc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_oracle.dir/tests/test_verify_oracle.cpp.o"
+  "CMakeFiles/test_verify_oracle.dir/tests/test_verify_oracle.cpp.o.d"
+  "test_verify_oracle"
+  "test_verify_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

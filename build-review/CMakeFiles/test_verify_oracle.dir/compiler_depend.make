@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_verify_oracle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_word.dir/tests/test_word.cpp.o"
+  "CMakeFiles/test_word.dir/tests/test_word.cpp.o.d"
+  "test_word"
+  "test_word.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_word.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
