@@ -25,6 +25,11 @@
 //                --pipeline N      frames in flight per connection (default 4)
 //                --unique N        hot scenario pool size        (default 24)
 //                --zipf S          Zipf skew of the hot section  (default 1.1)
+//                --instances N     multi-instance placement mode: draw each
+//                                  request's (base, n) Zipf-skewed from a
+//                                  pool of N FFC instances (workload.hpp's
+//                                  make_instance_stream); 0 = classic mixed
+//                                  workload (default 0)
 //                --connect H:P     drive an external server; skips baseline
 //                --no-baseline     skip the in-process query_batch baseline
 //                --workers N       server worker threads (default DBR_THREADS)
@@ -57,6 +62,7 @@
 namespace {
 
 using dbr::Rng;
+using dbr::bench::make_instance_stream;
 using dbr::bench::make_stream;
 using dbr::net::Client;
 using dbr::net::Server;
@@ -231,6 +237,7 @@ int main(int argc, char** argv) {
   std::size_t pipeline = 4;
   std::size_t unique = 24;
   double zipf_s = 1.1;
+  std::size_t instances = 0;
   std::string connect_to;
   bool run_baseline = true;
   bool run_hot = true;
@@ -250,6 +257,7 @@ int main(int argc, char** argv) {
       {"--pipeline N", "frames in flight per connection (default 4)"},
       {"--unique N", "hot scenario pool size (default 24)"},
       {"--zipf S", "Zipf skew of the hot section (default 1.1)"},
+      {"--instances N", "multi-instance mode: Zipf over N (base, n) instances"},
       {"--connect H:P", "drive an external server; skips the baseline"},
       {"--no-baseline", "skip the in-process query_batch baseline"},
       {"--workers N", "server worker threads (default DBR_THREADS)"},
@@ -267,6 +275,7 @@ int main(int argc, char** argv) {
     else if (arg == "--pipeline") pipeline = std::strtoull(next(), nullptr, 10);
     else if (arg == "--unique") unique = std::strtoull(next(), nullptr, 10);
     else if (arg == "--zipf") zipf_s = std::strtod(next(), nullptr);
+    else if (arg == "--instances") instances = std::strtoull(next(), nullptr, 10);
     else if (arg == "--connect") connect_to = next();
     else if (arg == "--no-baseline") run_baseline = false;
     else if (arg == "--workers") workers = std::strtoull(next(), nullptr, 10);
@@ -324,14 +333,24 @@ int main(int argc, char** argv) {
   if (run_hot) {
     Section s;
     s.name = "hot";
-    s.stream = make_stream(rng, requests, unique, /*repeat_fraction=*/0.9,
-                           zipf_s);
+    s.stream = instances > 0
+                   ? make_instance_stream(rng, requests, instances, zipf_s,
+                                          /*repeat_fraction=*/0.9,
+                                          /*hot_faults=*/unique,
+                                          /*fault_zipf_s=*/1.1)
+                   : make_stream(rng, requests, unique,
+                                 /*repeat_fraction=*/0.9, zipf_s);
     sections.push_back(std::move(s));
   }
   if (run_cold) {
     Section s;
     s.name = "cold";
-    s.stream = make_stream(rng, requests, unique, /*repeat_fraction=*/0.0);
+    s.stream = instances > 0
+                   ? make_instance_stream(rng, requests, instances, zipf_s,
+                                          /*repeat_fraction=*/0.0,
+                                          /*hot_faults=*/unique,
+                                          /*fault_zipf_s=*/0.0)
+                   : make_stream(rng, requests, unique, /*repeat_fraction=*/0.0);
     sections.push_back(std::move(s));
   }
 
@@ -384,6 +403,7 @@ int main(int argc, char** argv) {
       .field("pipeline", static_cast<std::uint64_t>(pipeline))
       .field("unique_scenarios", static_cast<std::uint64_t>(unique))
       .field("zipf_s", zipf_s)
+      .field("instances", static_cast<std::uint64_t>(instances))
       .field("max_pending", static_cast<std::uint64_t>(max_pending))
       .field("request_timeout_ms", timeout_ms)
       .field("external_server", server == nullptr)

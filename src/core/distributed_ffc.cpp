@@ -52,6 +52,30 @@ struct NodeState {
 
 }  // namespace
 
+DistributedFfcStats predict_rebuild_rounds(Digit base, unsigned n,
+                                           std::uint32_t eccentricity) {
+  const WordSpace ws(base, n);  // validates (base, n) like every solver does
+  const std::uint64_t size = ws.size();
+  const std::uint64_t d = ws.radix();
+  DistributedFfcStats est;
+  // Phase 1 always steps the full necklace circulation, faults or not.
+  est.probe_rounds = n;
+  // Phase 2 quiesces one round after the farthest node is reached.
+  est.broadcast_rounds = (eccentricity != 0 ? eccentricity : n) + 1;
+  // Phase 3 circulates fresh dossiers for at most n - 1 rounds (the initial
+  // post is part of round one; a singleton necklace posts nothing).
+  est.dossier_rounds = n > 0 ? n - 1 : 0;
+  // Phase 4 is a single multicast round from every child-necklace exit node.
+  est.announce_rounds = 1;
+  // Phase 5 instructions travel at most the necklace length.
+  est.reroute_rounds = n;
+  // Delivery envelope: n-hop probe tokens and dossier circulations from every
+  // node, plus reroute hops (at most one instruction in flight per node per
+  // label) and the d-way flood and announce fan-outs.
+  est.messages = size * (3 * static_cast<std::uint64_t>(n) + 2 * d) + d;
+  return est;
+}
+
 DistributedFfcSolver::DistributedFfcSolver(DeBruijnDigraph graph)
     : graph_(std::move(graph)) {}
 

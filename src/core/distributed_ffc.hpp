@@ -37,6 +37,25 @@ struct DistributedFfcResult {
   DistributedFfcStats stats;
 };
 
+/// Pure Section-2.4 cost model: the per-phase communication rounds (and a
+/// message envelope) one distributed FFC rebuild of B(base, n) costs,
+/// without running the protocol. Probe is exactly n rounds (the necklace
+/// token must come full circle), dossier and reroute are upper-bounded by
+/// their n-round circulations, the T_w announce is a single multicast round,
+/// and broadcast is eccentricity(R) + 1 — pass the measured root
+/// eccentricity when known, or 0 to estimate with the fault-free diameter
+/// n (withdrawn necklaces can stretch B*'s eccentricity past n, so the
+/// default is an estimate there, exact in the fault-free graph).
+/// The message envelope charges every node its probe/dossier circulations
+/// plus the d-way flood and announce fan-outs. This is the cross-shard
+/// message-cost estimator the service fabric surfaces in its stats
+/// (service::FabricStats::remap_cost): rebuilding a migrated instance on a
+/// successor shard is priced as one distributed rebuild of its B(base, n).
+/// Tested against the measured DistributedFfcSolver::run accounting in
+/// tests/test_distributed_ffc.cpp.
+DistributedFfcStats predict_rebuild_rounds(Digit base, unsigned n,
+                                           std::uint32_t eccentricity = 0);
+
 /// Network-level implementation of the FFC algorithm (Section 2.4) on the
 /// synchronous multi-port message-passing simulator. Every processor runs
 /// the same local rules; messages travel only along De Bruijn links, in the

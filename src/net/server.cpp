@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "service/fabric.hpp"
 #include "service/session.hpp"
 #include "util/parallel.hpp"
 #include "util/require.hpp"
@@ -91,6 +92,15 @@ struct Server::Completion {
 Server::Server(service::EmbedEngine& engine, ServerOptions options)
     : engine_(&engine), options_(std::move(options)) {
   if (options_.workers == 0) options_.workers = worker_count();
+}
+
+Server::Server(service::ShardRouter& fabric, ServerOptions options)
+    : engine_(nullptr), fabric_(&fabric), options_(std::move(options)) {
+  if (options_.workers == 0) options_.workers = worker_count();
+}
+
+service::EmbedEngine& Server::session_engine(Digit base, unsigned n) {
+  return fabric_ ? fabric_->engine_for(base, n) : *engine_;
 }
 
 Server::~Server() {
@@ -594,7 +604,8 @@ void Server::execute_op(Connection& conn, OpItem& op,
           error_reply(WireStatus::kBadFrame, "malformed solve payload");
           return;
         }
-        const service::EmbedResponse response = engine_->query(request);
+        const service::EmbedResponse response =
+            fabric_ ? fabric_->query(request) : engine_->query(request);
         solves_.fetch_add(1, std::memory_order_relaxed);
         WireWriter w(payload);
         w.u8(static_cast<std::uint8_t>(WireStatus::kOk));
@@ -645,8 +656,8 @@ void Server::execute_op(Connection& conn, OpItem& op,
         }
         if (!conn.session) {
           conn.session = std::make_unique<service::EmbedSession>(
-              *engine_, conn.cfg_base, conn.cfg_n, conn.cfg_kind,
-              conn.cfg_strategy);
+              session_engine(conn.cfg_base, conn.cfg_n), conn.cfg_base,
+              conn.cfg_n, conn.cfg_kind, conn.cfg_strategy);
         }
         const service::FaultKind fk = static_cast<service::FaultKind>(kind);
         const bool changed = static_cast<Op>(op.opcode) == Op::kFaultAdd
@@ -689,8 +700,8 @@ void Server::execute_op(Connection& conn, OpItem& op,
         }
         if (!conn.session) {
           conn.session = std::make_unique<service::EmbedSession>(
-              *engine_, conn.cfg_base, conn.cfg_n, conn.cfg_kind,
-              conn.cfg_strategy);
+              session_engine(conn.cfg_base, conn.cfg_n), conn.cfg_base,
+              conn.cfg_n, conn.cfg_kind, conn.cfg_strategy);
         }
         const service::EmbedResponse response = conn.session->current_ring();
         solves_.fetch_add(1, std::memory_order_relaxed);
@@ -707,7 +718,8 @@ void Server::execute_op(Connection& conn, OpItem& op,
           return;
         }
         WireStats stats;
-        stats.engine = engine_->stats_snapshot();
+        stats.engine = fabric_ ? fabric_->aggregate_engine_stats()
+                               : engine_->stats_snapshot();
         const ServerStats s = this->stats();
         stats.server.accepted = s.accepted;
         stats.server.connections = s.connections;
@@ -723,6 +735,28 @@ void Server::execute_op(Connection& conn, OpItem& op,
           stats.has_session = true;
           stats.session = conn.session->stats();
           stats.repair = conn.session->repair_stats();
+        }
+        if (fabric_) {
+          const service::FabricStats f = fabric_->stats();
+          stats.has_fabric = true;
+          stats.fabric.queries = f.queries;
+          stats.fabric.hot_keys = f.hot_keys;
+          stats.fabric.replica_reads = f.replica_reads;
+          stats.fabric.remap_events = f.remap_events;
+          stats.fabric.remapped_keys = f.remapped_keys;
+          stats.fabric.remap_rounds = f.remap_cost.total_rounds();
+          stats.fabric.remap_messages = f.remap_cost.messages;
+          stats.fabric.shards.reserve(f.shards.size());
+          for (const service::FabricShardStats& shard : f.shards) {
+            WireFabricShard ws;
+            ws.shard = shard.shard;
+            ws.alive = shard.alive;
+            ws.keys_owned = shard.keys_owned;
+            ws.queries = shard.queries;
+            ws.replica_reads = shard.replica_reads;
+            ws.context_builds = shard.engine.contexts.misses;
+            stats.fabric.shards.push_back(ws);
+          }
         }
         WireWriter w(payload);
         w.u8(static_cast<std::uint8_t>(WireStatus::kOk));

@@ -70,6 +70,12 @@ class RcuSnapshot {
   /// Publishes `next` (may be null to publish "empty") and retires the
   /// previous snapshot. Writers must be externally serialized; concurrent
   /// readers keep draining off whichever snapshot they pinned.
+  ///
+  /// Precondition: the calling thread must not hold a live ReadGuard on
+  /// this cell — once the retire list is full, reclaim() waits for
+  /// `readers_` to drain, and a guard pinned by the caller itself would
+  /// never release (self-deadlock). Scope read guards so they end before
+  /// the publish.
   void publish(std::shared_ptr<const T> next) {
     current_.store(next.get(), std::memory_order_seq_cst);
     if (owner_ != nullptr) retired_.push_back(std::move(owner_));

@@ -121,6 +121,64 @@ TEST(RoundComplexity, TotalWithinLinearBudget) {
 }
 
 // --------------------------------------------------------------------------
+// The pure Section-2.4 cost model (predict_rebuild_rounds) against the
+// measured protocol accounting: the fabric prices every shard-remap rebuild
+// with this estimator, so it must dominate the measured run phase by phase
+// and be exact where the phase count is deterministic.
+
+TEST(RebuildEstimator, MatchesMeasuredRunOnSeededFaults) {
+  Rng rng(0x5ec24ULL);
+  for (auto [d, n] : {std::pair<Digit, unsigned>{2, 8}, {2, 10}, {3, 4},
+                      {4, 3}, {5, 3}}) {
+    const DeBruijnDigraph graph(d, n);
+    const DistributedFfcSolver solver(graph);
+    for (unsigned trial = 0; trial < 8; ++trial) {
+      const auto faults = rng.sample_distinct(graph.num_nodes(), rng.below(4));
+      Word root;
+      try {
+        root = solver.default_root(faults);
+      } catch (const precondition_error&) {
+        continue;
+      }
+      const auto result = solver.run(faults, root);
+      // Diameter-default estimate (eccentricity unknown): probe and
+      // announce are exact, dossier / reroute / messages are upper bounds.
+      // Broadcast's n + 1 default is NOT a bound once necklaces are
+      // withdrawn (B*'s eccentricity can exceed n), so it is only checked
+      // with the measured eccentricity supplied, where it must be exact.
+      const DistributedFfcStats bound = predict_rebuild_rounds(d, n);
+      EXPECT_EQ(bound.probe_rounds, result.stats.probe_rounds);
+      EXPECT_EQ(bound.announce_rounds, result.stats.announce_rounds);
+      EXPECT_GE(bound.dossier_rounds, result.stats.dossier_rounds);
+      EXPECT_GE(bound.reroute_rounds, result.stats.reroute_rounds);
+      EXPECT_GE(bound.messages, result.stats.messages);
+      const DistributedFfcStats exact =
+          predict_rebuild_rounds(d, n, result.root_eccentricity);
+      EXPECT_EQ(exact.broadcast_rounds, result.stats.broadcast_rounds);
+      if (faults.empty()) {
+        EXPECT_EQ(bound.broadcast_rounds, result.stats.broadcast_rounds);
+      }
+    }
+  }
+}
+
+TEST(RebuildEstimator, PhaseShapeIsThetaN) {
+  // The estimator inherits the paper's per-phase shape: probe/dossier/
+  // reroute grow linearly in n, broadcast defaults to the diameter bound
+  // n + 1, announce is one round.
+  for (unsigned n : {4u, 8u, 12u}) {
+    const DistributedFfcStats est = predict_rebuild_rounds(2, n);
+    EXPECT_EQ(est.probe_rounds, n);
+    EXPECT_EQ(est.dossier_rounds, n - 1);
+    EXPECT_EQ(est.reroute_rounds, n);
+    EXPECT_EQ(est.broadcast_rounds, n + 1);
+    EXPECT_EQ(est.announce_rounds, 1u);
+    EXPECT_EQ(est.total_rounds(), 4ull * n + 1);
+  }
+  EXPECT_THROW(predict_rebuild_rounds(1, 3), precondition_error);
+}
+
+// --------------------------------------------------------------------------
 // Fault discovery: the protocol receives no fault locations, only dead nodes.
 
 TEST(FaultDiscovery, WithdrawnNecklacesAreExcluded) {

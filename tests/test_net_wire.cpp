@@ -249,6 +249,111 @@ TEST(WireFuzz, GarbagePayloadsNeverMisbehave) {
   }
 }
 
+// --- STATS versioning -------------------------------------------------------
+
+WireStats sample_stats() {
+  WireStats s;
+  s.engine.serve.queries = 101;
+  s.engine.serve.result_hits = 40;
+  s.engine.cache.hits = 40;
+  s.engine.cache.misses = 61;
+  s.engine.contexts.misses = 7;
+  s.engine.validation.checked = 61;
+  s.server.accepted = 9;
+  s.server.frames_in = 120;
+  s.server.solves = 101;
+  s.has_session = true;
+  s.session.adds = 5;
+  s.session.solves = 6;
+  s.repair.spliced = 2;
+  return s;
+}
+
+TEST(WireStatsVersioning, FabricSectionRoundTripsBitIdentically) {
+  WireStats s = sample_stats();
+  s.has_fabric = true;
+  s.fabric.queries = 101;
+  s.fabric.hot_keys = 3;
+  s.fabric.replica_reads = 17;
+  s.fabric.remap_events = 2;
+  s.fabric.remapped_keys = 11;
+  s.fabric.remap_rounds = 240;
+  s.fabric.remap_messages = 90000;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    WireFabricShard shard;
+    shard.shard = i;
+    shard.alive = i != 2;
+    shard.keys_owned = 10 + i;
+    shard.queries = 100 * (i + 1);
+    shard.replica_reads = 5 * i;
+    shard.context_builds = 3 + i;
+    s.fabric.shards.push_back(shard);
+  }
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  encode_stats(w, s);
+  WireReader r(payload);
+  WireStats out;
+  ASSERT_TRUE(decode_stats(r, &out));
+  EXPECT_TRUE(r.exhausted());
+  ASSERT_TRUE(out.has_fabric);
+  EXPECT_EQ(out.fabric, s.fabric);
+}
+
+TEST(WireStatsVersioning, AcceptsPreFabricPayload) {
+  // A pre-fabric peer's payload ends right after the session block — it
+  // does not even carry the has_fabric byte. Emulate it by truncating the
+  // trailing has_fabric = 0 byte the current encoder appends.
+  WireStats s = sample_stats();
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  encode_stats(w, s);
+  ASSERT_EQ(payload.back(), 0u);  // has_fabric byte of the new encoding
+  payload.pop_back();
+
+  WireReader r(payload);
+  WireStats out;
+  ASSERT_TRUE(decode_stats(r, &out));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_FALSE(out.has_fabric);
+  EXPECT_EQ(out.engine.serve.queries, s.engine.serve.queries);
+  EXPECT_TRUE(out.has_session);
+  EXPECT_EQ(out.session.solves, s.session.solves);
+}
+
+TEST(WireStatsVersioning, NoFabricEncodingDecodesWithoutFabric) {
+  WireStats s = sample_stats();
+  s.has_session = false;
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  encode_stats(w, s);
+  WireReader r(payload);
+  WireStats out;
+  ASSERT_TRUE(decode_stats(r, &out));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_FALSE(out.has_fabric);
+  EXPECT_FALSE(out.has_session);
+}
+
+TEST(WireStatsVersioning, HostileShardCountRejectedBeforeAllocation) {
+  WireStats s = sample_stats();
+  s.has_session = false;
+  s.has_fabric = true;
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  encode_stats(w, s);
+  // Corrupt the shard count (the final u32 of an empty-shard encoding) to
+  // claim 2^32 - 1 entries with no bytes behind them.
+  ASSERT_GE(payload.size(), 4u);
+  payload[payload.size() - 4] = 0xff;
+  payload[payload.size() - 3] = 0xff;
+  payload[payload.size() - 2] = 0xff;
+  payload[payload.size() - 1] = 0xff;
+  WireReader r(payload);
+  WireStats out;
+  EXPECT_FALSE(decode_stats(r, &out));
+}
+
 // A count field claiming more words than the payload holds must fail before
 // allocating (a hostile 0xffffffff count cannot OOM the decoder).
 TEST(WireFuzz, HostileCountsRejectedBeforeAllocation) {
