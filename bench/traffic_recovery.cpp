@@ -1,0 +1,343 @@
+// Packet-level recovery cost of repair vs cold re-solve (ROADMAP item 4).
+//
+// Runs the verify/ traffic-scenario sweep — seeded (instance, pattern,
+// timed-churn, horizon, queue-bound) tuples — through the sim/traffic
+// stack twice per scenario: once with incremental repair enabled and once
+// forcing a cold re-solve on every fault epoch, on the SAME flows and the
+// SAME churn script. Reports the application-visible currency of the
+// Section 2.4 round model:
+//
+//   - packets dropped per fault, by reason (dead node / cut link / queue
+//     overflow / no route during rebuild),
+//   - time-to-recovery in rounds (the rebuild-window lengths),
+//   - goodput before / during / after the rebuild windows.
+//
+// The headline comparison is the *fault-attributed* drop count (drops
+// inside rebuild windows, per FaultImpact), not total drops: steady-state
+// queue overflow is ring-shape congestion noise — a re-solved ring can
+// congest more or less than a spliced one under identical flows — while
+// the window-attributed count is exactly what the recovery path controls.
+//
+// Every scenario runs twice per mode and must replay bit-identically
+// (trace-hash witness). Every installed ring is held against the verify/
+// oracle. Writes the machine-readable BENCH_traffic.json; exits nonzero
+// when repair does not strictly beat cold on fault-attributed drops and
+// rebuild rounds, on any oracle violation, any conservation failure, or
+// any nondeterministic replay.
+//
+// Knobs (env):   DBR_SEED
+// Knobs (argv):  --scenarios N   seeded scenarios in the sweep (default 24)
+//                --packets N     packets per flow (default 96)
+//                --out PATH      JSON path (default BENCH_traffic.json)
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "verify/scenario.hpp"
+#include "workload.hpp"
+
+namespace {
+
+using dbr::Rng;
+using dbr::sim::DropReason;
+using dbr::sim::FaultImpact;
+using dbr::sim::Flow;
+using dbr::sim::kDropReasonCount;
+using dbr::sim::run_traffic_scenario;
+using dbr::sim::ScenarioTrafficResult;
+using dbr::sim::TrafficConfig;
+using dbr::verify::TrafficScenario;
+
+/// Everything the comparison aggregates from one mode's runs.
+struct SideAgg {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::array<std::uint64_t, kDropReasonCount> dropped{};
+  std::uint64_t fault_drops = 0;  ///< window-attributed (the headline)
+  std::uint64_t rebuild_rounds = 0;
+  std::uint64_t fault_epochs = 0;
+  std::uint64_t delivered_before = 0, delivered_during = 0,
+                 delivered_after = 0;
+  std::uint64_t rounds_before = 0, rounds_during = 0, rounds_after = 0;
+
+  void fold(const dbr::sim::TrafficStats& s) {
+    injected += s.injected;
+    delivered += s.delivered;
+    for (std::size_t i = 0; i < kDropReasonCount; ++i) dropped[i] += s.dropped[i];
+    for (const FaultImpact& f : s.faults) fault_drops += f.drops_total();
+    rebuild_rounds += s.rebuild_rounds;
+    fault_epochs += s.fault_epochs;
+    delivered_before += s.delivered_before;
+    delivered_during += s.delivered_during;
+    delivered_after += s.delivered_after;
+    rounds_before += s.rounds_before;
+    rounds_during += s.rounds_during;
+    rounds_after += s.rounds_after;
+  }
+};
+
+double goodput(std::uint64_t delivered, std::uint64_t rounds) {
+  return rounds > 0 ? static_cast<double>(delivered) / static_cast<double>(rounds)
+                    : 0.0;
+}
+
+std::uint64_t attributed_drops(const dbr::sim::TrafficStats& s) {
+  std::uint64_t total = 0;
+  for (const FaultImpact& f : s.faults) total += f.drops_total();
+  return total;
+}
+
+void json_side(dbr::bench::JsonWriter& json, const char* key,
+               const dbr::sim::TrafficStats& s, std::uint64_t trace_hash,
+               std::uint64_t repaired_rings) {
+  json.key(key)
+      .begin_object()
+      .field("injected", s.injected)
+      .field("delivered", s.delivered)
+      .field("dropped_dead_node",
+             s.dropped[static_cast<std::size_t>(DropReason::kDeadNode)])
+      .field("dropped_cut_link",
+             s.dropped[static_cast<std::size_t>(DropReason::kCutLink)])
+      .field("dropped_queue_overflow",
+             s.dropped[static_cast<std::size_t>(DropReason::kQueueOverflow)])
+      .field("dropped_no_route",
+             s.dropped[static_cast<std::size_t>(DropReason::kNoRoute)])
+      .field("fault_attributed_drops", attributed_drops(s))
+      .field("in_flight", s.in_flight)
+      .field("rebuild_rounds", s.rebuild_rounds)
+      .field("fib_installs", s.fib_installs)
+      .field("goodput_before", goodput(s.delivered_before, s.rounds_before))
+      .field("goodput_during", goodput(s.delivered_during, s.rounds_during))
+      .field("goodput_after", goodput(s.delivered_after, s.rounds_after))
+      .field("repaired_rings", repaired_rings)
+      .field("trace_hash", trace_hash)
+      .end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr const char* kName = "traffic_recovery";
+  constexpr const char* kSummary =
+      "packet loss and recovery rounds, repair vs cold re-solve, over the "
+      "seeded traffic-scenario sweep; writes BENCH_traffic.json";
+  const std::initializer_list<dbr::bench::UsageFlag> kFlags = {
+      {"--scenarios N", "seeded scenarios in the sweep (default 24)"},
+      {"--packets N", "packets per flow (default 96)"},
+      {"--out PATH", "JSON artifact path (default BENCH_traffic.json)"},
+  };
+  std::size_t scenarios = 24;
+  std::uint64_t packets = 96;
+  std::string out_path = "BENCH_traffic.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--scenarios") scenarios = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--packets") packets = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--out") out_path = next();
+    else return dbr::bench::usage_exit(argv[i], kName, kSummary, kFlags);
+  }
+
+  dbr::bench::heading("traffic recovery: repair vs cold re-solve");
+  std::cout << "scenarios=" << scenarios << ", packets/flow=" << packets
+            << ", seed=" << dbr::bench::seed() << "\n";
+
+  dbr::service::EngineOptions repair_options;
+  repair_options.incremental_repair = true;
+  repair_options.validate_responses = true;
+  dbr::service::EngineOptions cold_options;
+  cold_options.incremental_repair = false;
+  cold_options.validate_responses = true;
+
+  const std::vector<TrafficScenario> sweep =
+      dbr::verify::make_traffic_sweep(dbr::bench::seed() * 1000003, scenarios);
+
+  dbr::bench::JsonWriter json;
+  json.begin_object()
+      .field("bench", "traffic_recovery")
+      .field("seed", dbr::bench::seed());
+  json.key("config")
+      .begin_object()
+      .field("scenarios", static_cast<std::uint64_t>(scenarios))
+      .field("packets_per_flow", packets)
+      .end_object();
+
+  SideAgg repair_total, cold_total;
+  std::map<dbr::verify::TrafficPattern, std::pair<SideAgg, SideAgg>> by_pattern;
+  std::uint64_t oracle_violations = 0;
+  std::uint64_t repaired_rings = 0;
+  std::uint64_t conservation_failures = 0;
+  std::uint64_t replay_mismatches = 0;
+
+  json.key("scenarios").begin_array();
+  for (const TrafficScenario& sc : sweep) {
+    // The same flow set feeds both modes: seeded off the scenario, shaped
+    // by the workload TrafficMatrix against whatever ring the mode solved.
+    const auto flows = [&sc, packets](const dbr::NodeCycle& ring) {
+      Rng rng = Rng(sc.seed).split(400);
+      dbr::bench::TrafficMatrix matrix;
+      matrix.packets_per_flow = packets;
+      return matrix.flows(ring, sc.pattern, rng);
+    };
+    const ScenarioTrafficResult repair =
+        run_traffic_scenario(sc, repair_options, TrafficConfig{}, flows);
+    const ScenarioTrafficResult cold =
+        run_traffic_scenario(sc, cold_options, TrafficConfig{}, flows);
+    // Replay witness: a second run of each mode must be bit-identical.
+    const ScenarioTrafficResult repair2 =
+        run_traffic_scenario(sc, repair_options, TrafficConfig{}, flows);
+    const ScenarioTrafficResult cold2 =
+        run_traffic_scenario(sc, cold_options, TrafficConfig{}, flows);
+    if (repair.trace_hash != repair2.trace_hash ||
+        cold.trace_hash != cold2.trace_hash) {
+      ++replay_mismatches;
+      std::cerr << "nondeterministic replay: " << sc.describe() << "\n";
+    }
+    if (!repair.stats.conserved() || !cold.stats.conserved()) {
+      ++conservation_failures;
+      std::cerr << "conservation failure: " << sc.describe() << "\n";
+    }
+    oracle_violations +=
+        repair.stats.oracle_violations + cold.stats.oracle_violations;
+    repaired_rings += repair.drive.repaired_rings;
+
+    repair_total.fold(repair.stats);
+    cold_total.fold(cold.stats);
+    auto& [pattern_repair, pattern_cold] = by_pattern[sc.pattern];
+    pattern_repair.fold(repair.stats);
+    pattern_cold.fold(cold.stats);
+
+    json.begin_object()
+        .field("seed", sc.seed)
+        .field("pattern", dbr::verify::to_string(sc.pattern))
+        .field("base", static_cast<std::uint64_t>(sc.base_request.base))
+        .field("n", sc.base_request.n)
+        .field("strategy", dbr::service::to_string(sc.base_request.strategy))
+        .field("horizon", sc.horizon)
+        .field("queue_capacity", sc.queue_capacity)
+        .field("churn_events", static_cast<std::uint64_t>(sc.churn.size()))
+        .field("fault_epochs", repair.stats.fault_epochs);
+    json_side(json, "repair", repair.stats, repair.trace_hash,
+              repair.drive.repaired_rings);
+    json_side(json, "cold", cold.stats, cold.trace_hash,
+              cold.drive.repaired_rings);
+    json.end_object();
+  }
+  json.end_array();
+
+  dbr::TextTable table({"pattern", "mode", "injected", "delivered",
+                        "fault_drops", "overflow", "rebuild_rds",
+                        "goodput_during"});
+  const auto table_rows = [&table](const char* pattern, const char* mode,
+                                   const SideAgg& agg) {
+    table.new_row()
+        .add(pattern)
+        .add(mode)
+        .add(agg.injected)
+        .add(agg.delivered)
+        .add(agg.fault_drops)
+        .add(agg.dropped[static_cast<std::size_t>(DropReason::kQueueOverflow)])
+        .add(agg.rebuild_rounds)
+        .add(goodput(agg.delivered_during, agg.rounds_during), 2);
+  };
+  json.key("patterns").begin_array();
+  for (const auto& [pattern, sides] : by_pattern) {
+    const char* name = dbr::verify::to_string(pattern);
+    table_rows(name, "repair", sides.first);
+    table_rows(name, "cold", sides.second);
+    const auto pattern_side = [&json](const char* key, const SideAgg& agg) {
+      json.key(key)
+          .begin_object()
+          .field("injected", agg.injected)
+          .field("delivered", agg.delivered)
+          .field("fault_attributed_drops", agg.fault_drops)
+          .field("dropped_queue_overflow",
+                 agg.dropped[static_cast<std::size_t>(
+                     DropReason::kQueueOverflow)])
+          .field("rebuild_rounds", agg.rebuild_rounds)
+          .field("goodput_before",
+                 goodput(agg.delivered_before, agg.rounds_before))
+          .field("goodput_during",
+                 goodput(agg.delivered_during, agg.rounds_during))
+          .field("goodput_after", goodput(agg.delivered_after, agg.rounds_after))
+          .end_object();
+    };
+    json.begin_object().field("pattern", name);
+    pattern_side("repair", sides.first);
+    pattern_side("cold", sides.second);
+    json.end_object();
+  }
+  json.end_array();
+  table_rows("TOTAL", "repair", repair_total);
+  table_rows("TOTAL", "cold", cold_total);
+  dbr::bench::emit(table);
+
+  const double mean_recovery_repair =
+      repair_total.fault_epochs > 0
+          ? static_cast<double>(repair_total.rebuild_rounds) /
+                static_cast<double>(repair_total.fault_epochs)
+          : 0.0;
+  const double mean_recovery_cold =
+      cold_total.fault_epochs > 0
+          ? static_cast<double>(cold_total.rebuild_rounds) /
+                static_cast<double>(cold_total.fault_epochs)
+          : 0.0;
+  const bool deterministic = replay_mismatches == 0;
+  const bool conserved = conservation_failures == 0;
+  const bool repair_wins_drops =
+      repair_total.fault_drops < cold_total.fault_drops;
+  const bool repair_wins_recovery =
+      repair_total.rebuild_rounds < cold_total.rebuild_rounds;
+  const bool splice_engaged = repaired_rings > 0;
+
+  std::cout << "fault-attributed drops: repair=" << repair_total.fault_drops
+            << " cold=" << cold_total.fault_drops
+            << "  |  recovery rounds/fault: repair=" << mean_recovery_repair
+            << " cold=" << mean_recovery_cold
+            << "  |  spliced rings: " << repaired_rings << "\n";
+  std::cout << "oracle violations: " << oracle_violations
+            << ", deterministic replay: " << (deterministic ? "yes" : "NO")
+            << ", conserved: " << (conserved ? "yes" : "NO") << "\n";
+
+  json.key("totals")
+      .begin_object()
+      .field("repair_fault_drops", repair_total.fault_drops)
+      .field("cold_fault_drops", cold_total.fault_drops)
+      .field("repair_rebuild_rounds", repair_total.rebuild_rounds)
+      .field("cold_rebuild_rounds", cold_total.rebuild_rounds)
+      .field("repair_mean_recovery_rounds", mean_recovery_repair)
+      .field("cold_mean_recovery_rounds", mean_recovery_cold)
+      .field("repaired_rings", repaired_rings)
+      .field("oracle_violations", oracle_violations)
+      .field("deterministic_replay", deterministic)
+      .field("conserved", conserved)
+      .field("repair_fewer_fault_drops", repair_wins_drops)
+      .field("repair_fewer_rebuild_rounds", repair_wins_recovery)
+      .end_object();
+  json.end_object();
+
+  if (!json.write_file(out_path)) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << "\n";
+
+  const bool ok = deterministic && conserved && oracle_violations == 0 &&
+                  splice_engaged && repair_wins_drops && repair_wins_recovery;
+  if (!ok) {
+    std::cerr << "traffic recovery gate FAILED (repair_wins_drops="
+              << repair_wins_drops << ", repair_wins_recovery="
+              << repair_wins_recovery << ", splice_engaged=" << splice_engaged
+              << ")\n";
+  }
+  return ok ? 0 : 1;
+}

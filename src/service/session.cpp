@@ -228,6 +228,9 @@ bool EmbedSession::try_repair(const CacheKey& key) {
   }
 
   EmbedResponse response;
+  // A no-op splice re-serves the previous immutable result; only a ring
+  // that actually moved advances the routing epoch (see ring_epoch()).
+  if (result.get() != last_.result.get()) ++ring_epoch_;
   response.result = std::move(result);
   response.repaired = true;
   response.latency_micros = micros_since(start);
@@ -258,7 +261,12 @@ EmbedResponse EmbedSession::current_ring() {
       last_.result->status == EmbedStatus::kOk && try_repair(key)) {
     return last_;
   }
+  // The result cache can hand back the very result object already served
+  // (a fault set that round-tripped through churn); only a genuinely
+  // different object advances the routing epoch.
+  const EmbedResult* previous_result = last_.result.get();
   last_ = engine_->query_with_context(key, context_);
+  if (last_.result.get() != previous_result) ++ring_epoch_;
   // Deterministic answers memoize; a transient failure (kInternalError,
   // never cached by the engine either) leaves the session dirty so the
   // next current_ring() retries instead of pinning a one-off error.

@@ -121,6 +121,16 @@ class EmbedSession {
   /// snapshots taken across churn events stay independent.
   EmbedResponse current_ring();
 
+  /// Monotone counter of distinct served rings: bumped exactly when a
+  /// current_ring() answer installs a *different* immutable result object
+  /// than the previous one (full solve, effective repair splice, or a flip
+  /// to kNoEmbedding). Memoized answers, no-op round trips and no-op
+  /// splices that re-serve the same result leave it unchanged — so a
+  /// routing layer holding per-node forwarding state derived from the ring
+  /// (sim/fib.hpp) can compare epochs instead of rings to decide whether
+  /// its tables are stale.
+  std::uint64_t ring_epoch() const { return ring_epoch_; }
+
   const SessionStats& stats() const { return stats_; }
 
   /// Splice-vs-fallback counters of the incremental-repair fast path.
@@ -160,6 +170,7 @@ class EmbedSession {
   /// for repair and the no-op round-trip memo guard.
   CacheKey solved_key_;
   bool have_solved_ = false;
+  std::uint64_t ring_epoch_ = 0;  ///< bumped per distinct served result
   SessionStats stats_;
   RepairStats repair_stats_;
   /// Session-owned solve/repair arena: the splice fast path reuses these

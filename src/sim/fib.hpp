@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file
+/// Per-node forwarding tables (FIBs) derived from an embedded ring.
+///
+/// The embedded ring has unit dilation: every consecutive pair of ring
+/// nodes is a physical De Bruijn link (Section 1.1), so "forward to your
+/// ring successor" is a legal per-hop routing rule on the real machine.
+/// A RingFib freezes that rule into an O(1)-lookup table: packets travel
+/// the ring in the forward direction until they reach their destination.
+/// When churn re-embeds the ring, the traffic simulator installs a fresh
+/// FIB with a bumped version; packets stranded on excised nodes are
+/// dropped with a no-route reason (sim/traffic.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "debruijn/cycle.hpp"
+#include "graph/digraph.hpp"
+#include "util/require.hpp"
+
+namespace dbr::sim {
+
+/// Sentinel next-hop: the node has no forwarding entry (it is not on the
+/// currently embedded ring, or no ring is embedded at all).
+inline constexpr NodeId kNoRoute = ~NodeId{0};
+
+/// Forwarding table of one embedded ring over a network of `num_nodes`
+/// processors: next_hop[v] is v's ring successor (kNoRoute off-ring) and
+/// position[v] its index along the ring. Immutable once built; the traffic
+/// simulator replaces the whole table on every re-embedding (the version
+/// counter tells consumers which installation produced a packet's route).
+struct RingFib {
+  /// position[] value for nodes that are not on the ring.
+  static constexpr std::uint32_t kNoPosition = ~std::uint32_t{0};
+
+  std::vector<NodeId> next_hop;         ///< ring successor, kNoRoute off-ring
+  std::vector<std::uint32_t> position;  ///< ring index, kNoPosition off-ring
+  std::uint64_t ring_length = 0;        ///< nodes on the ring (0: no ring)
+  std::uint64_t version = 0;            ///< bumped per installation
+
+  /// True when v has a forwarding entry (it lies on the embedded ring).
+  bool on_ring(NodeId v) const { return next_hop[v] != kNoRoute; }
+
+  /// Forward-direction ring hops from src to dst; both must be on the ring.
+  std::uint64_t hop_distance(NodeId src, NodeId dst) const {
+    require(on_ring(src) && on_ring(dst), "hop_distance needs on-ring endpoints");
+    const std::uint64_t a = position[src];
+    const std::uint64_t b = position[dst];
+    return b >= a ? b - a : ring_length - (a - b);
+  }
+};
+
+/// Builds the forwarding table of `ring` over `num_nodes` processors. An
+/// empty ring yields an empty (all-kNoRoute) table — the "no embedding"
+/// state in which every packet is unroutable. Ring nodes must be distinct
+/// and in range (the verify/ oracle guarantees both for served rings).
+inline RingFib build_ring_fib(const NodeCycle& ring, NodeId num_nodes,
+                              std::uint64_t version) {
+  RingFib fib;
+  fib.next_hop.assign(num_nodes, kNoRoute);
+  fib.position.assign(num_nodes, RingFib::kNoPosition);
+  fib.ring_length = ring.nodes.size();
+  fib.version = version;
+  const std::size_t k = ring.nodes.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    const Word v = ring.nodes[i];
+    require(v < num_nodes, "ring node out of range for the network");
+    require(fib.next_hop[v] == kNoRoute, "ring visits a node twice");
+    fib.next_hop[v] = ring.nodes[(i + 1) % k];
+    fib.position[v] = static_cast<std::uint32_t>(i);
+  }
+  return fib;
+}
+
+}  // namespace dbr::sim

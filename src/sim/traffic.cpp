@@ -1,0 +1,413 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/distributed_ffc.hpp"
+#include "util/require.hpp"
+#include "util/word.hpp"
+#include "verify/oracle.hpp"
+
+namespace dbr::sim {
+
+namespace {
+
+// Trace event kinds folded into the replay hash. The numeric values are
+// part of the trace identity: two runs hash equal iff they interleave the
+// same events with the same operands in the same rounds.
+enum : std::uint64_t {
+  kTraceInject = 1,
+  kTraceHop,
+  kTraceDeliver,
+  kTraceDrop,
+  kTraceInstall,
+  kTraceChurn,
+  kTraceEpoch,
+};
+
+/// The physical De Bruijn topology u -> v iff suffix(u) == prefix(v),
+/// captured by value so the predicate owns its word algebra.
+std::function<bool(NodeId, NodeId)> debruijn_links(Digit base, unsigned n) {
+  return [ws = WordSpace(base, n)](NodeId u, NodeId v) {
+    return ws.suffix(u) == ws.prefix(v);
+  };
+}
+
+}  // namespace
+
+const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kDeadNode: return "dead_node";
+    case DropReason::kCutLink: return "cut_link";
+    case DropReason::kQueueOverflow: return "queue_overflow";
+    case DropReason::kNoRoute: return "no_route";
+  }
+  return "unknown";
+}
+
+std::uint64_t FaultImpact::drops_total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t d : drops) total += d;
+  return total;
+}
+
+std::uint64_t TrafficStats::dropped_total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t d : dropped) total += d;
+  return total;
+}
+
+TrafficSim::TrafficSim(SessionDriver& driver, TrafficConfig config)
+    : driver_(&driver),
+      config_(config),
+      queues_(driver.net().num_nodes()),
+      trace_hash_(0xcbf29ce484222325ULL) {
+  require(config_.queue_capacity > 0, "queue capacity must be positive");
+  require(config_.egress_rate > 0, "egress rate must be positive");
+  const Digit base = driver.session().base();
+  const unsigned n = driver.session().n();
+  // Section 2.4 prices: a cold distributed re-solve runs the full probe /
+  // dossier / reroute / announce / broadcast pipeline (~4n+2 rounds); an
+  // incremental splice only circulates the faulty necklace locally and
+  // handshakes the patch (n+2 rounds).
+  cold_rounds_ = config_.cold_rebuild_rounds != 0
+                     ? config_.cold_rebuild_rounds
+                     : core::predict_rebuild_rounds(base, n).total_rounds();
+  repair_rounds_ = config_.repair_rebuild_rounds != 0
+                       ? config_.repair_rebuild_rounds
+                       : static_cast<std::uint64_t>(n) + 2;
+}
+
+void TrafficSim::add_flow(const Flow& flow) {
+  require(!ran_, "flows must be registered before run()");
+  const NodeId nodes = driver_->net().num_nodes();
+  require(flow.src < nodes && flow.dst < nodes, "flow endpoint out of range");
+  require(flow.src != flow.dst, "flow source and destination must differ");
+  require(flow.packets > 0, "flow must carry at least one packet");
+  flows_.push_back({flow, 0});
+}
+
+void TrafficSim::add_flows(const std::vector<Flow>& flows) {
+  for (const Flow& f : flows) add_flow(f);
+}
+
+std::uint64_t TrafficSim::queued() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+void TrafficSim::trace(std::uint64_t kind, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  for (std::uint64_t v : {kind, round_, a, b, c}) {
+    trace_hash_ = (trace_hash_ ^ v) * kPrime;
+  }
+}
+
+void TrafficSim::drop(const Packet& p, DropReason reason, NodeId where) {
+  ++stats_.dropped[static_cast<std::size_t>(reason)];
+  if (attribute_) {
+    ++stats_.faults[open_impact_].drops[static_cast<std::size_t>(reason)];
+  }
+  trace(kTraceDrop, p.id, static_cast<std::uint64_t>(reason), where);
+}
+
+void TrafficSim::refresh_ring(std::size_t prev_impact, bool prev_attribute) {
+  const service::EmbedResponse response = driver_->current_ring();
+  const std::uint64_t epoch = driver_->session().ring_epoch();
+  FaultImpact& impact = stats_.faults.back();
+  impact.repaired = response.repaired;
+  impact.no_embedding = !response.ok();
+
+  if (config_.validate_rings && response.ok()) {
+    // Every installed ring must survive the independent oracle against the
+    // session's live fault set — the bench's "0 oracle violations" gate.
+    service::EmbedRequest request;
+    request.base = driver_->session().base();
+    request.n = driver_->session().n();
+    request.fault_kind = driver_->session().fault_kind();
+    request.strategy = driver_->session().strategy();
+    request.faults = driver_->session().faults();
+    request.edge_faults = driver_->session().edge_faults();
+    if (!verify::check_response(request, *response.result).ok()) {
+      ++stats_.oracle_violations;
+    }
+  }
+
+  if (epoch == last_epoch_) {
+    // The served ring is the very object already routed (a no-op splice, a
+    // memoized answer or a cache round-trip): the tables stay valid and
+    // routing never stalls. Drops fall back to whatever window was already
+    // open, if any.
+    impact.ring_changed = false;
+    impact.recovery_rounds = 0;
+    open_impact_ = prev_impact;
+    attribute_ = prev_attribute;
+    trace(kTraceEpoch, 0, response.repaired ? 1 : 0, 0);
+    return;
+  }
+
+  last_epoch_ = epoch;
+  const std::uint64_t price = response.repaired ? repair_rounds_ : cold_rounds_;
+  impact.ring_changed = true;
+  impact.recovery_rounds = price;
+  pending_ = response;
+  rebuilding_ = true;
+  install_round_ = round_ + price;
+  // Window drops (stale-table bleed, stall overflow, install stranding)
+  // attribute to this epoch from here on.
+  trace(kTraceEpoch, 1, response.repaired ? 1 : 0, price);
+}
+
+void TrafficSim::install_fib() {
+  static const NodeCycle kEmptyRing{};
+  const NodeCycle& ring =
+      pending_.ok() ? pending_.result->ring : kEmptyRing;
+  fib_ = build_ring_fib(ring, driver_->net().num_nodes(), fib_.version + 1);
+  // Strand everything the new ring no longer routes: packets held by
+  // excised nodes and packets whose destination left the ring.
+  for (NodeId v = 0; v < queues_.size(); ++v) {
+    std::deque<Packet>& q = queues_[v];
+    if (q.empty()) continue;
+    if (!fib_.on_ring(v)) {
+      for (const Packet& p : q) drop(p, DropReason::kNoRoute, v);
+      q.clear();
+      continue;
+    }
+    std::deque<Packet> kept;
+    for (const Packet& p : q) {
+      if (fib_.on_ring(p.dst)) {
+        kept.push_back(p);
+      } else {
+        drop(p, DropReason::kNoRoute, v);
+      }
+    }
+    q = std::move(kept);
+  }
+  rebuilding_ = false;
+  attribute_ = false;
+  ++stats_.fib_installs;
+  trace(kTraceInstall, fib_.version, fib_.ring_length, 0);
+}
+
+void TrafficSim::apply_churn(const verify::ChurnEvent& event) {
+  if (event.kind == service::FaultKind::kEdge) {
+    if (event.add) {
+      driver_->cut_link(event.fault);
+    } else {
+      driver_->restore_link(event.fault);
+    }
+  } else if (event.add) {
+    const NodeId victim = event.fault;
+    driver_->kill(victim);
+    // A fail-stop death takes the router's buffered packets with it.
+    for (const Packet& p : queues_[victim]) {
+      drop(p, DropReason::kDeadNode, victim);
+    }
+    queues_[victim].clear();
+  } else {
+    driver_->repair(event.fault);
+  }
+  trace(kTraceChurn, event.add ? 1 : 0,
+        static_cast<std::uint64_t>(event.kind), event.fault);
+}
+
+void TrafficSim::inject() {
+  for (FlowState& fs : flows_) {
+    if (round_ < fs.flow.start_round || fs.sent >= fs.flow.packets) continue;
+    ++fs.sent;
+    Packet p{next_packet_id_++, fs.flow.dst, fs.flow.tag};
+    ++stats_.injected;
+    trace(kTraceInject, p.id, fs.flow.src, fs.flow.dst);
+    const NodeId src = fs.flow.src;
+    if (!driver_->net().alive(src)) {
+      drop(p, DropReason::kDeadNode, src);
+    } else if (fib_.ring_length == 0 || !fib_.on_ring(src) ||
+               !fib_.on_ring(p.dst)) {
+      drop(p, DropReason::kNoRoute, src);
+    } else if (queues_[src].size() >= config_.queue_capacity) {
+      drop(p, DropReason::kQueueOverflow, src);
+    } else {
+      queues_[src].push_back(p);
+    }
+  }
+}
+
+void TrafficSim::forward() {
+  Engine& net = driver_->net();
+  for (NodeId v = 0; v < queues_.size(); ++v) {
+    std::deque<Packet>& q = queues_[v];
+    if (q.empty() || !net.alive(v)) continue;
+    // During a rebuild window fib_ is the *stale* table: the data plane
+    // keeps forwarding and bleeds packets into whatever the fault broke,
+    // at line rate, until the new table installs. Each head-of-line drop
+    // consumes egress budget exactly like a successful send.
+    std::uint32_t budget = config_.egress_rate;
+    while (budget > 0 && !q.empty()) {
+      --budget;
+      const Packet p = q.front();
+      q.pop_front();
+      const NodeId next = fib_.next_hop[v];
+      if (next == kNoRoute) {
+        drop(p, DropReason::kNoRoute, v);
+      } else if (!net.alive(next)) {
+        drop(p, DropReason::kDeadNode, v);
+      } else if (!net.link_alive(v, next)) {
+        drop(p, DropReason::kCutLink, v);
+      } else {
+        Message msg;
+        msg.tag = p.tag;
+        msg.payload = {p.id, p.dst};
+        net.post(v, next, std::move(msg));
+        ++stats_.hops;
+        trace(kTraceHop, p.id, v, next);
+      }
+    }
+  }
+}
+
+void TrafficSim::deliver() {
+  Engine& net = driver_->net();
+  net.step([&](NodeId dest, std::vector<Message>& batch) {
+    for (Message& msg : batch) {
+      const Packet p{msg.payload[0], msg.payload[1], msg.tag};
+      if (!net.alive(dest)) {
+        // Defensive: forwarding pre-checks liveness and churn applies at
+        // round starts, so wire packets cannot outlive their receiver —
+        // but a future reordering must surface as drops, not lost packets.
+        drop(p, DropReason::kDeadNode, dest);
+      } else if (p.dst == dest) {
+        ++stats_.delivered;
+        if (!saw_fault_) {
+          ++stats_.delivered_before;
+        } else if (rebuilding_) {
+          ++stats_.delivered_during;
+        } else {
+          ++stats_.delivered_after;
+        }
+        trace(kTraceDeliver, p.id, dest, 0);
+      } else if (queues_[dest].size() >= config_.queue_capacity) {
+        drop(p, DropReason::kQueueOverflow, dest);
+      } else {
+        queues_[dest].push_back(p);
+      }
+    }
+  });
+}
+
+TrafficStats TrafficSim::run(const std::vector<verify::TimedChurnEvent>& churn,
+                             std::uint64_t horizon,
+                             const RoundObserver& on_round) {
+  require(!ran_, "TrafficSim::run is one-shot");
+  ran_ = true;
+  require(horizon > 0, "horizon must be positive");
+  for (std::size_t i = 0; i + 1 < churn.size(); ++i) {
+    require(churn[i].round <= churn[i + 1].round,
+            "churn rounds must be ascending");
+  }
+  require(churn.empty() || churn.back().round < horizon,
+          "churn event past the horizon");
+
+  // The initial ring pre-exists the traffic: install its table at once (no
+  // rebuild window) and baseline the epoch counter.
+  {
+    const service::EmbedResponse first = driver_->current_ring();
+    last_epoch_ = driver_->session().ring_epoch();
+    if (config_.validate_rings && first.ok()) {
+      service::EmbedRequest request;
+      request.base = driver_->session().base();
+      request.n = driver_->session().n();
+      request.fault_kind = driver_->session().fault_kind();
+      request.strategy = driver_->session().strategy();
+      request.faults = driver_->session().faults();
+      request.edge_faults = driver_->session().edge_faults();
+      if (!verify::check_response(request, *first.result).ok()) {
+        ++stats_.oracle_violations;
+      }
+    }
+    static const NodeCycle kEmptyRing{};
+    fib_ = build_ring_fib(first.ok() ? first.result->ring : kEmptyRing,
+                          driver_->net().num_nodes(), 1);
+    ++stats_.fib_installs;
+    trace(kTraceInstall, fib_.version, fib_.ring_length, 0);
+  }
+
+  std::size_t next_event = 0;
+  for (round_ = 0; round_ < horizon; ++round_) {
+    if (rebuilding_ && round_ == install_round_) install_fib();
+
+    if (next_event < churn.size() && churn[next_event].round == round_) {
+      saw_fault_ = true;
+      ++stats_.fault_epochs;
+      // The epoch's impact entry opens before the events apply, so a kill's
+      // queue purge lands on it; refresh_ring rolls attribution back to the
+      // previous window when the ring turns out not to have moved.
+      const std::size_t prev_impact = open_impact_;
+      const bool prev_attribute = attribute_;
+      FaultImpact impact;
+      impact.round = round_;
+      stats_.faults.push_back(impact);
+      open_impact_ = stats_.faults.size() - 1;
+      attribute_ = true;
+      std::uint64_t events = 0;
+      while (next_event < churn.size() && churn[next_event].round == round_) {
+        apply_churn(churn[next_event].event);
+        ++next_event;
+        ++events;
+      }
+      stats_.faults.back().events = events;
+      refresh_ring(prev_impact, prev_attribute);
+    }
+
+    inject();
+    forward();
+    deliver();
+
+    if (!saw_fault_) {
+      ++stats_.rounds_before;
+    } else if (rebuilding_) {
+      ++stats_.rounds_during;
+      ++stats_.rebuild_rounds;
+    } else {
+      ++stats_.rounds_after;
+    }
+    stats_.rounds = round_ + 1;
+    stats_.in_flight = queued();
+    if (on_round) on_round(round_, stats_);
+  }
+
+  stats_.in_flight = queued();
+  return stats_;
+}
+
+TrafficHarness::TrafficHarness(const service::EmbedRequest& shape,
+                               const service::EngineOptions& options)
+    : engine(options),
+      net(WordSpace(shape.base, shape.n).size(),
+          debruijn_links(shape.base, shape.n)),
+      session(engine, shape.base, shape.n, shape.fault_kind, shape.strategy),
+      driver(net, session) {}
+
+ScenarioTrafficResult run_traffic_scenario(
+    const verify::TrafficScenario& scenario,
+    const service::EngineOptions& options, const TrafficConfig& config,
+    const std::function<std::vector<Flow>(const NodeCycle& ring)>& make_flows,
+    const TrafficSim::RoundObserver& on_round) {
+  require(static_cast<bool>(make_flows), "flow factory required");
+  TrafficHarness harness(scenario.base_request, options);
+  const service::EmbedResponse first = harness.driver.current_ring();
+  require(first.ok(), "traffic scenarios start fault-free and embeddable");
+  TrafficConfig effective = config;
+  effective.queue_capacity = scenario.queue_capacity;
+  TrafficSim sim(harness.driver, effective);
+  sim.add_flows(make_flows(first.result->ring));
+  ScenarioTrafficResult out;
+  out.stats = sim.run(scenario.churn, scenario.horizon, on_round);
+  out.trace_hash = sim.trace_hash();
+  out.drive = harness.driver.stats();
+  out.ring_epochs = harness.session.ring_epoch();
+  return out;
+}
+
+}  // namespace dbr::sim

@@ -1,0 +1,256 @@
+#pragma once
+
+/// \file
+/// Packet-level traffic simulation over embedded rings (ROADMAP item 4).
+///
+/// The layers below decide *which* ring survives a fault set; this layer
+/// measures what that costs the application. Every node of the simulated
+/// B(d,n) gets a forwarding table (sim/fib.hpp) derived from the session's
+/// current ring, application flows stream packets along it through bounded
+/// drop-tail egress queues on the round-based sim::Engine, and SessionDriver
+/// churn events re-route traffic mid-flight: a fault epoch that moves the
+/// ring opens a *rebuild window* — priced in Section 2.4 rounds, short for an
+/// incremental repair splice, long for a cold distributed re-solve — during
+/// which the data plane keeps forwarding along the stale table (bleeding
+/// packets into dead routers and cut links) until the new table installs and
+/// strands everything the new ring no longer covers. The resulting metrics —
+/// packets dropped per fault by reason, time-to-recovery in rounds, goodput
+/// before/during/after repair — are the application-visible currency of the
+/// paper's multi-port round model, reported by bench/traffic_recovery.cpp.
+///
+/// Everything is deterministic: identical (flows, churn, horizon, config)
+/// inputs replay bit-identically, witnessed by a running trace hash over
+/// every injection, hop, delivery, drop and table install.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "service/session.hpp"
+#include "sim/engine.hpp"
+#include "sim/fib.hpp"
+#include "sim/session_driver.hpp"
+#include "verify/scenario.hpp"
+
+namespace dbr::sim {
+
+/// Why a packet left the simulation without reaching its destination.
+enum class DropReason : std::uint8_t {
+  kDeadNode = 0,   ///< holder, source or next hop is fail-stop dead
+  kCutLink,        ///< the next ring hop's physical link is cut
+  kQueueOverflow,  ///< bounded egress queue full (drop-tail)
+  kNoRoute,        ///< no embedded ring covers the packet (kNoEmbedding, or
+                   ///< the re-embedded ring excised its holder/destination)
+};
+
+/// Number of DropReason values (sizes per-reason counter arrays).
+inline constexpr std::size_t kDropReasonCount = 4;
+
+/// Short snake_case name of the reason (e.g. "queue_overflow").
+const char* to_string(DropReason r);
+
+/// One application flow: `packets` packets from src to dst, the first
+/// injected at start_round and one more every round after (a stream, so a
+/// stalled or re-routed ring backs packets up into the bounded queues
+/// instead of pausing the application).
+struct Flow {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t packets = 1;
+  std::uint64_t start_round = 0;
+  std::uint32_t tag = 0;  ///< application label, carried per packet
+};
+
+/// Traffic-simulation knobs. The rebuild prices default to the Section 2.4
+/// round model of the instance being driven (see TrafficSim).
+struct TrafficConfig {
+  std::uint32_t queue_capacity = 8;  ///< bounded egress queue per node
+  std::uint32_t egress_rate = 1;     ///< packets a node forwards per round
+                                     ///< (the ring uses one out-link per node)
+  /// Rounds a cold distributed re-solve stalls the control plane before the
+  /// new table installs; 0 derives predict_rebuild_rounds(d, n) ~ 4n+2.
+  std::uint64_t cold_rebuild_rounds = 0;
+  /// Rounds an incremental repair splice stalls; 0 derives n + 2 (local
+  /// necklace circulation plus the splice handshake).
+  std::uint64_t repair_rebuild_rounds = 0;
+  /// Run the independent verify/ oracle on every installed kOk ring (the
+  /// bench's "0 oracle violations" gate).
+  bool validate_rings = true;
+};
+
+/// Application-visible impact of one fault epoch (all churn events sharing
+/// one simulation round): what the ring did and what it cost.
+struct FaultImpact {
+  std::uint64_t round = 0;   ///< the epoch's simulation round
+  std::uint64_t events = 0;  ///< churn events applied in the epoch
+  bool ring_changed = false; ///< the served ring moved (epoch bump)
+  bool repaired = false;     ///< served by the incremental splice
+  bool no_embedding = false; ///< the epoch left a beyond-guarantee state
+  /// Rounds until the new table installed (0: the ring did not move, so
+  /// routing never stalled — e.g. an off-ring link cut under repair).
+  std::uint64_t recovery_rounds = 0;
+  /// Packets dropped during this epoch's rebuild window, by reason.
+  std::array<std::uint64_t, kDropReasonCount> drops{};
+
+  /// Total packets dropped during the window.
+  std::uint64_t drops_total() const;
+};
+
+/// Aggregate outcome of one traffic run. Conservation is the core
+/// invariant: every injected packet is exactly one of delivered,
+/// dropped-with-reason, or still queued at the horizon.
+struct TrafficStats {
+  std::uint64_t injected = 0;   ///< packets handed to the network
+  std::uint64_t delivered = 0;  ///< packets that reached their destination
+  std::array<std::uint64_t, kDropReasonCount> dropped{};  ///< by reason
+  std::uint64_t in_flight = 0;  ///< still queued when the run ended
+  std::uint64_t rounds = 0;     ///< simulation rounds executed
+  std::uint64_t hops = 0;       ///< physical link traversals
+  std::uint64_t fib_installs = 0;      ///< forwarding tables installed
+  std::uint64_t fault_epochs = 0;      ///< distinct churn rounds applied
+  std::uint64_t rebuild_rounds = 0;    ///< rounds spent inside rebuild windows
+  std::uint64_t oracle_violations = 0; ///< installed rings the oracle rejected
+  /// Deliveries and round counts split into before the first fault epoch /
+  /// inside rebuild windows / the remainder — the goodput phases.
+  std::uint64_t delivered_before = 0, delivered_during = 0, delivered_after = 0;
+  std::uint64_t rounds_before = 0, rounds_during = 0, rounds_after = 0;
+  std::vector<FaultImpact> faults;  ///< one entry per fault epoch, in order
+
+  /// Total packets dropped across all reasons.
+  std::uint64_t dropped_total() const;
+  /// The conservation invariant: injected == delivered + dropped + in_flight.
+  bool conserved() const {
+    return injected == delivered + dropped_total() + in_flight;
+  }
+};
+
+/// Drives packet flows over the rings a SessionDriver serves. One-shot: add
+/// flows, then run() the churn timeline to its horizon. The run is a pure
+/// function of (initial session state, flows, churn, horizon, config);
+/// trace_hash() witnesses bit-identical replay.
+class TrafficSim {
+ public:
+  /// Called after every simulated round with the stats so far (the
+  /// per-round conservation hook of tests/test_traffic.cpp).
+  using RoundObserver =
+      std::function<void(std::uint64_t round, const TrafficStats& stats)>;
+
+  /// The driver's session prices the rebuild windows (base, n). The driver
+  /// must outlive the simulation.
+  TrafficSim(SessionDriver& driver, TrafficConfig config = {});
+
+  /// Registers a flow before run(). Throws precondition_error on src == dst
+  /// or out-of-range endpoints.
+  void add_flow(const Flow& flow);
+
+  /// Registers every flow in order.
+  void add_flows(const std::vector<Flow>& flows);
+
+  /// Runs `horizon` rounds, applying each timed churn event at its round
+  /// (rounds must be ascending and events inside the horizon). One-shot:
+  /// throws precondition_error on a second call. Returns the final stats.
+  TrafficStats run(const std::vector<verify::TimedChurnEvent>& churn,
+                   std::uint64_t horizon, const RoundObserver& on_round = {});
+
+  /// FNV-1a hash over the full event trace (injections, hops, deliveries,
+  /// drops, installs, churn). Equal hashes across runs mean bit-identical
+  /// behavior; the deterministic-replay tests compare exactly this.
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
+  /// The currently installed forwarding table.
+  const RingFib& fib() const { return fib_; }
+
+  /// Packets currently sitting in egress queues.
+  std::uint64_t queued() const;
+
+ private:
+  struct Packet {
+    std::uint64_t id = 0;
+    NodeId dst = 0;
+    std::uint32_t tag = 0;
+  };
+  struct FlowState {
+    Flow flow;
+    std::uint64_t sent = 0;
+  };
+
+  /// Folds one trace event (plus the current round) into the FNV-1a hash.
+  void trace(std::uint64_t kind, std::uint64_t a, std::uint64_t b,
+             std::uint64_t c);
+  /// Counts one drop, attributing it to the open fault epoch while a
+  /// rebuild window (or the epoch's own round) is active.
+  void drop(const Packet& p, DropReason reason, NodeId where);
+  /// Serves the session's current ring, oracle-checks it, and opens a
+  /// rebuild window when the served ring moved; otherwise restores the
+  /// attribution state the epoch block saved.
+  void refresh_ring(std::size_t prev_impact, bool prev_attribute);
+  /// Installs `pending_` as the live table and strands every queued packet
+  /// the new ring no longer routes.
+  void install_fib();
+  void apply_churn(const verify::ChurnEvent& event);
+  void inject();
+  void forward();
+  void deliver();
+
+  SessionDriver* driver_;
+  TrafficConfig config_;
+  std::uint64_t cold_rounds_;    ///< resolved cold rebuild price
+  std::uint64_t repair_rounds_;  ///< resolved repair splice price
+  std::vector<FlowState> flows_;
+  std::vector<std::deque<Packet>> queues_;  ///< per-node egress FIFO
+  RingFib fib_;
+  service::EmbedResponse pending_;      ///< ring awaiting install
+  bool rebuilding_ = false;             ///< a rebuild window is open
+  std::uint64_t install_round_ = 0;     ///< when pending_ installs
+  std::uint64_t last_epoch_ = 0;        ///< session ring_epoch() last seen
+  std::uint64_t round_ = 0;             ///< current simulation round
+  std::uint64_t next_packet_id_ = 0;
+  std::uint64_t trace_hash_;
+  bool ran_ = false;
+  bool saw_fault_ = false;   ///< first fault epoch reached (goodput phases)
+  bool attribute_ = false;   ///< drops currently attribute to open_impact_
+  std::size_t open_impact_ = 0;  ///< faults index drops attribute to
+  TrafficStats stats_;
+};
+
+/// The standard four-layer stack under a traffic run: a simulated B(d,n)
+/// network, an embedding engine, the stateful session for the instance and
+/// the churn driver bridging them. `shape` names the instance (its fault
+/// lists are ignored; churn is the fault history). Members declare in
+/// dependency order; the struct is immovable (members hold references).
+struct TrafficHarness {
+  service::EmbedEngine engine;
+  Engine net;
+  service::EmbedSession session;
+  SessionDriver driver;
+
+  TrafficHarness(const service::EmbedRequest& shape,
+                 const service::EngineOptions& options);
+  TrafficHarness(const TrafficHarness&) = delete;
+  TrafficHarness& operator=(const TrafficHarness&) = delete;
+};
+
+/// Outcome of a scenario run: the traffic stats, the replay witness and the
+/// churn counters of the underlying driver.
+struct ScenarioTrafficResult {
+  TrafficStats stats;
+  std::uint64_t trace_hash = 0;
+  ChurnDriveStats drive;
+  std::uint64_t ring_epochs = 0;  ///< session ring_epoch() at the end
+};
+
+/// Runs one generated traffic scenario end to end: builds a TrafficHarness
+/// for the scenario's instance, solves the initial ring, asks `make_flows`
+/// for the packet flows against it (bench/workload's TrafficMatrix in the
+/// benches and tests), and runs the timed churn to the horizon. The
+/// scenario's queue bound overrides the config's; everything else in
+/// `config` applies as given.
+ScenarioTrafficResult run_traffic_scenario(
+    const verify::TrafficScenario& scenario,
+    const service::EngineOptions& options, const TrafficConfig& config,
+    const std::function<std::vector<Flow>(const NodeCycle& ring)>& make_flows,
+    const TrafficSim::RoundObserver& on_round = {});
+
+}  // namespace dbr::sim

@@ -515,6 +515,119 @@ ChurnScript make_churn_script(std::uint64_t seed,
   return script;
 }
 
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kRingAllReduce: return "ring_allreduce";
+    case TrafficPattern::kTokenStream: return "token_stream";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kIncast: return "incast";
+    case TrafficPattern::kUniform: return "uniform";
+  }
+  return "unknown";
+}
+
+std::string TrafficScenario::describe() const {
+  std::string out = "(seed=" + std::to_string(seed) +
+                    ", base=" + std::to_string(base_request.base) +
+                    ", n=" + std::to_string(base_request.n) + ", strategy=" +
+                    service::to_string(base_request.strategy) + ")";
+  out += " pattern=";
+  out += verify::to_string(pattern);
+  out += " horizon=" + std::to_string(horizon);
+  out += " queue_capacity=" + std::to_string(queue_capacity);
+  const bool mixed = base_request.fault_kind == service::FaultKind::kMixed;
+  out += " events=[";
+  for (std::size_t i = 0; i < churn.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "@" + std::to_string(churn[i].round);
+    out += churn[i].event.add ? '+' : '-';
+    if (mixed) {
+      out += churn[i].event.kind == service::FaultKind::kEdge ? "e" : "n";
+    }
+    out += std::to_string(churn[i].event.fault);
+  }
+  out += "]";
+  return out;
+}
+
+TrafficScenario make_traffic_scenario(std::uint64_t seed) {
+  // A fourth split stream, disjoint from make_scenario (split(strategy)),
+  // the seed-drawn churn overload (split(100+strategy)) and the explicit-
+  // instance churn overload (split(200+strategy)).
+  Rng rng = Rng(seed).split(300);
+
+  TrafficScenario sc;
+  sc.seed = seed;
+  sc.pattern = static_cast<TrafficPattern>(rng.below(5));
+
+  // Traffic rides node-word rings, so instances draw the fail-stop (kFfc)
+  // or mixed (kills plus link cuts) session shapes only.
+  const bool mixed = rng.below(2) == 0;
+  EmbedRequest& req = sc.base_request;
+  req.strategy = mixed ? Strategy::kMixed : Strategy::kFfc;
+  req.fault_kind = mixed ? FaultKind::kMixed : FaultKind::kNode;
+  const GraphShape shape = mixed
+                               ? kEdgeGraphs[rng.below(std::size(kEdgeGraphs))]
+                               : kNodeGraphs[rng.below(std::size(kNodeGraphs))];
+  req.base = shape.d;
+  req.n = shape.n;
+
+  sc.queue_capacity = 4 + static_cast<std::uint32_t>(rng.below(13));
+
+  const WordSpace ws(shape.d, shape.n);
+  const std::uint64_t node_boundary = node_fault_boundary(shape.d);
+  // A quarter of the seeds let the live set exceed the guarantee by one, so
+  // the sweep also visits the kNoEmbedding regime (every packet unroutable
+  // until churn drops back under the boundary).
+  const std::uint64_t headroom = rng.below(4) == 0 ? 1 : 0;
+
+  std::vector<ChurnEvent> events;
+  if (mixed) {
+    const std::uint64_t edge_boundary =
+        edge_fault_guarantee(Strategy::kEdgeAuto, shape.d);
+    events = churn_events_mixed(
+        rng, ws.size(), ws.edge_word_count(),
+        std::max<std::uint64_t>(node_boundary, 1) + headroom,
+        std::max<std::uint64_t>(edge_boundary, 1) + headroom,
+        2 + rng.below(3));
+  } else {
+    events = churn_events(rng, FaultKind::kNode, ws.size(),
+                          std::max<std::uint64_t>(node_boundary, 1) + headroom,
+                          2 + rng.below(3));
+  }
+
+  // Section 2.4 prices a cold distributed rebuild at about 4n+2 rounds
+  // (probe n, dossier <= n, reroute <= n, announce 1, broadcast n+1); fault
+  // epochs are spaced past that so even the cold path finishes re-routing
+  // before the next fault lands, and the repair-vs-cold comparison measures
+  // rebuild cost, not overlapping outages.
+  const std::uint64_t cold_rounds = 4 * static_cast<std::uint64_t>(shape.n) + 2;
+  std::uint64_t round = 4 + rng.below(8);  // fault-free warmup
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    sc.churn.push_back({round, events[i]});
+    // A quarter of consecutive event pairs share a round (one fault epoch
+    // with two simultaneous faults); the rest open a fresh epoch.
+    if (i + 1 < events.size() && rng.below(4) != 0) {
+      round += cold_rounds + 4 + rng.below(8);
+    }
+  }
+
+  // Enough rounds past the last epoch for the final rebuild to finish and a
+  // full ring circulation to drain (token streams traverse d^n hops).
+  sc.horizon = round + cold_rounds + ws.size() + 24 + rng.below(16);
+  return sc;
+}
+
+std::vector<TrafficScenario> make_traffic_sweep(std::uint64_t base_seed,
+                                                std::size_t count) {
+  std::vector<TrafficScenario> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(make_traffic_scenario(base_seed + i));
+  }
+  return out;
+}
+
 std::vector<Scenario> make_sweep(std::uint64_t base_seed, Strategy strategy,
                                  std::size_t count) {
   std::vector<Scenario> out;

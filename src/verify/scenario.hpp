@@ -118,4 +118,60 @@ ChurnScript make_churn_script(std::uint64_t seed,
                               const service::EmbedRequest& base_request,
                               std::size_t event_count, std::uint64_t max_live);
 
+// --- Traffic regime: packet flows over the embedded ring under churn ---
+
+/// Traffic pattern injected over the embedded ring. The pattern names the
+/// shape only; bench/workload.hpp's TrafficMatrix synthesizes the concrete
+/// packet flows against a solved ring (verify/ stays free of sim/ and
+/// bench/ code, exactly as it stays free of core/ constructions).
+enum class TrafficPattern : std::uint8_t {
+  kRingAllReduce = 0,  ///< every ring member streams to its ring successor
+                       ///< (the pipelined all-reduce of examples/ring_allreduce)
+  kTokenStream,        ///< a few tokens each circle the whole ring
+  kHotspot,            ///< spread sources stream at one hot destination
+  kIncast,             ///< a synchronized burst fan-in to one sink
+  kUniform,            ///< seeded random src -> dst streams
+};
+
+/// Short snake_case name of the pattern (e.g. "ring_allreduce").
+const char* to_string(TrafficPattern p);
+
+/// One churn event pinned to a simulation round (rounds ascending within a
+/// scenario; multiple events may share a round — one fault epoch).
+struct TimedChurnEvent {
+  std::uint64_t round = 0;
+  ChurnEvent event;
+
+  bool operator==(const TimedChurnEvent&) const = default;
+};
+
+/// A seeded packet-traffic scenario: one instance, a traffic pattern, a
+/// round-timed fault timeline and the simulation knobs (horizon, queue
+/// bound). Like Scenario it is a pure function of its seed, so a failing
+/// sweep's printed tuple regenerates the exact run. Instances draw kFfc
+/// (fail-stop kills only) or kMixed (kills plus link cuts) sessions; churn
+/// events are spaced far enough apart that a cold Section-2.4 rebuild
+/// completes between fault epochs.
+struct TrafficScenario {
+  std::uint64_t seed = 0;
+  TrafficPattern pattern = TrafficPattern::kRingAllReduce;
+  /// Names the instance and session shape; its fault lists are empty (the
+  /// timed events are the fault history).
+  service::EmbedRequest base_request;
+  std::vector<TimedChurnEvent> churn;  ///< rounds ascending
+  std::uint64_t horizon = 0;           ///< round budget of the simulation
+  std::uint32_t queue_capacity = 0;    ///< per-node egress queue bound
+
+  /// Leads with the reproduction tuple "(seed=…, base=…, n=…, strategy=…)",
+  /// then pattern, horizon, queue bound and the timed events.
+  std::string describe() const;
+};
+
+/// Deterministically expands a seed into one traffic scenario.
+TrafficScenario make_traffic_scenario(std::uint64_t seed);
+
+/// The traffic scenarios of seeds base_seed + [0, count).
+std::vector<TrafficScenario> make_traffic_sweep(std::uint64_t base_seed,
+                                                std::size_t count);
+
 }  // namespace dbr::verify

@@ -128,6 +128,94 @@ TEST(Engine, RunUntilIdleThrowsOnBudgetExhaustion) {
                invariant_error);
 }
 
+// --- Queued-message semantics across cut_link / restore_link / revive ---
+// The engine's fault model checks only at post time: whatever reached the
+// outbox drains at step() even if the link or receiver fails afterwards.
+// These pin the drain-vs-drop boundary the traffic layer builds on.
+
+TEST(Engine, QueuedMessagesDrainAcrossLaterLinkCut) {
+  Engine e = full_mesh(3);
+  e.post(0, 1, {0, 1, {7}});
+  e.cut_link(0, 1);  // cut lands after the post
+  int calls = 0;
+  e.step([&](NodeId dest, std::vector<Message>& batch) {
+    ++calls;
+    EXPECT_EQ(dest, 1u);
+    EXPECT_EQ(batch[0].payload[0], 7u);
+  });
+  EXPECT_EQ(calls, 1);  // drained, not dropped
+  EXPECT_EQ(e.messages_delivered(), 1u);
+  EXPECT_EQ(e.messages_dropped(), 0u);
+  // The same post after the cut is dropped at post time.
+  e.post(0, 1, {0, 1, {8}});
+  EXPECT_TRUE(e.idle());
+  EXPECT_EQ(e.messages_dropped(), 1u);
+}
+
+TEST(Engine, QueuedMessagesDrainToReceiverKilledAfterPost) {
+  Engine e = full_mesh(3);
+  e.post(0, 1, {0, 1, {9}});
+  e.kill(1);  // receiver dies with the message already on the wire
+  int calls = 0;
+  e.step([&](NodeId dest, std::vector<Message>&) {
+    ++calls;
+    EXPECT_EQ(dest, 1u);
+    EXPECT_FALSE(e.alive(dest));  // the handler sees the dead destination
+  });
+  EXPECT_EQ(calls, 1);  // the engine drains; dropping is the protocol's call
+  EXPECT_EQ(e.messages_delivered(), 1u);
+  EXPECT_EQ(e.messages_dropped(), 0u);
+}
+
+TEST(Engine, RestoreLinkOnlyAffectsLaterPosts) {
+  Engine e = full_mesh(2);
+  e.cut_link(0, 1);
+  e.post(0, 1, {0, 1, {}});  // dropped: posted while cut
+  EXPECT_EQ(e.messages_dropped(), 1u);
+  e.restore_link(0, 1);
+  EXPECT_TRUE(e.idle());  // the dropped message did not come back
+  e.post(0, 1, {0, 1, {}});
+  int calls = 0;
+  e.step([&](NodeId, std::vector<Message>&) { ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(e.messages_dropped(), 1u);
+  // Restoring an intact link is a no-op.
+  EXPECT_NO_THROW(e.restore_link(0, 1));
+}
+
+TEST(Engine, ReviveDoesNotResurrectDroppedTraffic) {
+  Engine e = full_mesh(2);
+  e.kill(1);
+  e.post(0, 1, {0, 1, {}});  // dropped at post time
+  e.revive(1);
+  EXPECT_TRUE(e.idle());  // nothing queued for the revived node
+  int calls = 0;
+  e.step([&](NodeId, std::vector<Message>&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(e.messages_delivered(), 0u);
+  EXPECT_EQ(e.messages_dropped(), 1u);
+}
+
+TEST(Engine, CutRestoreRoundTripDropsOnlyWhileCut) {
+  Engine e = full_mesh(2);
+  e.post(0, 1, {0, 1, {1}});
+  e.cut_link(0, 1);
+  e.post(0, 1, {0, 1, {2}});  // dropped
+  e.restore_link(0, 1);
+  e.post(0, 1, {0, 1, {3}});
+  std::vector<std::uint64_t> got;
+  e.step([&](NodeId, std::vector<Message>& batch) {
+    for (const Message& m : batch) got.push_back(m.payload[0]);
+  });
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(e.messages_dropped(), 1u);
+  // Cutting a link twice is a no-op; cutting a non-link throws.
+  e.cut_link(0, 1);
+  EXPECT_NO_THROW(e.cut_link(0, 1));
+  Engine chain(3, [](NodeId u, NodeId v) { return v == u + 1; });
+  EXPECT_THROW(chain.cut_link(0, 2), precondition_error);
+}
+
 TEST(Engine, Preconditions) {
   EXPECT_THROW(Engine(0, [](NodeId, NodeId) { return true; }), precondition_error);
   Engine e = full_mesh(2);

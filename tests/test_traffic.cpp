@@ -1,0 +1,404 @@
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "workload.hpp"  // bench/ include dir (see CMakeLists tests loop)
+#include "service/engine.hpp"
+#include "sim/fib.hpp"
+#include "util/rng.hpp"
+#include "verify/oracle.hpp"
+#include "verify/scenario.hpp"
+
+// Packet-level traffic over embedded rings: the conservation property
+// (every injected packet is exactly one of delivered / dropped-with-reason /
+// in-flight, per round and at the horizon), deterministic replay, the
+// session's ring_epoch() invalidation contract, and the repair-vs-cold
+// recovery advantage — swept across generated traffic scenarios. Assertion
+// messages lead with the scenario's "(seed=…, base=…, n=…, strategy=…)"
+// tuple; feed the seed back into verify::make_traffic_scenario to reproduce.
+//
+// Knobs (env): DBR_TRAFFIC_SCENARIOS  scenarios in the sweep (default 40)
+//              DBR_TRAFFIC_SEED       base seed             (default 20260808)
+
+namespace dbr::sim {
+namespace {
+
+using service::EngineOptions;
+using service::FaultKind;
+using service::Strategy;
+using verify::TimedChurnEvent;
+using verify::TrafficPattern;
+using verify::TrafficScenario;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long long parsed = std::atoll(v);
+    if (parsed > 0) return static_cast<std::uint64_t>(parsed);
+  }
+  return fallback;
+}
+
+std::size_t sweep_size() {
+  return static_cast<std::size_t>(env_u64("DBR_TRAFFIC_SCENARIOS", 40));
+}
+
+std::uint64_t base_seed() { return env_u64("DBR_TRAFFIC_SEED", 20260808); }
+
+EngineOptions repair_options() {
+  EngineOptions options;
+  options.incremental_repair = true;
+  options.validate_responses = true;
+  return options;
+}
+
+EngineOptions cold_options() {
+  EngineOptions options;
+  options.incremental_repair = false;
+  options.validate_responses = true;
+  return options;
+}
+
+/// The scenario's flows: the TrafficMatrix pattern seeded from the
+/// scenario (split stream 400, disjoint from every generator stream).
+std::function<std::vector<Flow>(const NodeCycle&)> scenario_flows(
+    const TrafficScenario& sc, std::uint64_t packets_per_flow = 32) {
+  return [&sc, packets_per_flow](const NodeCycle& ring) {
+    Rng rng = Rng(sc.seed).split(400);
+    bench::TrafficMatrix matrix;
+    matrix.packets_per_flow = packets_per_flow;
+    return matrix.flows(ring, sc.pattern, rng);
+  };
+}
+
+// --- RingFib unit semantics ---
+
+TEST(RingFib, RoutesAlongTheRing) {
+  NodeCycle ring;
+  ring.nodes = {3, 1, 4, 2};
+  const RingFib fib = build_ring_fib(ring, 6, 7);
+  EXPECT_EQ(fib.version, 7u);
+  EXPECT_EQ(fib.ring_length, 4u);
+  EXPECT_EQ(fib.next_hop[3], 1u);
+  EXPECT_EQ(fib.next_hop[1], 4u);
+  EXPECT_EQ(fib.next_hop[4], 2u);
+  EXPECT_EQ(fib.next_hop[2], 3u);  // wraps
+  EXPECT_FALSE(fib.on_ring(0));
+  EXPECT_FALSE(fib.on_ring(5));
+  EXPECT_EQ(fib.position[3], 0u);
+  EXPECT_EQ(fib.position[2], 3u);
+  EXPECT_EQ(fib.hop_distance(3, 2), 3u);
+  EXPECT_EQ(fib.hop_distance(2, 3), 1u);
+  EXPECT_EQ(fib.hop_distance(1, 1), 0u);
+}
+
+TEST(RingFib, EmptyRingRoutesNothing) {
+  const RingFib fib = build_ring_fib(NodeCycle{}, 4, 1);
+  EXPECT_EQ(fib.ring_length, 0u);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_FALSE(fib.on_ring(v));
+}
+
+TEST(RingFib, RejectsMalformedRings) {
+  NodeCycle repeated;
+  repeated.nodes = {0, 1, 0};
+  EXPECT_THROW(build_ring_fib(repeated, 4, 1), precondition_error);
+  NodeCycle out_of_range;
+  out_of_range.nodes = {0, 9};
+  EXPECT_THROW(build_ring_fib(out_of_range, 4, 1), precondition_error);
+}
+
+// --- Conservation: per round and at the horizon, across the sweep ---
+
+TEST(Traffic, ConservationAcrossScenarioSweep) {
+  const std::vector<TrafficScenario> sweep =
+      verify::make_traffic_sweep(base_seed(), sweep_size());
+  for (const TrafficScenario& sc : sweep) {
+    const ScenarioTrafficResult run = run_traffic_scenario(
+        sc, repair_options(), TrafficConfig{}, scenario_flows(sc),
+        [&](std::uint64_t round, const TrafficStats& s) {
+          ASSERT_TRUE(s.conserved())
+              << sc.describe() << " conservation broke at round " << round
+              << ": injected=" << s.injected << " delivered=" << s.delivered
+              << " dropped=" << s.dropped_total()
+              << " in_flight=" << s.in_flight;
+        });
+    const TrafficStats& s = run.stats;
+    EXPECT_TRUE(s.conserved()) << sc.describe();
+    EXPECT_EQ(s.oracle_violations, 0u) << sc.describe();
+    EXPECT_GT(s.injected, 0u) << sc.describe();
+    EXPECT_GT(s.delivered, 0u) << sc.describe();
+    EXPECT_EQ(s.rounds, sc.horizon) << sc.describe();
+    EXPECT_EQ(s.rounds_before + s.rounds_during + s.rounds_after, s.rounds)
+        << sc.describe();
+    EXPECT_EQ(s.delivered_before + s.delivered_during + s.delivered_after,
+              s.delivered)
+        << sc.describe();
+    EXPECT_EQ(s.fault_epochs, s.faults.size()) << sc.describe();
+    // Per-epoch drops never exceed the global per-reason counters.
+    std::array<std::uint64_t, kDropReasonCount> attributed{};
+    for (const FaultImpact& f : s.faults) {
+      for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+        attributed[r] += f.drops[r];
+      }
+    }
+    for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+      EXPECT_LE(attributed[r], s.dropped[r]) << sc.describe();
+    }
+  }
+}
+
+// --- Deterministic replay: identical tuples, bit-identical traces ---
+
+TEST(Traffic, DeterministicReplay) {
+  const std::vector<TrafficScenario> sweep =
+      verify::make_traffic_sweep(base_seed() + 1000, sweep_size() / 2 + 1);
+  for (const TrafficScenario& sc : sweep) {
+    const ScenarioTrafficResult a = run_traffic_scenario(
+        sc, repair_options(), TrafficConfig{}, scenario_flows(sc));
+    const ScenarioTrafficResult b = run_traffic_scenario(
+        sc, repair_options(), TrafficConfig{}, scenario_flows(sc));
+    EXPECT_EQ(a.trace_hash, b.trace_hash) << sc.describe();
+    EXPECT_EQ(a.stats.injected, b.stats.injected) << sc.describe();
+    EXPECT_EQ(a.stats.delivered, b.stats.delivered) << sc.describe();
+    EXPECT_EQ(a.stats.dropped, b.stats.dropped) << sc.describe();
+    EXPECT_EQ(a.stats.in_flight, b.stats.in_flight) << sc.describe();
+    EXPECT_EQ(a.stats.hops, b.stats.hops) << sc.describe();
+    EXPECT_EQ(a.stats.fib_installs, b.stats.fib_installs) << sc.describe();
+    EXPECT_EQ(a.ring_epochs, b.ring_epochs) << sc.describe();
+    ASSERT_EQ(a.stats.faults.size(), b.stats.faults.size()) << sc.describe();
+    for (std::size_t i = 0; i < a.stats.faults.size(); ++i) {
+      EXPECT_EQ(a.stats.faults[i].drops, b.stats.faults[i].drops)
+          << sc.describe() << " fault epoch " << i;
+      EXPECT_EQ(a.stats.faults[i].recovery_rounds,
+                b.stats.faults[i].recovery_rounds)
+          << sc.describe() << " fault epoch " << i;
+    }
+  }
+}
+
+// The generator itself must be a pure function of its seed.
+TEST(Traffic, ScenarioGeneratorIsPure) {
+  for (std::uint64_t seed = base_seed(); seed < base_seed() + 20; ++seed) {
+    const TrafficScenario a = verify::make_traffic_scenario(seed);
+    const TrafficScenario b = verify::make_traffic_scenario(seed);
+    EXPECT_EQ(a.describe(), b.describe());
+    EXPECT_EQ(a.churn, b.churn);
+    EXPECT_EQ(a.horizon, b.horizon);
+    EXPECT_EQ(a.queue_capacity, b.queue_capacity);
+    // Rounds ascending, events inside the horizon (run() preconditions).
+    for (std::size_t i = 0; i + 1 < a.churn.size(); ++i) {
+      EXPECT_LE(a.churn[i].round, a.churn[i + 1].round) << a.describe();
+    }
+    ASSERT_FALSE(a.churn.empty()) << a.describe();
+    EXPECT_LT(a.churn.back().round, a.horizon) << a.describe();
+  }
+}
+
+// --- ring_epoch(): the FIB-invalidation contract ---
+
+TEST(Traffic, RingEpochAdvancesOnlyWhenTheRingMoves) {
+  service::EmbedRequest shape;
+  shape.base = 3;
+  shape.n = 4;
+  shape.fault_kind = FaultKind::kMixed;
+  shape.strategy = Strategy::kMixed;
+  TrafficHarness h(shape, repair_options());
+  EXPECT_EQ(h.session.ring_epoch(), 0u);
+
+  const service::EmbedResponse first = h.driver.current_ring();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(h.session.ring_epoch(), 1u);
+
+  // Memoized answers do not advance the epoch.
+  h.driver.current_ring();
+  EXPECT_EQ(h.session.ring_epoch(), 1u);
+
+  // A no-op churn round trip (add + clear before any re-solve) keeps the
+  // memoized answer and the epoch.
+  const Word on_ring = first.result->ring.nodes.front();
+  h.session.add_fault(FaultKind::kNode, on_ring);
+  h.session.clear_fault(FaultKind::kNode, on_ring);
+  h.driver.current_ring();
+  EXPECT_EQ(h.session.ring_epoch(), 1u);
+
+  // An off-ring link cut under incremental repair is a no-op splice: the
+  // same immutable result serves, so routing state stays valid.
+  const WordSpace ws(shape.base, shape.n);
+  std::vector<Word> used = edge_words(ws, first.result->ring);
+  std::sort(used.begin(), used.end());
+  Word off_ring_edge = ws.edge_word_count();
+  for (Word w = 0; w < ws.edge_word_count(); ++w) {
+    if (verify::is_loop_edge_word(ws, w)) continue;
+    if (!std::binary_search(used.begin(), used.end(), w)) {
+      off_ring_edge = w;
+      break;
+    }
+  }
+  ASSERT_LT(off_ring_edge, ws.edge_word_count());
+  h.driver.cut_link(off_ring_edge);
+  const service::EmbedResponse spliced = h.driver.current_ring();
+  ASSERT_TRUE(spliced.ok());
+  EXPECT_TRUE(spliced.repaired);
+  EXPECT_EQ(spliced.result.get(), first.result.get());
+  EXPECT_EQ(h.session.ring_epoch(), 1u);
+
+  // Killing an on-ring node must move the ring — the epoch advances.
+  h.driver.kill(on_ring);
+  const service::EmbedResponse moved = h.driver.current_ring();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_NE(moved.result.get(), first.result.get());
+  EXPECT_EQ(h.session.ring_epoch(), 2u);
+}
+
+// --- Handcrafted fault timelines: every drop reason is reachable ---
+
+TEST(Traffic, KillOnRingBleedsAndStrandsPackets) {
+  service::EmbedRequest shape;
+  shape.base = 3;
+  shape.n = 4;
+  shape.fault_kind = FaultKind::kNode;
+  shape.strategy = Strategy::kFfc;
+  TrafficHarness h(shape, repair_options());
+  const service::EmbedResponse first = h.driver.current_ring();
+  ASSERT_TRUE(first.ok());
+  const std::vector<Word>& ring = first.result->ring.nodes;
+
+  // One long stream whose destination dies mid-flight, plus one whose path
+  // crosses the victim, plus an unaffected control flow far away.
+  const Word victim = ring[10];
+  TrafficConfig config;
+  config.queue_capacity = 8;
+  TrafficSim sim(h.driver, config);
+  sim.add_flow({ring[4], victim, 64, 0, 1});    // destined to the victim
+  sim.add_flow({ring[6], ring[20], 64, 0, 2});  // transits the victim
+  sim.add_flow({ring[30], ring[33], 64, 0, 3});
+  std::vector<TimedChurnEvent> churn;
+  churn.push_back({5, {true, victim, FaultKind::kNode}});
+
+  const TrafficStats s = sim.run(churn, 160);
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.oracle_violations, 0u);
+  // The stale window bleeds into the dead router; the install strands
+  // packets addressed to it.
+  EXPECT_GT(s.dropped[static_cast<std::size_t>(DropReason::kDeadNode)], 0u);
+  EXPECT_GT(s.dropped[static_cast<std::size_t>(DropReason::kNoRoute)], 0u);
+  EXPECT_GT(s.delivered, 0u);
+  ASSERT_EQ(s.faults.size(), 1u);
+  EXPECT_TRUE(s.faults[0].ring_changed);
+  EXPECT_GT(s.faults[0].recovery_rounds, 0u);
+  EXPECT_GT(s.faults[0].drops_total(), 0u);
+  EXPECT_EQ(s.fib_installs, 2u);  // initial + post-repair
+  // The control flow's packets all arrive: drops stay below total traffic.
+  EXPECT_GE(s.delivered, 64u);
+}
+
+TEST(Traffic, CutOnRingLinkDropsAsCutLink) {
+  service::EmbedRequest shape;
+  shape.base = 3;
+  shape.n = 4;
+  shape.fault_kind = FaultKind::kMixed;
+  shape.strategy = Strategy::kMixed;
+  TrafficHarness h(shape, repair_options());
+  const service::EmbedResponse first = h.driver.current_ring();
+  ASSERT_TRUE(first.ok());
+  const WordSpace ws(shape.base, shape.n);
+  const std::vector<Word>& ring = first.result->ring.nodes;
+  // Cut the physical ring link leaving position 8 while a stream crosses it.
+  const Word cut_edge = edge_words(ws, first.result->ring)[8];
+
+  TrafficConfig config;
+  config.queue_capacity = 8;
+  TrafficSim sim(h.driver, config);
+  sim.add_flow({ring[2], ring[14], 64, 0, 1});
+  std::vector<TimedChurnEvent> churn;
+  churn.push_back({6, {true, cut_edge, FaultKind::kEdge}});
+
+  const TrafficStats s = sim.run(churn, 160);
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.oracle_violations, 0u);
+  EXPECT_GT(s.dropped[static_cast<std::size_t>(DropReason::kCutLink)], 0u);
+  EXPECT_GT(s.delivered, 0u);
+  ASSERT_EQ(s.faults.size(), 1u);
+  EXPECT_TRUE(s.faults[0].ring_changed);
+}
+
+TEST(Traffic, TinyQueuesOverflowUnderIncast) {
+  service::EmbedRequest shape;
+  shape.base = 2;
+  shape.n = 6;
+  shape.fault_kind = FaultKind::kNode;
+  shape.strategy = Strategy::kFfc;
+  TrafficHarness h(shape, repair_options());
+  const service::EmbedResponse first = h.driver.current_ring();
+  ASSERT_TRUE(first.ok());
+
+  TrafficConfig config;
+  config.queue_capacity = 1;  // drop-tail bites immediately
+  TrafficSim sim(h.driver, config);
+  Rng rng(42);
+  bench::TrafficMatrix matrix;
+  matrix.packets_per_flow = 32;
+  sim.add_flows(matrix.flows(first.result->ring, TrafficPattern::kIncast, rng));
+
+  std::uint64_t conserved_rounds = 0;
+  const TrafficStats s =
+      sim.run({}, 200, [&](std::uint64_t, const TrafficStats& st) {
+        if (st.conserved()) ++conserved_rounds;
+      });
+  EXPECT_EQ(conserved_rounds, 200u);
+  EXPECT_TRUE(s.conserved());
+  EXPECT_GT(s.dropped[static_cast<std::size_t>(DropReason::kQueueOverflow)],
+            0u);
+  EXPECT_GT(s.delivered, 0u);
+  EXPECT_TRUE(s.faults.empty());  // no churn: every drop is pure congestion
+  EXPECT_EQ(s.rounds_before, 200u);
+}
+
+// --- Repair vs cold re-solve: the application-visible advantage ---
+
+TEST(Traffic, RepairLosesNoMorePacketsThanColdResolve) {
+  const std::vector<TrafficScenario> sweep =
+      verify::make_traffic_sweep(base_seed() + 2000, 12);
+  std::uint64_t repair_drops = 0, cold_drops = 0;
+  std::uint64_t repair_recovery = 0, cold_recovery = 0;
+  std::uint64_t repaired_rings = 0;
+  for (const TrafficScenario& sc : sweep) {
+    // Long streams so traffic is in flight across the whole churn timeline.
+    const auto flows = scenario_flows(sc, 128);
+    const ScenarioTrafficResult repair =
+        run_traffic_scenario(sc, repair_options(), TrafficConfig{}, flows);
+    const ScenarioTrafficResult cold =
+        run_traffic_scenario(sc, cold_options(), TrafficConfig{}, flows);
+    EXPECT_TRUE(repair.stats.conserved()) << sc.describe();
+    EXPECT_TRUE(cold.stats.conserved()) << sc.describe();
+    EXPECT_EQ(repair.stats.oracle_violations, 0u) << sc.describe();
+    EXPECT_EQ(cold.stats.oracle_violations, 0u) << sc.describe();
+    // Compare the fault-attributed loss (drops inside rebuild windows,
+    // as recorded per FaultImpact), not total drops: steady-state
+    // queue-overflow is ring-shape congestion noise -- a re-solved ring
+    // can congest more or less than a spliced one under the same flows --
+    // while the window-attributed count is exactly "packets lost per
+    // failure", the quantity the recovery path controls.
+    for (const FaultImpact& f : repair.stats.faults) {
+      repair_drops += f.drops_total();
+    }
+    for (const FaultImpact& f : cold.stats.faults) {
+      cold_drops += f.drops_total();
+    }
+    repair_recovery += repair.stats.rebuild_rounds;
+    cold_recovery += cold.stats.rebuild_rounds;
+    repaired_rings += repair.drive.repaired_rings;
+  }
+  // The splice path must actually engage across the sweep, and once it
+  // does, its shorter stalls translate into strictly fewer lost packets
+  // per fault and strictly fewer rounds spent rebuilding.
+  EXPECT_GT(repaired_rings, 0u);
+  EXPECT_LT(repair_drops, cold_drops);
+  EXPECT_LT(repair_recovery, cold_recovery);
+}
+
+}  // namespace
+}  // namespace dbr::sim
