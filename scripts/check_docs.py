@@ -2,7 +2,8 @@
 """Fail when a public header symbol lacks a documentation comment.
 
 Scans every header under the directories given on the command line (default:
-src/core src/service) and requires a Doxygen-style comment (``///`` or
+src/core src/service src/net src/util src/sim) and requires a
+Doxygen-style comment (``///`` or
 ``/** ... */``) immediately above each namespace-scope declaration: free
 functions, structs/classes, enums, and type aliases. The check leans on the
 repository's layout convention — namespace-scope declarations start in
@@ -67,7 +68,13 @@ def undocumented_symbols(path: Path):
 
 
 def main(argv):
-    roots = [Path(p) for p in (argv[1:] or ["src/core", "src/service"])]
+    roots = [
+        Path(p)
+        for p in (
+            argv[1:]
+            or ["src/core", "src/service", "src/net", "src/util", "src/sim"]
+        )
+    ]
     failures = []
     checked = 0
     for root in roots:

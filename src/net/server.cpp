@@ -259,7 +259,7 @@ void Server::loop() {
   for (const auto& [id, conn] : conns_) ids.push_back(id);
   for (std::uint64_t id : ids) close_connection(id);
   {
-    const std::lock_guard<std::mutex> lock(pool_mu_);
+    const util::MutexLock lock(pool_mu_);
     pool_stop_ = true;
   }
   pool_cv_.notify_all();
@@ -385,7 +385,7 @@ void Server::schedule(Connection& conn) {
   conn.ops.clear();
   conn.task_in_flight = true;
   {
-    const std::lock_guard<std::mutex> lock(pool_mu_);
+    const util::MutexLock lock(pool_mu_);
     task_queue_.push_back(std::move(task));
   }
   pool_cv_.notify_one();
@@ -459,7 +459,7 @@ void Server::close_connection(std::uint64_t id) {
 void Server::handle_completions() {
   std::vector<Completion> done;
   {
-    const std::lock_guard<std::mutex> lock(completion_mu_);
+    const util::MutexLock lock(completion_mu_);
     done.swap(completions_);
   }
   for (Completion& c : done) {
@@ -495,8 +495,10 @@ void Server::worker_main() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(pool_mu_);
-      pool_cv_.wait(lock, [this] { return pool_stop_ || !task_queue_.empty(); });
+      util::UniqueLock lock(pool_mu_);
+      // While-loop (not a wait predicate): the condition reads then happen
+      // directly under the held capability, where the analysis checks them.
+      while (!pool_stop_ && task_queue_.empty()) pool_cv_.wait(lock);
       if (task_queue_.empty()) {
         if (pool_stop_) return;
         continue;
@@ -508,7 +510,7 @@ void Server::worker_main() {
     completion.conn_id = task.conn->id;
     completion.bytes = execute(task);
     {
-      const std::lock_guard<std::mutex> lock(completion_mu_);
+      const util::MutexLock lock(completion_mu_);
       completions_.push_back(std::move(completion));
     }
     const std::uint64_t one = 1;

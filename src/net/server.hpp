@@ -38,11 +38,9 @@
 /// the same engine (and thus result/context caches) without a session.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -50,6 +48,7 @@
 
 #include "net/wire.hpp"
 #include "service/engine.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dbr::service {
 /// Sharded fabric (service/fabric.hpp); forward-declared so a Server can
@@ -198,13 +197,13 @@ class Server {
   /// the eventfd, so connections start at 2.
   std::uint64_t next_conn_id_ = 2;
 
-  std::mutex pool_mu_;
-  std::condition_variable pool_cv_;
-  std::deque<Task> task_queue_;
-  bool pool_stop_ = false;
+  util::Mutex pool_mu_;
+  util::CondVar pool_cv_;
+  std::deque<Task> task_queue_ DBR_GUARDED_BY(pool_mu_);
+  bool pool_stop_ DBR_GUARDED_BY(pool_mu_) = false;
 
-  std::mutex completion_mu_;
-  std::vector<Completion> completions_;
+  util::Mutex completion_mu_;
+  std::vector<Completion> completions_ DBR_GUARDED_BY(completion_mu_);
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};

@@ -114,7 +114,7 @@ std::shared_ptr<const EmbedResult> ShardedLruCache::get(const CacheKey& key) {
 void ShardedLruCache::put(const CacheKey& key,
                           std::shared_ptr<const EmbedResult> value) {
   Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const util::MutexLock lock(shard.mu);
   // Insert or refresh with a *new* Entry (RCU: readers of the displaced
   // entry — still reachable through older snapshots — are undisturbed).
   shard.index[key] = std::make_shared<Entry>(
@@ -143,7 +143,7 @@ void ShardedLruCache::clear() {
   // hit/miss/eviction counters reset, so post-clear stats are attributable
   // to post-clear traffic.
   for (auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const util::MutexLock lock(shard->mu);
     shard->index.clear();
     shard->snapshot.publish(nullptr);
     shard->hits.store(0, std::memory_order_relaxed);
@@ -155,7 +155,7 @@ void ShardedLruCache::clear() {
 std::size_t ShardedLruCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const util::MutexLock lock(shard->mu);
     total += shard->index.size();
   }
   return total;
@@ -167,7 +167,7 @@ CacheStats ShardedLruCache::stats() const {
     out.hits += shard->hits.load(std::memory_order_relaxed);
     out.misses += shard->misses.load(std::memory_order_relaxed);
     out.evictions += shard->evictions.load(std::memory_order_relaxed);
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const util::MutexLock lock(shard->mu);
     out.entries += shard->index.size();
   }
   return out;

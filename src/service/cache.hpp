@@ -4,12 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "service/types.hpp"
 #include "util/rcu_snapshot.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dbr::service {
 
@@ -115,9 +115,11 @@ class ShardedLruCache {
     /// Readers pin it with a ReadGuard; retired snapshots are reclaimed
     /// by later writers once the guards drain (see util/rcu_snapshot.hpp).
     util::RcuSnapshot<Map> snapshot;
-    mutable std::mutex mu;  ///< writers only (put/clear)
-    Map index;              ///< authoritative map, guarded by mu
-    std::size_t capacity = 0;
+    mutable util::Mutex mu;  ///< writers only (put/clear)
+    /// Authoritative map; the annotation makes every unlocked touch a
+    /// compile error under -Wthread-safety.
+    Map index DBR_GUARDED_BY(mu);
+    std::size_t capacity = 0;  ///< set once at construction, then read-only
     std::atomic<std::uint64_t> tick{0};  ///< recency clock, one per touch
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> misses{0};

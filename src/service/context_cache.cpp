@@ -40,7 +40,7 @@ std::shared_ptr<const core::InstanceContext> ContextCache::get_or_build(
   std::shared_ptr<Entry> entry;
   bool builder = false;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = map_.find(key);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -89,7 +89,7 @@ std::shared_ptr<const core::InstanceContext> ContextCache::get_or_build(
       {
         // Drop the entry before waking waiters so lookups racing the wake
         // never find a dead future; invalid instances are never cached.
-        const std::lock_guard<std::mutex> lock(mu_);
+        const util::MutexLock lock(mu_);
         map_.erase(key);
         publish();
       }
@@ -115,7 +115,7 @@ std::shared_ptr<const core::InstanceContext> ContextCache::get_or_build(
 }
 
 void ContextCache::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   map_.clear();
   snapshot_.publish(nullptr);
   hits_.store(0, std::memory_order_relaxed);
@@ -123,7 +123,7 @@ void ContextCache::clear() {
 }
 
 std::size_t ContextCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return map_.size();
 }
 
@@ -131,7 +131,7 @@ ContextCacheStats ContextCache::stats() const {
   ContextCacheStats out;
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   out.entries = map_.size();
   return out;
 }

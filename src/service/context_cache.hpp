@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "core/instance_context.hpp"
 #include "util/rcu_snapshot.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dbr::service {
 
@@ -96,12 +96,13 @@ class ContextCache {
     return (static_cast<std::uint64_t>(base) << 32) | n;
   }
 
-  /// Re-publishes the read snapshot from map_; callers hold mu_.
-  void publish();
+  /// Re-publishes the read snapshot from map_; the annotation makes the
+  /// "callers hold mu_" convention a compile-time requirement.
+  void publish() DBR_REQUIRES(mu_);
 
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  Map map_;
+  mutable util::Mutex mu_;
+  Map map_ DBR_GUARDED_BY(mu_);      ///< authoritative entries
   util::RcuSnapshot<Map> snapshot_;  ///< lock-free read view
   std::atomic<std::uint64_t> tick_{0};  ///< LRU clock; bumped on every touch
   std::atomic<std::uint64_t> hits_{0};

@@ -84,6 +84,12 @@ struct EngineStatsSnapshot {
 /// exact bytes of the original computation. Two threads missing on the same
 /// key may both compute (last put wins); the computation is deterministic,
 /// so they produce identical results.
+///
+/// Concurrency contract (docs/CONCURRENCY.md): the engine itself is
+/// mutexless — every counter is an atomic and stats_snapshot() is a seqlock
+/// over stats_epoch_ — so there is no capability to annotate here; the
+/// locking lives in the member caches (service/cache, service/context_cache),
+/// whose contracts are compile-time checked.
 class EmbedEngine {
  public:
   explicit EmbedEngine(EngineOptions options = {});

@@ -105,8 +105,8 @@ std::vector<ShardId> HashRing::successors(std::uint64_t point,
 /// finish; the issuing thread waits for the count to drain.
 struct ShardRouter::BatchState {
   std::atomic<std::size_t> remaining{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  util::Mutex mu;
+  util::CondVar cv;
 };
 
 ShardRouter::ShardRouter(FabricOptions options) : options_(std::move(options)) {
@@ -123,11 +123,11 @@ ShardRouter::ShardRouter(FabricOptions options) : options_(std::move(options)) {
     shards_.push_back(std::move(shard));
   }
   {
-    std::lock_guard lk(ring_mu_);
+    const util::MutexLock lk(ring_mu_);
     ring_.publish(std::move(ring));
   }
   {
-    std::lock_guard lk(keys_mu_);
+    const util::MutexLock lk(keys_mu_);
     keys_.publish(std::make_shared<KeyMap>());
   }
 }
@@ -138,7 +138,7 @@ ShardRouter::~ShardRouter() {
 
 void ShardRouter::start_pool(Shard& shard) {
   {
-    std::lock_guard lk(shard.mu);
+    const util::MutexLock lk(shard.mu);
     shard.accepting = true;
     shard.stopping = false;
   }
@@ -149,7 +149,7 @@ void ShardRouter::start_pool(Shard& shard) {
 
 void ShardRouter::stop_pool(Shard& shard) {
   {
-    std::lock_guard lk(shard.mu);
+    const util::MutexLock lk(shard.mu);
     shard.accepting = false;
     shard.stopping = true;
   }
@@ -164,8 +164,10 @@ void ShardRouter::worker_loop(Shard& shard) {
   for (;;) {
     BatchItem item;
     {
-      std::unique_lock lk(shard.mu);
-      shard.cv.wait(lk, [&] { return shard.stopping || !shard.queue.empty(); });
+      util::UniqueLock lk(shard.mu);
+      // While-loop (not a wait predicate): the condition reads then happen
+      // directly under the held capability, where the analysis checks them.
+      while (!shard.stopping && shard.queue.empty()) shard.cv.wait(lk);
       if (shard.queue.empty()) return;  // stopping and drained
       item = shard.queue.front();
       shard.queue.pop_front();
@@ -182,7 +184,7 @@ void ShardRouter::worker_loop(Shard& shard) {
       // Decrement under the latch mutex: the issuing thread can then only
       // observe zero (and destroy the latch) after this critical section,
       // so no worker ever touches a dead BatchState.
-      std::lock_guard lk(item.batch->mu);
+      const util::MutexLock lk(item.batch->mu);
       if (item.batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         item.batch->cv.notify_all();
       }
@@ -200,7 +202,7 @@ std::shared_ptr<ShardRouter::KeyState> ShardRouter::key_state(Digit base,
       if (it != guard->end()) return it->second;
     }
   }
-  std::lock_guard lk(keys_mu_);
+  const util::MutexLock lk(keys_mu_);
   // Writers are serialized, so re-reading the snapshot under the lock sees
   // the authoritative map (a racing writer may have inserted our key). The
   // guard is scoped: publish() may wait for in-flight readers to drain, so
@@ -256,7 +258,7 @@ void ShardRouter::submit(const BatchItem& item) {
   for (;;) {
     Shard& shard = route(*item.request);
     {
-      std::lock_guard lk(shard.mu);
+      const util::MutexLock lk(shard.mu);
       if (shard.accepting) {
         shard.queue.push_back(item);
         shard.cv.notify_one();
@@ -286,10 +288,10 @@ std::vector<EmbedResponse> ShardRouter::query_batch(
     submit(BatchItem{&requests[i], &responses[i], &batch});
   }
   {
-    std::unique_lock lk(batch.mu);
-    batch.cv.wait(lk, [&] {
-      return batch.remaining.load(std::memory_order_acquire) == 0;
-    });
+    util::UniqueLock lk(batch.mu);
+    while (batch.remaining.load(std::memory_order_acquire) != 0) {
+      batch.cv.wait(lk);
+    }
   }
   return responses;
 }
@@ -304,7 +306,7 @@ void ShardRouter::warm_context(Shard& shard, Digit base, unsigned n) {
 }
 
 void ShardRouter::kill_shard(ShardId shard) {
-  std::lock_guard admin(admin_mu_);
+  const util::MutexLock admin(admin_mu_);
   require(shard < shards_.size(), "kill_shard: shard id out of range");
   Shard& victim = *shards_[shard];
   require(victim.alive.load(std::memory_order_acquire),
@@ -315,7 +317,7 @@ void ShardRouter::kill_shard(ShardId shard) {
   HashRing old_ring(options_.vnodes);
   std::shared_ptr<const HashRing> next;
   {
-    std::lock_guard lk(ring_mu_);
+    const util::MutexLock lk(ring_mu_);
     std::shared_ptr<HashRing> copy;
     {
       // Scoped: publish() below may wait for readers to drain, so it must
@@ -334,7 +336,7 @@ void ShardRouter::kill_shard(ShardId shard) {
   // router; it re-routes against the already-published ring.
   std::deque<BatchItem> orphans;
   {
-    std::lock_guard lk(victim.mu);
+    const util::MutexLock lk(victim.mu);
     victim.accepting = false;
     orphans.swap(victim.queue);
   }
@@ -367,7 +369,7 @@ void ShardRouter::kill_shard(ShardId shard) {
 }
 
 void ShardRouter::revive_shard(ShardId shard) {
-  std::lock_guard admin(admin_mu_);
+  const util::MutexLock admin(admin_mu_);
   require(shard < shards_.size(), "revive_shard: shard id out of range");
   Shard& revived = *shards_[shard];
   require(!revived.alive.load(std::memory_order_acquire),
@@ -375,7 +377,7 @@ void ShardRouter::revive_shard(ShardId shard) {
   start_pool(revived);
   ++remap_events_;
   {
-    std::lock_guard lk(ring_mu_);
+    const util::MutexLock lk(ring_mu_);
     std::shared_ptr<HashRing> copy;
     {
       // Scoped for the same reason as in kill_shard: never publish under
@@ -435,7 +437,7 @@ EmbedEngine& ShardRouter::shard_engine(ShardId shard) {
 
 FabricStats ShardRouter::stats() const {
   FabricStats out;
-  std::lock_guard admin(admin_mu_);
+  const util::MutexLock admin(admin_mu_);
   out.hot_keys = hot_keys_.load(std::memory_order_relaxed);
   out.remap_events = remap_events_;
   out.remapped_keys = remapped_keys_;

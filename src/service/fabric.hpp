@@ -1,12 +1,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <unordered_map>
@@ -16,6 +14,7 @@
 #include "service/engine.hpp"
 #include "service/types.hpp"
 #include "util/rcu_snapshot.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dbr::service {
 
@@ -246,11 +245,12 @@ class ShardRouter {
     std::atomic<bool> alive{true};
     std::atomic<std::uint64_t> queries{0};
     std::atomic<std::uint64_t> replica_reads{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<BatchItem> queue;  ///< guarded by mu
-    bool accepting = true;        ///< guarded by mu; false while draining
-    bool stopping = false;        ///< guarded by mu; pool exit flag
+    util::Mutex mu;
+    util::CondVar cv;
+    std::deque<BatchItem> queue DBR_GUARDED_BY(mu);  ///< pending pool work
+    /// False while draining (kill_shard); submit() then re-routes.
+    bool accepting DBR_GUARDED_BY(mu) = true;
+    bool stopping DBR_GUARDED_BY(mu) = false;  ///< pool exit flag
     std::vector<std::thread> workers;
   };
 
@@ -269,20 +269,22 @@ class ShardRouter {
   void stop_pool(Shard& shard);
   void worker_loop(Shard& shard);
   /// Builds (base, n)'s context on `shard`, charging the Section-2.4 rebuild
-  /// price into remap_cost_. Callers hold admin_mu_.
-  void warm_context(Shard& shard, Digit base, unsigned n);
+  /// price into remap_cost_; the annotation makes the "callers hold
+  /// admin_mu_" convention a compile-time requirement.
+  void warm_context(Shard& shard, Digit base, unsigned n)
+      DBR_REQUIRES(admin_mu_);
 
   FabricOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   util::RcuSnapshot<HashRing> ring_;  ///< alive shards only; never null
-  mutable std::mutex ring_mu_;        ///< serializes ring_ writers
+  mutable util::Mutex ring_mu_;       ///< serializes ring_ writers
   util::RcuSnapshot<KeyMap> keys_;    ///< observed instance keys
-  std::mutex keys_mu_;                ///< serializes keys_ writers
+  util::Mutex keys_mu_;               ///< serializes keys_ writers
   /// Serializes kill/revive and guards the remap accounting below.
-  mutable std::mutex admin_mu_;
-  std::uint64_t remap_events_ = 0;
-  std::uint64_t remapped_keys_ = 0;
-  core::DistributedFfcStats remap_cost_;
+  mutable util::Mutex admin_mu_;
+  std::uint64_t remap_events_ DBR_GUARDED_BY(admin_mu_) = 0;
+  std::uint64_t remapped_keys_ DBR_GUARDED_BY(admin_mu_) = 0;
+  core::DistributedFfcStats remap_cost_ DBR_GUARDED_BY(admin_mu_);
   std::atomic<std::uint64_t> hot_keys_{0};
 };
 

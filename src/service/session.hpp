@@ -67,7 +67,9 @@ struct RepairStats {
 ///
 /// Not thread-safe: a session models one network's fault timeline; use one
 /// session per thread (they may share one engine, whose caches are
-/// thread-safe).
+/// thread-safe). The single-thread contract replaces a lock — there is no
+/// capability to annotate (docs/CONCURRENCY.md); the net/ server upholds it
+/// by executing one connection's ops strictly in order.
 class EmbedSession {
  public:
   /// Validates the instance and strategy preconditions up front (fault-kind

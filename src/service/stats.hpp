@@ -29,7 +29,9 @@ class LatencySnapshot {
 };
 
 /// Latency samples in microseconds with percentile extraction. Not
-/// thread-safe: each worker records into its own instance; merge afterwards.
+/// thread-safe: each worker records into its own instance; merge afterwards
+/// — per-owner isolation instead of a lock, so there is no capability to
+/// annotate (docs/CONCURRENCY.md).
 class LatencyRecorder {
  public:
   void record(double micros) { samples_.push_back(micros); }

@@ -2,9 +2,10 @@
 
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace dbr {
 
@@ -27,7 +28,7 @@ void parallel_blocks(
     return;
   }
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  util::Mutex error_mutex;
   std::vector<std::thread> threads;
   threads.reserve(workers);
   const std::size_t chunk = (count + workers - 1) / workers;
@@ -38,7 +39,7 @@ void parallel_blocks(
       try {
         fn(w, begin, end);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const util::MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     });

@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace dbr::util {
 
 /// Read-copy-update publication cell: writers publish immutable snapshots,
@@ -37,17 +39,27 @@ namespace dbr::util {
 /// Only if the list reaches kMaxRetired does the writer spin for the
 /// (microsecond-scale) reader sections to drain, bounding memory.
 template <typename T>
-class RcuSnapshot {
+class DBR_CAPABILITY("rcu_cell") RcuSnapshot {
  public:
   /// Pins the current snapshot for the guard's lifetime. Cheap enough to
   /// construct per lookup; never blocks, never takes a mutex.
-  class ReadGuard {
+  ///
+  /// To Clang's thread-safety analysis a live guard holds the cell's
+  /// capability *shared*, and publish() below excludes it — so the PR 8
+  /// publish-under-own-ReadGuard self-deadlock is a compile error, not a
+  /// lucky-schedule TSan find (scripts/check_invariants.py enforces the
+  /// same rule for GCC-only builds).
+  class DBR_SCOPED_CAPABILITY ReadGuard {
    public:
-    explicit ReadGuard(const RcuSnapshot& cell) : cell_(cell) {
+    explicit ReadGuard(const RcuSnapshot& cell) DBR_ACQUIRE_SHARED(cell)
+        : cell_(cell) {
       cell_.readers_.fetch_add(1, std::memory_order_seq_cst);
       ptr_ = cell_.current_.load(std::memory_order_seq_cst);
     }
-    ~ReadGuard() { cell_.readers_.fetch_sub(1, std::memory_order_release); }
+    // Generic release: the dtor cannot name the shared mode it releases.
+    ~ReadGuard() DBR_RELEASE_GENERIC() {
+      cell_.readers_.fetch_sub(1, std::memory_order_release);
+    }
 
     ReadGuard(const ReadGuard&) = delete;
     ReadGuard& operator=(const ReadGuard&) = delete;
@@ -75,8 +87,9 @@ class RcuSnapshot {
   /// this cell — once the retire list is full, reclaim() waits for
   /// `readers_` to drain, and a guard pinned by the caller itself would
   /// never release (self-deadlock). Scope read guards so they end before
-  /// the publish.
-  void publish(std::shared_ptr<const T> next) {
+  /// the publish. DBR_EXCLUDES makes Clang reject a call site that provably
+  /// holds this cell's guard; the invariant linter carries the same rule.
+  void publish(std::shared_ptr<const T> next) DBR_EXCLUDES(this) {
     current_.store(next.get(), std::memory_order_seq_cst);
     if (owner_ != nullptr) retired_.push_back(std::move(owner_));
     owner_ = std::move(next);

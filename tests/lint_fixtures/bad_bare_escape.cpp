@@ -1,0 +1,14 @@
+// Fixture: opting a function out of the thread-safety analysis with no
+// justification recorded next to the escape hatch.
+
+#include "util/thread_annotations.hpp"
+
+namespace dbr::fixture {
+
+struct Unchecked {
+  int value = 0;
+
+  int read_racy() DBR_NO_THREAD_SAFETY_ANALYSIS { return value; }  // expect-violation: bare-analysis-escape
+};
+
+}  // namespace dbr::fixture

@@ -1,0 +1,22 @@
+// lint:pretend-path: src/core/ffc.cpp
+// Fixture: a heap-allocating container constructed inside a
+// SolveScratch-backed solve body — the regression the PR 7 allocation-free
+// guarantee forbids. Reference bindings to scratch members stay legal.
+
+#include <cstdint>
+#include <vector>
+
+namespace dbr::fixture {
+
+struct SolveScratch {
+  std::vector<std::uint32_t> comp;
+};
+
+int solve_ffc_like(SolveScratch& s) {
+  std::vector<std::uint32_t>& comp = s.comp;  // allowed: reference binding
+  // expect-violation: hot-path-heap-alloc
+  std::vector<std::uint32_t> scratch_local(comp.size(), 0);
+  return static_cast<int>(scratch_local.size());
+}
+
+}  // namespace dbr::fixture

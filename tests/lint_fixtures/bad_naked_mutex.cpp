@@ -1,0 +1,20 @@
+// Fixture: naked std lock primitives outside util/thread_annotations.hpp —
+// invisible to -Wthread-safety, so the linter rejects them everywhere else.
+
+#include <mutex>
+
+namespace dbr::fixture {
+
+struct Counter {
+  // expect-violation: naked-mutex
+  std::mutex mu;
+  int value = 0;
+
+  void bump() {
+    // expect-violation: naked-mutex
+    const std::lock_guard lock(mu);
+    ++value;
+  }
+};
+
+}  // namespace dbr::fixture

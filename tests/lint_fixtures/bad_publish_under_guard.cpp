@@ -1,0 +1,21 @@
+// Fixture: the PR 8 fabric deadlock — publishing a cell while this thread's
+// own ReadGuard still pins it. publish() may wait for readers to drain, and
+// the caller's guard never will.
+
+#include "util/rcu_snapshot.hpp"
+
+namespace dbr::fixture {
+
+struct Registry {
+  using Map = int;
+  util::RcuSnapshot<Map> cell_;
+
+  void broken_update(std::shared_ptr<const Map> next) {
+    util::RcuSnapshot<Map>::ReadGuard guard(cell_);
+    if (!guard) return;
+    // expect-violation: rcu-publish-under-guard
+    cell_.publish(std::move(next));
+  }
+};
+
+}  // namespace dbr::fixture

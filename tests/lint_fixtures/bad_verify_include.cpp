@@ -1,0 +1,11 @@
+// lint:pretend-path: src/verify/fixture_checker.cpp
+// Fixture: the oracle importing the implementation it is supposed to check.
+
+// expect-violation: verify-includes-core
+#include "core/ffc.hpp"
+
+namespace dbr::fixture {
+
+int not_independent() { return 0; }
+
+}  // namespace dbr::fixture

@@ -1,20 +1,25 @@
 // Concurrency contract of the service ContextCache: one context constructed
 // per key no matter how many threads miss at once, no torn reads on the
 // lazily built sections, failed builds never cached, clear() starts a fresh
-// observation window.
+// observation window. Also the contract of the annotated lock wrappers the
+// cache (and every other mutex-bearing component) locks through: identical
+// semantics to the std primitives, zero size cost on any compiler.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "service/context_cache.hpp"
 #include "service/engine.hpp"
 #include "util/require.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dbr::service {
 namespace {
@@ -44,7 +49,7 @@ TEST(ContextCacheTest, MultiThreadHammerBuildsExactlyOneContextPerKey) {
   constexpr std::size_t kIterations = 50;
 
   ContextCache cache;
-  std::mutex mu;
+  util::Mutex mu;
   std::vector<std::vector<const core::InstanceContext*>> seen(
       std::size(kKeys));
 
@@ -59,7 +64,7 @@ TEST(ContextCacheTest, MultiThreadHammerBuildsExactlyOneContextPerKey) {
         // surface as an inconsistent size or a sanitizer report.
         ASSERT_EQ(ctx->necklaces().min_rot.size(), ctx->words().size());
         ASSERT_FALSE(ctx->psi_family().cycles.empty());
-        const std::lock_guard<std::mutex> lock(mu);
+        const util::MutexLock lock(mu);
         seen[k].push_back(ctx.get());
       }
     });
@@ -183,6 +188,104 @@ TEST(EngineStatsSnapshotTest, CoherentUnderConcurrentClear) {
   clearer.join();
   for (auto& t : readers) t.join();
   EXPECT_EQ(violations.load(), 0u);
+}
+
+// --- annotated lock wrappers (util/thread_annotations.hpp) ------------------
+
+// Zero-cost contract: the annotations are attributes only, so every wrapper
+// must be layout-identical to the std primitive it wraps (locks hold exactly
+// the reference/handle the std guard would).
+static_assert(sizeof(util::Mutex) == sizeof(std::mutex));
+static_assert(sizeof(util::SharedMutex) == sizeof(std::shared_mutex));
+static_assert(sizeof(util::CondVar) == sizeof(std::condition_variable));
+static_assert(sizeof(util::MutexLock) == sizeof(util::Mutex*));
+static_assert(sizeof(util::UniqueLock) == sizeof(std::unique_lock<std::mutex>));
+static_assert(alignof(util::Mutex) == alignof(std::mutex));
+
+TEST(ThreadAnnotationWrappers, MutexMatchesStdMutexSemantics) {
+  util::Mutex mu;
+  EXPECT_TRUE(mu.try_lock());  // unlocked -> acquired
+  // Held by this thread: another thread's try_lock must fail, its blocking
+  // lock must wait until the unlock below.
+  std::atomic<bool> tried{false};
+  std::atomic<bool> locked{false};
+  std::thread contender([&] {
+    EXPECT_FALSE(mu.try_lock());
+    tried.store(true, std::memory_order_release);
+    mu.lock();
+    locked.store(true, std::memory_order_release);
+    mu.unlock();
+  });
+  while (!tried.load(std::memory_order_acquire)) std::this_thread::yield();
+  EXPECT_FALSE(locked.load(std::memory_order_acquire));
+  mu.unlock();
+  contender.join();
+  EXPECT_TRUE(locked.load(std::memory_order_acquire));
+  EXPECT_TRUE(mu.try_lock());  // released again
+  mu.unlock();
+}
+
+TEST(ThreadAnnotationWrappers, MutexLockProvidesMutualExclusion) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  util::Mutex mu;
+  long long counter = 0;  // unguarded on purpose: the lock is the test
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        const util::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long long>(kThreads) * kIncrements);
+}
+
+TEST(ThreadAnnotationWrappers, SharedMutexAllowsReadersExcludesWriter) {
+  util::SharedMutex mu;
+  mu.lock_shared();
+  EXPECT_TRUE(mu.try_lock_shared());  // shared + shared coexist
+  std::thread writer([&] { EXPECT_FALSE(mu.try_lock()); });
+  writer.join();
+  mu.unlock_shared();
+  mu.unlock_shared();
+  EXPECT_TRUE(mu.try_lock());  // all readers gone -> exclusive acquires
+  std::thread reader([&] { EXPECT_FALSE(mu.try_lock_shared()); });
+  reader.join();
+  mu.unlock();
+}
+
+TEST(ThreadAnnotationWrappers, SharedReaderLockScopesTheSharedHold) {
+  util::SharedMutex mu;
+  {
+    const util::SharedReaderLock guard(mu);
+    std::thread writer([&] { EXPECT_FALSE(mu.try_lock()); });
+    writer.join();
+  }
+  EXPECT_TRUE(mu.try_lock());  // guard released its shared hold at scope exit
+  mu.unlock();
+}
+
+TEST(ThreadAnnotationWrappers, CondVarWakesWaiterUnderUniqueLock) {
+  util::Mutex mu;
+  util::CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  std::thread waiter([&] {
+    util::UniqueLock lk(mu);
+    while (!ready) cv.wait(lk);
+    observed = true;
+  });
+  {
+    const util::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(observed);
 }
 
 }  // namespace

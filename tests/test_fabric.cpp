@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/distributed_ffc.hpp"
@@ -383,6 +384,50 @@ TEST(ShardRouter, RingSurvivesChurnPastRetireBound) {
   }
   EXPECT_EQ(fabric.alive_count(), 3u);
   for (ShardId s = 0; s < 3; ++s) EXPECT_TRUE(fabric.shard_alive(s));
+}
+
+// Regression for the util::Mutex/CondVar/UniqueLock migration (the fabric's
+// shard queues, batch latch and admin section now lock through the annotated
+// wrappers): behavior under genuinely concurrent traffic — several threads
+// issuing batches while shards churn — must be unchanged. Every response
+// stays bit-identical to a single-engine reference and no batch wedges on
+// the rewritten while-loop condition waits.
+TEST(ShardRouter, WrappedLocksPreserveBehaviorUnderConcurrentTraffic) {
+  constexpr std::size_t kLoadThreads = 4;
+  FabricOptions opts = small_fabric(4, /*workers=*/2);
+  ShardRouter fabric(opts);
+  EmbedEngine single;
+  const std::vector<EmbedRequest> stream = test_stream(3);
+
+  std::vector<std::vector<EmbedResponse>> results(kLoadThreads);
+  std::vector<std::thread> load;
+  load.reserve(kLoadThreads);
+  for (std::size_t t = 0; t < kLoadThreads; ++t) {
+    load.emplace_back([&, t] { results[t] = fabric.query_batch(stream); });
+  }
+  // Churn the ring while the batches drain: kill/revive serialize on the
+  // wrapped admin mutex, workers block on the wrapped shard cv.
+  for (int round = 0; round < 3; ++round) {
+    const ShardId victim = static_cast<ShardId>(1 + round % 3);
+    fabric.kill_shard(victim);
+    fabric.revive_shard(victim);
+  }
+  for (auto& t : load) t.join();
+
+  std::vector<EmbedResponse> expected;
+  expected.reserve(stream.size());
+  for (const EmbedRequest& req : stream) expected.push_back(single.query(req));
+  for (std::size_t t = 0; t < kLoadThreads; ++t) {
+    ASSERT_EQ(results[t].size(), stream.size()) << "thread " << t;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      ASSERT_TRUE(results[t][i].result && expected[i].result)
+          << "thread " << t << " request " << i;
+      EXPECT_TRUE(results[t][i].result->same_embedding(*expected[i].result))
+          << "thread " << t << " request " << i;
+    }
+  }
+  EXPECT_EQ(fabric.alive_count(), 4u);
+  EXPECT_EQ(fabric.stats().remap_events, 6u);
 }
 
 TEST(ShardRouter, EngineForFollowsOwnership) {
