@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fabric_throughput.dir/bench/fabric_throughput.cpp.o"
+  "CMakeFiles/bench_fabric_throughput.dir/bench/fabric_throughput.cpp.o.d"
+  "fabric_throughput"
+  "fabric_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fabric_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

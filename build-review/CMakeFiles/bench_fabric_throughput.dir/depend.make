@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fabric_throughput.
+# This may be replaced when dependencies are built.

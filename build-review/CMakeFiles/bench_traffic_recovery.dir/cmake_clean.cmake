@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traffic_recovery.dir/bench/traffic_recovery.cpp.o"
+  "CMakeFiles/bench_traffic_recovery.dir/bench/traffic_recovery.cpp.o.d"
+  "traffic_recovery"
+  "traffic_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traffic_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -42,11 +42,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/service/cache.cpp" "CMakeFiles/dbr.dir/src/service/cache.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/cache.cpp.o.d"
   "/root/repo/src/service/context_cache.cpp" "CMakeFiles/dbr.dir/src/service/context_cache.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/context_cache.cpp.o.d"
   "/root/repo/src/service/engine.cpp" "CMakeFiles/dbr.dir/src/service/engine.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/engine.cpp.o.d"
+  "/root/repo/src/service/fabric.cpp" "CMakeFiles/dbr.dir/src/service/fabric.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/fabric.cpp.o.d"
   "/root/repo/src/service/session.cpp" "CMakeFiles/dbr.dir/src/service/session.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/session.cpp.o.d"
   "/root/repo/src/service/stats.cpp" "CMakeFiles/dbr.dir/src/service/stats.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/stats.cpp.o.d"
   "/root/repo/src/service/types.cpp" "CMakeFiles/dbr.dir/src/service/types.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/service/types.cpp.o.d"
   "/root/repo/src/sim/engine.cpp" "CMakeFiles/dbr.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/sim/engine.cpp.o.d"
   "/root/repo/src/sim/session_driver.cpp" "CMakeFiles/dbr.dir/src/sim/session_driver.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/sim/session_driver.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "CMakeFiles/dbr.dir/src/sim/traffic.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/sim/traffic.cpp.o.d"
   "/root/repo/src/util/parallel.cpp" "CMakeFiles/dbr.dir/src/util/parallel.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/util/parallel.cpp.o.d"
   "/root/repo/src/util/table.cpp" "CMakeFiles/dbr.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/util/table.cpp.o.d"
   "/root/repo/src/util/word.cpp" "CMakeFiles/dbr.dir/src/util/word.cpp.o" "gcc" "CMakeFiles/dbr.dir/src/util/word.cpp.o.d"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_demo.dir/examples/traffic_demo.cpp.o"
+  "CMakeFiles/example_traffic_demo.dir/examples/traffic_demo.cpp.o.d"
+  "traffic_demo"
+  "traffic_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

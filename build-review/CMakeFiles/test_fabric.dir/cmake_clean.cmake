@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fabric.dir/tests/test_fabric.cpp.o"
+  "CMakeFiles/test_fabric.dir/tests/test_fabric.cpp.o.d"
+  "test_fabric"
+  "test_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic.dir/tests/test_traffic.cpp.o"
+  "CMakeFiles/test_traffic.dir/tests/test_traffic.cpp.o.d"
+  "test_traffic"
+  "test_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

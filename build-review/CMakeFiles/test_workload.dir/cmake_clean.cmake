@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/tests/test_workload.cpp.o"
+  "CMakeFiles/test_workload.dir/tests/test_workload.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
